@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's evaluation (experiments E1-E5, see
+DESIGN.md §4).  The workload scale is controlled by the ``REPRO_BENCH_SCALE``
+environment variable (``tiny`` by default so the suite completes in well under
+a minute; set it to ``small`` or ``paper`` for larger runs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import default_edge_workload, scale_parameters
+from repro.bench.harness import prepare_window
+
+
+def bench_scale() -> str:
+    """The workload scale used by the benchmark suite."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def scale_params(scale):
+    return scale_parameters(scale)
+
+
+@pytest.fixture(scope="session")
+def edge_workload(scale):
+    """The random-graph-stream workload shared by most benchmarks."""
+    return default_edge_workload(scale, seed=42)
+
+
+@pytest.fixture(scope="session")
+def edge_window(edge_workload):
+    """The DSMatrix window after the whole stream has been ingested."""
+    return prepare_window(edge_workload)
+
+
+@pytest.fixture(scope="session")
+def default_minsup(edge_workload):
+    """5% of the window's transactions (the default threshold of the harness)."""
+    return max(2, int(edge_workload.batch_size * edge_workload.window_size * 0.05))

@@ -1,0 +1,87 @@
+"""Ablation: mining-side design choices.
+
+* **Window size** — the window bounds both the DSMatrix column count and the
+  mining cost; sweeping ``w`` shows how runtime grows with the retained
+  history (the paper fixes w=5).
+* **Connectivity rule** — the §3.5 vertex-frequency rule vs the exact
+  union-find check used as this reproduction's default.
+* **Item order** — canonical order (required by the streaming structures) vs
+  classic frequency-descending FP-growth order, on the same window.
+"""
+
+import pytest
+
+from repro.bench.experiments import scale_parameters
+from repro.bench.harness import build_edge_workload, prepare_window
+from repro.core.algorithms import get_algorithm
+from repro.core.postprocess import filter_connected_patterns
+from repro.fptree.fpgrowth import FPGrowth
+
+WINDOW_SIZES = (2, 5, 10)
+
+
+@pytest.mark.parametrize("window_size", WINDOW_SIZES)
+def test_window_size_sweep(benchmark, window_size, scale):
+    params = scale_parameters(scale)
+    workload = build_edge_workload(
+        name=f"window-{window_size}",
+        num_vertices=params["num_vertices"],
+        avg_edges_per_snapshot=6.0,
+        num_snapshots=params["batch_size"] * (window_size + 2),
+        batch_size=params["batch_size"],
+        window_size=window_size,
+        seed=42,
+    )
+    matrix = prepare_window(workload)
+    minsup = max(2, int(matrix.num_columns * 0.05))
+    algorithm = get_algorithm("vertical_direct")
+    patterns = benchmark.pedantic(
+        lambda: algorithm.mine(matrix, minsup, registry=workload.registry),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["window_size"] = window_size
+    benchmark.extra_info["window_transactions"] = matrix.num_columns
+    benchmark.extra_info["patterns"] = len(patterns)
+
+
+@pytest.mark.parametrize("rule", ["exact", "paper"])
+def test_connectivity_rule_cost(benchmark, rule, edge_window, edge_workload, default_minsup):
+    all_collections = get_algorithm("vertical").mine(
+        edge_window, default_minsup, registry=edge_workload.registry
+    )
+    connected = benchmark.pedantic(
+        lambda: filter_connected_patterns(
+            all_collections, edge_workload.registry, rule=rule
+        ),
+        rounds=5,
+        iterations=1,
+    )
+    benchmark.extra_info["rule"] = rule
+    benchmark.extra_info["input_patterns"] = len(all_collections)
+    benchmark.extra_info["connected_patterns"] = len(connected)
+
+
+def test_connectivity_rules_agree_on_this_workload(
+    edge_window, edge_workload, default_minsup
+):
+    """On typical graph streams the two rules coincide; the divergence needs a
+    pattern made of two or more cycles (see DESIGN.md §5.3)."""
+    all_collections = get_algorithm("vertical").mine(
+        edge_window, default_minsup, registry=edge_workload.registry
+    )
+    exact = filter_connected_patterns(all_collections, edge_workload.registry, "exact")
+    paper = filter_connected_patterns(all_collections, edge_workload.registry, "paper")
+    assert set(exact) <= set(paper)
+
+
+@pytest.mark.parametrize("order", ["canonical", "frequency"])
+def test_item_order_ablation(benchmark, order, edge_window, default_minsup):
+    transactions = list(edge_window.transactions())
+    miner = FPGrowth(minsup=default_minsup, order=order)
+    patterns = benchmark.pedantic(
+        lambda: miner.mine(transactions), rounds=3, iterations=1
+    )
+    benchmark.extra_info["order"] = order
+    benchmark.extra_info["patterns"] = len(patterns)
+    benchmark.extra_info["trees_built"] = miner.trees_built

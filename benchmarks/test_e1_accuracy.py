@@ -1,0 +1,70 @@
+"""E1 — accuracy: every algorithm / structure returns identical results.
+
+Reproduces the paper's first experiment: the four DSMatrix algorithms with the
+post-processing step, the direct algorithm, and the DSTree / DSTable baselines
+all find the same frequent patterns.  Each miner is also benchmarked so the
+accuracy table comes with per-miner timings.
+"""
+
+import pytest
+
+from repro.bench.experiments import POSTPROCESSED_ALGORITHMS
+from repro.core.algorithms import get_algorithm
+from repro.core.algorithms.baselines import DSTableMiner, DSTreeMiner
+from repro.core.postprocess import filter_connected_patterns
+
+
+@pytest.fixture(scope="module")
+def reference_patterns(edge_window, edge_workload, default_minsup):
+    """All frequent collections according to the vertical miner (reference)."""
+    return get_algorithm("vertical").mine(
+        edge_window, default_minsup, registry=edge_workload.registry
+    )
+
+
+@pytest.mark.parametrize("name", POSTPROCESSED_ALGORITHMS)
+def test_dsmatrix_algorithms_agree(
+    benchmark, name, edge_window, edge_workload, default_minsup, reference_patterns
+):
+    algorithm = get_algorithm(name)
+    result = benchmark.pedantic(
+        lambda: algorithm.mine(
+            edge_window, default_minsup, registry=edge_workload.registry
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["patterns"] = len(result)
+    assert result == reference_patterns
+
+
+def test_direct_agrees_with_postprocessing(
+    benchmark, edge_window, edge_workload, default_minsup, reference_patterns
+):
+    algorithm = get_algorithm("vertical_direct")
+    result = benchmark.pedantic(
+        lambda: algorithm.mine(
+            edge_window, default_minsup, registry=edge_workload.registry
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    expected = filter_connected_patterns(
+        reference_patterns, edge_workload.registry, rule="exact"
+    )
+    benchmark.extra_info["patterns"] = len(result)
+    assert result == expected
+
+
+@pytest.mark.parametrize("baseline_cls", [DSTreeMiner, DSTableMiner])
+def test_baseline_structures_agree(
+    benchmark, baseline_cls, edge_workload, default_minsup, reference_patterns
+):
+    miner = baseline_cls(window_size=edge_workload.window_size)
+    for batch in edge_workload.batches():
+        miner.append_batch(batch)
+    result = benchmark.pedantic(
+        lambda: miner.mine(default_minsup), rounds=3, iterations=1
+    )
+    benchmark.extra_info["patterns"] = len(result)
+    assert result == reference_patterns

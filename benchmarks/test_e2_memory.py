@@ -1,0 +1,75 @@
+"""E2 — space efficiency of the structures and algorithms.
+
+Reproduces the paper's second experiment.  The benchmark timings are secondary
+here; the interesting numbers land in ``extra_info``:
+
+* ``peak_mining_kb``   — peak additional allocations during mining;
+* ``structure_kb``     — deep size of the resident window structure;
+* ``max_concurrent_fptrees`` / ``max_fptree_nodes`` — the quantity the paper's
+  argument is about (multi-tree > single-tree > vertical).
+
+Expected shape: DSTree (all in memory) largest; DSMatrix + vertical miners
+smallest.
+"""
+
+import pytest
+
+from repro.bench.harness import run_baseline_miner, run_dsmatrix_algorithm
+from repro.bench.experiments import DIRECT_ALGORITHM, POSTPROCESSED_ALGORITHMS
+
+ALL_DSMATRIX = POSTPROCESSED_ALGORITHMS + (DIRECT_ALGORITHM,)
+
+
+@pytest.mark.parametrize("name", ALL_DSMATRIX)
+def test_dsmatrix_algorithm_memory(
+    benchmark, name, edge_window, edge_workload, default_minsup
+):
+    def run():
+        return run_dsmatrix_algorithm(
+            name,
+            edge_window,
+            edge_workload,
+            default_minsup,
+            connected=(name == DIRECT_ALGORITHM),
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["peak_mining_kb"] = round(result.peak_memory_bytes / 1024, 1)
+    benchmark.extra_info["structure_kb"] = round(result.structure_bytes / 1024, 1)
+    benchmark.extra_info["max_concurrent_fptrees"] = result.stats.get(
+        "max_concurrent_fptrees", 0
+    )
+    benchmark.extra_info["max_fptree_nodes"] = result.stats.get("max_fptree_nodes", 0)
+    assert result.pattern_count > 0
+
+
+@pytest.mark.parametrize("name", ["dstree", "dstable"])
+def test_baseline_memory(benchmark, name, edge_workload, default_minsup):
+    def run():
+        return run_baseline_miner(name, edge_workload, default_minsup)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["peak_mining_kb"] = round(result.peak_memory_bytes / 1024, 1)
+    benchmark.extra_info["structure_kb"] = round(result.structure_bytes / 1024, 1)
+    assert result.pattern_count > 0
+
+
+def test_memory_ranking_matches_paper(edge_window, edge_workload, default_minsup):
+    """The qualitative ranking of §5: multi-tree needs the most FP-tree memory,
+    single-tree variants less, vertical none at all."""
+    multi = run_dsmatrix_algorithm(
+        "fptree_multi", edge_window, edge_workload, default_minsup
+    )
+    single = run_dsmatrix_algorithm(
+        "fptree_single", edge_window, edge_workload, default_minsup
+    )
+    vertical = run_dsmatrix_algorithm(
+        "vertical", edge_window, edge_workload, default_minsup
+    )
+    assert (
+        multi.stats["max_concurrent_fptrees"]
+        >= single.stats["max_concurrent_fptrees"]
+        >= vertical.stats["max_concurrent_fptrees"]
+    )
+    assert vertical.stats["max_concurrent_fptrees"] == 0
+    assert single.stats["max_concurrent_fptrees"] <= 1

@@ -1,0 +1,46 @@
+"""E4 — effect of the minimum-support threshold on runtime.
+
+Reproduces the paper's "evaluating the effect of minsup" experiment: runtime
+decreases when minsup increases (fewer patterns survive, so less work).
+"""
+
+import pytest
+
+from repro.bench.harness import run_dsmatrix_algorithm
+from repro.core.algorithms import get_algorithm
+from repro.core.postprocess import filter_connected_patterns
+
+FRACTIONS = (0.02, 0.05, 0.10, 0.20)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("name", ["vertical", "vertical_direct"])
+def test_runtime_vs_minsup(benchmark, name, fraction, edge_window, edge_workload):
+    minsup = max(1, int(edge_window.num_columns * fraction))
+    algorithm = get_algorithm(name)
+
+    def run():
+        patterns = algorithm.mine(edge_window, minsup, registry=edge_workload.registry)
+        if not algorithm.produces_connected_only:
+            patterns = filter_connected_patterns(
+                patterns, edge_workload.registry, rule="exact"
+            )
+        return patterns
+
+    patterns = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["minsup_fraction"] = fraction
+    benchmark.extra_info["minsup"] = minsup
+    benchmark.extra_info["patterns"] = len(patterns)
+
+
+def test_pattern_count_decreases_with_minsup(edge_window, edge_workload):
+    """Monotonicity check behind the runtime trend: higher minsup, fewer patterns."""
+    counts = []
+    for fraction in FRACTIONS:
+        minsup = max(1, int(edge_window.num_columns * fraction))
+        result = run_dsmatrix_algorithm(
+            "vertical", edge_window, edge_workload, minsup, connected=True
+        )
+        counts.append(result.pattern_count)
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > counts[-1] or counts[0] == 0

@@ -1,0 +1,54 @@
+"""E5 — scalability with the number of batches in the stream.
+
+Reproduces the paper's scalability experiment: the total processing time
+(ingesting every batch through the DSMatrix with window slides, then mining
+once) grows roughly linearly with the stream length, because the window — and
+therefore the mining cost — stays bounded while ingestion is per-batch work.
+"""
+
+import pytest
+
+from repro.bench.experiments import scale_parameters
+from repro.bench.harness import build_edge_workload, prepare_window, run_dsmatrix_algorithm
+
+BATCH_COUNTS = (5, 10, 20)
+
+
+def _build(scale_name, batches, seed=42):
+    params = scale_parameters(scale_name)
+    return build_edge_workload(
+        name=f"scalability-x{batches}",
+        num_vertices=params["num_vertices"],
+        avg_edges_per_snapshot=6.0,
+        num_snapshots=params["batch_size"] * batches,
+        batch_size=params["batch_size"],
+        window_size=params["window_size"],
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("batches", BATCH_COUNTS)
+@pytest.mark.parametrize("name", ["vertical", "vertical_direct"])
+def test_stream_processing_scalability(benchmark, name, batches, scale):
+    workload = _build(scale, batches)
+    minsup = max(2, int(workload.batch_size * workload.window_size * 0.05))
+
+    def run():
+        window = prepare_window(workload)
+        return run_dsmatrix_algorithm(
+            name, window, workload, minsup, connected=True
+        ).pattern_count
+
+    patterns = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["stream_batches"] = batches
+    benchmark.extra_info["patterns"] = patterns
+
+
+def test_window_size_stays_bounded_as_stream_grows(scale):
+    """The reason the miners scale: the window never grows with the stream."""
+    sizes = []
+    for batches in BATCH_COUNTS:
+        workload = _build(scale, batches)
+        window = prepare_window(workload)
+        sizes.append(window.num_columns)
+    assert len(set(sizes)) == 1

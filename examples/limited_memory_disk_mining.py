@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Limited-memory mining with the window kept on disk.
+
+The paper's core argument is about memory: the DSTree keeps the whole window
+(plus conditional FP-trees) in main memory, while the DSMatrix lives on disk
+and the vertical miners only ever hold a handful of bit vectors.  This example
+makes that concrete:
+
+* the stream is ingested into a DSMatrix that persists itself to a file after
+  every batch (so a crash loses nothing and RAM holds only the rows in use);
+* the same stream is ingested into a DSTree baseline;
+* mining memory (peak allocations) and structure sizes are reported for the
+  multi-FP-tree, single-FP-tree, vertical and direct algorithms, reproducing
+  the ranking of the paper's space-efficiency experiment.
+
+Run with::
+
+    python examples/limited_memory_disk_mining.py
+"""
+
+import os
+import tempfile
+
+from repro import DSMatrix
+from repro.bench.harness import (
+    build_edge_workload,
+    run_baseline_miner,
+    run_dsmatrix_algorithm,
+)
+from repro.bench.metrics import deep_sizeof
+from repro.bench.report import format_table
+
+
+def main() -> None:
+    # A dense-ish random graph stream: 1500 snapshots, 300 per batch, window of 5.
+    workload = build_edge_workload(
+        name="disk-demo",
+        num_vertices=24,
+        avg_fanout=4.0,
+        avg_edges_per_snapshot=7.0,
+        num_snapshots=1500,
+        batch_size=300,
+        window_size=5,
+        seed=9,
+    )
+    minsup = 60  # 4% of the 1500-transaction window
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        matrix_path = os.path.join(tmpdir, "window.dsm")
+
+        # Ingest the stream; the matrix re-persists itself after every batch.
+        matrix = DSMatrix(window_size=workload.window_size, path=matrix_path)
+        for batch in workload.batches():
+            matrix.append_batch(batch)
+        print(f"window on disk: {matrix.disk_size_bytes() / 1024:.1f} KiB "
+              f"({matrix.num_columns} transactions x {len(matrix.items())} edge items)")
+        print(f"same window as Python objects: {deep_sizeof(matrix) / 1024:.1f} KiB")
+        print(f"paper's accounting (m x |T| bits): {matrix.memory_bits() / 8 / 1024:.1f} KiB\n")
+
+        # A single row can be read back without loading the rest of the matrix.
+        some_item = matrix.items()[0]
+        row = DSMatrix.row_from_disk(matrix_path, some_item)
+        print(f"row {some_item!r} read directly from disk: "
+              f"{row.count()} occurrences in the window\n")
+
+        # Mining-memory comparison across algorithms and structures.
+        rows = []
+        for name in ("fptree_multi", "fptree_single", "fptree_topdown", "vertical",
+                     "vertical_direct"):
+            result = run_dsmatrix_algorithm(
+                name, matrix, workload, minsup, connected=(name == "vertical_direct")
+            )
+            rows.append({
+                "miner": name,
+                "structure": "DSMatrix (disk)",
+                "peak_mining_KiB": round(result.peak_memory_bytes / 1024, 1),
+                "max_fptrees_in_ram": result.stats.get("max_concurrent_fptrees", 0),
+                "patterns": result.pattern_count,
+                "runtime_s": round(result.runtime_seconds, 3),
+            })
+        for baseline in ("dstable", "dstree"):
+            result = run_baseline_miner(baseline, workload, minsup)
+            rows.append({
+                "miner": baseline,
+                "structure": f"{baseline.upper()} (in RAM)" if baseline == "dstree"
+                else f"{baseline.upper()} (disk-style)",
+                "peak_mining_KiB": round(result.peak_memory_bytes / 1024, 1),
+                "max_fptrees_in_ram": result.stats.get("max_concurrent_fptrees", 0),
+                "patterns": result.pattern_count,
+                "runtime_s": round(result.runtime_seconds, 3),
+            })
+
+        print(format_table(rows, title="space / time comparison (paper experiment 2 & 3)"))
+        print("\nexpected shape: the vertical miners keep no FP-trees in memory and are "
+              "fastest;\nthe multi-FP-tree variant keeps the most trees; the DSTree "
+              "baseline pays for holding\nthe whole window in RAM.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Extensions demo: top-k connected subgraphs and the time-fading model.
+
+Two questions the sliding-window miner cannot answer directly:
+
+* "Just show me the ten most frequent connected structures" — picking a
+  support threshold on a drifting stream is guesswork; `mine_top_k_connected`
+  finds the right threshold itself.
+* "Old batches should fade out gradually, not fall off a cliff" — the
+  time-fading model weighs each batch by ``decay**age`` instead of evicting
+  it, so patterns that were hot until recently still rank, but lower.
+
+Run with::
+
+    python examples/topk_and_time_fading.py
+"""
+
+from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
+from repro.extensions.fading import TimeFadingVerticalMiner
+from repro.extensions.topk import mine_top_k_connected
+from repro.core.postprocess import filter_connected_patterns
+from repro.storage.dsmatrix import DSMatrix
+from repro.stream.stream import TransactionStream
+
+
+def build_window(seed: int = 23):
+    """A 5-batch window over a scale-free interaction stream."""
+    model = RandomGraphModel(
+        num_vertices=18, avg_fanout=4.0, topology="scale_free", centrality_skew=1.3, seed=seed
+    )
+    registry = model.registry()
+    generator = GraphStreamGenerator(model, avg_edges_per_snapshot=6.0, seed=seed + 1)
+    transactions = [
+        registry.encode(snapshot, register_new=False)
+        for snapshot in generator.snapshots(500)
+    ]
+    matrix = DSMatrix(window_size=5)
+    for batch in TransactionStream(transactions, batch_size=100).batches():
+        matrix.append_batch(batch)
+    return matrix, registry
+
+
+def main() -> None:
+    matrix, registry = build_window()
+
+    # ------------------------------------------------------------------ #
+    # Top-k: no support threshold needed.
+    # ------------------------------------------------------------------ #
+    print("top-10 frequent connected subgraphs (no minsup chosen by hand):")
+    for rank, (items, support) in enumerate(
+        mine_top_k_connected(matrix, registry, k=10, min_size=2), start=1
+    ):
+        edges = ", ".join(f"{u}-{v}" for u, v in registry.decode_pattern(items))
+        print(f"  #{rank:<2} support={support:<4} edges=[{edges}]")
+
+    # ------------------------------------------------------------------ #
+    # Time-fading: recent batches dominate the ranking.
+    # ------------------------------------------------------------------ #
+    print("\ntime-fading vs plain supports of the frequent edge pairs:")
+    plain = filter_connected_patterns(
+        TimeFadingVerticalMiner(decay=1.0).mine(matrix, 25), registry
+    )
+    faded = filter_connected_patterns(
+        TimeFadingVerticalMiner(decay=0.6).mine(matrix, 10), registry
+    )
+    pairs = sorted(
+        (items for items in plain if len(items) == 2),
+        key=lambda items: -plain[items],
+    )[:8]
+    print(f"  {'pattern':<12} {'window support':>15} {'faded support (decay=0.6)':>28}")
+    for items in pairs:
+        label = ",".join(sorted(items))
+        print(f"  {{{label}}}".ljust(14)
+              + f"{plain[items]:>13.0f}"
+              + f"{faded.get(items, 0.0):>28.2f}")
+    print("\npatterns concentrated in recent batches keep most of their faded weight;")
+    print("patterns whose occurrences sit in the oldest batches lose up to "
+          f"{(1 - 0.6 ** 4) * 100:.0f}% of it.")
+
+
+if __name__ == "__main__":
+    main()

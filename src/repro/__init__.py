@@ -1,0 +1,54 @@
+"""repro — frequent subgraph mining from streams of linked graph structured data.
+
+A from-scratch reproduction of Cuzzocrea, Jiang & Leung (EDBT/ICDT 2015
+Workshops): five limited-memory algorithms that mine collections of frequently
+co-occurring *connected* edges from a sliding window over a stream of graph
+snapshots, backed by the on-disk DSMatrix structure, with DSTree/DSTable
+baselines, a linked-data (RDF) ingestion layer, dataset generators and a full
+benchmark harness.
+
+Quickstart::
+
+    from repro import Edge, GraphSnapshot, StreamSubgraphMiner
+
+    snapshots = [
+        GraphSnapshot([Edge("v1", "v4"), Edge("v2", "v3"), Edge("v3", "v4")]),
+        GraphSnapshot([Edge("v1", "v2"), Edge("v2", "v4"), Edge("v3", "v4")]),
+    ]
+    miner = StreamSubgraphMiner(window_size=2, batch_size=3)
+    miner.add_snapshots(snapshots)
+    result = miner.mine(minsup=2)
+    for pattern in result:
+        print(pattern.sorted_items(), pattern.support)
+"""
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.core.patterns import FrequentPattern, MiningResult
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+from repro.storage.dsmatrix import DSMatrix
+from repro.storage.dstable import DSTable
+from repro.storage.dstree import DSTree
+from repro.stream.batch import Batch
+from repro.stream.stream import GraphStream, TransactionStream
+from repro.stream.window import SlidingWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Edge",
+    "GraphSnapshot",
+    "EdgeRegistry",
+    "Batch",
+    "SlidingWindow",
+    "GraphStream",
+    "TransactionStream",
+    "DSMatrix",
+    "DSTable",
+    "DSTree",
+    "StreamSubgraphMiner",
+    "FrequentPattern",
+    "MiningResult",
+    "__version__",
+]

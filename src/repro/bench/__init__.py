@@ -1,0 +1,33 @@
+"""Benchmark harness: metrics, workload preparation, experiment drivers, reports.
+
+Each experiment of the paper's §5 has a driver in
+:mod:`repro.bench.experiments`; the pytest-benchmark files under
+``benchmarks/`` and the CLI's ``bench`` subcommand call these drivers.
+"""
+
+from repro.bench.harness import (
+    RunResult,
+    WorkloadSpec,
+    build_edge_workload,
+    build_itemset_workload,
+    prepare_window,
+    run_baseline_miner,
+    run_dsmatrix_algorithm,
+)
+from repro.bench.metrics import MemoryMeter, Timer, deep_sizeof
+from repro.bench.report import format_table, rows_to_markdown
+
+__all__ = [
+    "Timer",
+    "MemoryMeter",
+    "deep_sizeof",
+    "WorkloadSpec",
+    "RunResult",
+    "build_edge_workload",
+    "build_itemset_workload",
+    "prepare_window",
+    "run_dsmatrix_algorithm",
+    "run_baseline_miner",
+    "format_table",
+    "rows_to_markdown",
+]

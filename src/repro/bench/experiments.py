@@ -1,0 +1,349 @@
+"""Experiment drivers reproducing §5 of the paper (see DESIGN.md §4).
+
+Every driver returns a dictionary with at least a ``rows`` list (one dict per
+table row / figure point) so the pytest benchmarks, the CLI and EXPERIMENTS.md
+all share the same code path.  A ``scale`` preset controls the workload size:
+
+* ``"tiny"``   — seconds, used by the unit/benchmark suite;
+* ``"small"``  — tens of seconds, used by the CLI default;
+* ``"paper"``  — batch size 6000 and window 5, approximating the paper's
+  setting (minutes; run explicitly when desired).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    RunResult,
+    WorkloadSpec,
+    build_edge_workload,
+    build_itemset_workload,
+    prepare_window,
+    run_baseline_miner,
+    run_dsmatrix_algorithm,
+)
+from repro.core.postprocess import filter_connected_patterns
+from repro.exceptions import DatasetError
+
+#: DSMatrix algorithms that mine *all* collections of frequent edges (§3).
+POSTPROCESSED_ALGORITHMS = ("fptree_multi", "fptree_single", "fptree_topdown", "vertical")
+#: The direct algorithm (§4).
+DIRECT_ALGORITHM = "vertical_direct"
+
+_SCALES: Dict[str, Dict[str, int]] = {
+    "tiny": {
+        "num_snapshots": 150,
+        "batch_size": 30,
+        "window_size": 5,
+        "num_vertices": 14,
+        "itemset_transactions": 300,
+        "itemset_batch": 60,
+    },
+    "small": {
+        "num_snapshots": 1500,
+        "batch_size": 300,
+        "window_size": 5,
+        "num_vertices": 24,
+        "itemset_transactions": 3000,
+        "itemset_batch": 600,
+    },
+    "paper": {
+        "num_snapshots": 30000,
+        "batch_size": 6000,
+        "window_size": 5,
+        "num_vertices": 40,
+        "itemset_transactions": 30000,
+        "itemset_batch": 6000,
+    },
+}
+
+
+def scale_parameters(scale: str) -> Dict[str, int]:
+    """The workload-size preset for ``scale``."""
+    try:
+        return dict(_SCALES[scale])
+    except KeyError:
+        raise DatasetError(
+            f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}"
+        ) from None
+
+
+def default_edge_workload(scale: str = "tiny", seed: int = 42) -> WorkloadSpec:
+    """The random-graph-stream workload used by most experiments."""
+    params = scale_parameters(scale)
+    return build_edge_workload(
+        name=f"random-graph[{scale}]",
+        num_vertices=params["num_vertices"],
+        avg_fanout=4.0,
+        avg_edges_per_snapshot=6.0,
+        num_snapshots=params["num_snapshots"],
+        batch_size=params["batch_size"],
+        window_size=params["window_size"],
+        seed=seed,
+    )
+
+
+def _default_minsup(workload: WorkloadSpec, fraction: float = 0.05) -> int:
+    window_transactions = workload.batch_size * workload.window_size
+    return max(2, int(window_transactions * fraction))
+
+
+# ---------------------------------------------------------------------- #
+# E1 — accuracy
+# ---------------------------------------------------------------------- #
+def experiment_accuracy(
+    scale: str = "tiny", minsup: Optional[int] = None, seed: int = 42
+) -> Dict[str, object]:
+    """Experiment 1: every structure/algorithm returns the same result sets."""
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+    matrix = prepare_window(workload)
+
+    all_collections: Dict[str, Dict] = {}
+    rows: List[Dict[str, object]] = []
+    for name in POSTPROCESSED_ALGORITHMS:
+        result = run_dsmatrix_algorithm(
+            name, matrix, workload, support, connected=False, keep_patterns=True
+        )
+        all_collections[name] = result.patterns or {}
+        rows.append(
+            {
+                "miner": name,
+                "structure": "DSMatrix",
+                "result": "all frequent collections",
+                "patterns": result.pattern_count,
+            }
+        )
+    for baseline in ("dstree", "dstable"):
+        result = run_baseline_miner(baseline, workload, support, keep_patterns=True)
+        all_collections[baseline] = result.patterns or {}
+        rows.append(
+            {
+                "miner": baseline,
+                "structure": baseline.upper(),
+                "result": "all frequent collections",
+                "patterns": result.pattern_count,
+            }
+        )
+
+    reference = all_collections[POSTPROCESSED_ALGORITHMS[0]]
+    all_equal = all(patterns == reference for patterns in all_collections.values())
+
+    # Connected subgraphs: direct algorithm vs vertical + exact post-processing.
+    direct = run_dsmatrix_algorithm(
+        DIRECT_ALGORITHM, matrix, workload, support, keep_patterns=True
+    )
+    post = filter_connected_patterns(
+        all_collections["vertical"], workload.registry, rule="exact"
+    )
+    rows.append(
+        {
+            "miner": DIRECT_ALGORITHM,
+            "structure": "DSMatrix",
+            "result": "connected subgraphs",
+            "patterns": direct.pattern_count,
+        }
+    )
+    rows.append(
+        {
+            "miner": "vertical + post-processing",
+            "structure": "DSMatrix",
+            "result": "connected subgraphs",
+            "patterns": len(post),
+        }
+    )
+    connected_equal = (direct.patterns or {}) == post
+
+    return {
+        "experiment": "E1-accuracy",
+        "workload": workload.name,
+        "minsup": support,
+        "rows": rows,
+        "all_collections_identical": all_equal,
+        "connected_results_identical": connected_equal,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# E2 — space efficiency
+# ---------------------------------------------------------------------- #
+def experiment_memory(
+    scale: str = "tiny", minsup: Optional[int] = None, seed: int = 42
+) -> Dict[str, object]:
+    """Experiment 2: memory ranking of the structures and algorithms."""
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+    matrix = prepare_window(workload)
+
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, RunResult] = {}
+    for baseline in ("dstree", "dstable"):
+        result = run_baseline_miner(baseline, workload, support)
+        results[baseline] = result
+        rows.append(_memory_row(result, structure=baseline.upper()))
+    for name in POSTPROCESSED_ALGORITHMS + (DIRECT_ALGORITHM,):
+        result = run_dsmatrix_algorithm(
+            name, matrix, workload, support, connected=(name == DIRECT_ALGORITHM)
+        )
+        results[name] = result
+        rows.append(_memory_row(result, structure="DSMatrix"))
+
+    return {
+        "experiment": "E2-memory",
+        "workload": workload.name,
+        "minsup": support,
+        "rows": rows,
+        "results": {name: result.as_row() for name, result in results.items()},
+    }
+
+
+def _memory_row(result: RunResult, structure: str) -> Dict[str, object]:
+    return {
+        "miner": result.algorithm,
+        "structure": structure,
+        "peak_mining_mem_kb": round(result.peak_memory_bytes / 1024.0, 1),
+        "window_structure_kb": round(result.structure_bytes / 1024.0, 1),
+        "max_concurrent_fptrees": result.stats.get("max_concurrent_fptrees", 0),
+        "max_fptree_nodes": result.stats.get("max_fptree_nodes", 0),
+        "patterns": result.pattern_count,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# E3 / Figure 2 — runtime of the two vertical algorithms
+# ---------------------------------------------------------------------- #
+def experiment_runtime_fig2(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    seeds: Sequence[int] = (41, 42, 43),
+    include_tree_algorithms: bool = True,
+) -> Dict[str, object]:
+    """Experiment 3 + Figure 2: runtimes, vertical vs direct (and tree-based).
+
+    The figure in the paper plots the runtime of algorithm 4 (vertical mining
+    with the post-processing step) and algorithm 5 (direct vertical mining)
+    over several datasets; each seed here is one dataset instance.
+    """
+    rows: List[Dict[str, object]] = []
+    for seed in seeds:
+        workload = default_edge_workload(scale, seed=seed)
+        support = minsup if minsup is not None else _default_minsup(workload)
+        matrix = prepare_window(workload)
+        dataset = f"{workload.name}#seed{seed}"
+        algorithms = (
+            POSTPROCESSED_ALGORITHMS + (DIRECT_ALGORITHM,)
+            if include_tree_algorithms
+            else ("vertical", DIRECT_ALGORITHM)
+        )
+        for name in algorithms:
+            connected = True  # every algorithm ends with connected output here
+            result = run_dsmatrix_algorithm(
+                name, matrix, workload, support, connected=connected
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "algorithm": name,
+                    "minsup": support,
+                    "runtime_s": round(result.runtime_seconds, 4),
+                    "patterns": result.pattern_count,
+                }
+            )
+    return {
+        "experiment": "E3-runtime-fig2",
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# E4 — effect of minsup
+# ---------------------------------------------------------------------- #
+def experiment_minsup_sweep(
+    scale: str = "tiny",
+    fractions: Sequence[float] = (0.02, 0.05, 0.10, 0.20),
+    algorithms: Sequence[str] = ("vertical", DIRECT_ALGORITHM),
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Additional experiment: runtime decreases when minsup increases."""
+    workload = default_edge_workload(scale, seed=seed)
+    matrix = prepare_window(workload)
+    window_transactions = matrix.num_columns
+    rows: List[Dict[str, object]] = []
+    for fraction in fractions:
+        support = max(1, int(window_transactions * fraction))
+        for name in algorithms:
+            result = run_dsmatrix_algorithm(
+                name, matrix, workload, support, connected=True
+            )
+            rows.append(
+                {
+                    "minsup_fraction": fraction,
+                    "minsup": support,
+                    "algorithm": name,
+                    "runtime_s": round(result.runtime_seconds, 4),
+                    "patterns": result.pattern_count,
+                }
+            )
+    return {
+        "experiment": "E4-minsup-sweep",
+        "workload": workload.name,
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# E5 — scalability with the number of batches
+# ---------------------------------------------------------------------- #
+def experiment_scalability(
+    scale: str = "tiny",
+    batch_counts: Sequence[int] = (5, 10, 20, 40),
+    algorithms: Sequence[str] = ("vertical", DIRECT_ALGORITHM),
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Additional experiment: total stream-processing time vs stream length.
+
+    For each stream length the full pipeline is timed: ingesting every batch
+    through the DSMatrix (with window slides) and mining once at the end.
+    """
+    params = scale_parameters(scale)
+    rows: List[Dict[str, object]] = []
+    for batches in batch_counts:
+        workload = build_edge_workload(
+            name=f"random-graph[{scale}]x{batches}",
+            num_vertices=params["num_vertices"],
+            avg_edges_per_snapshot=6.0,
+            num_snapshots=params["batch_size"] * batches,
+            batch_size=params["batch_size"],
+            window_size=params["window_size"],
+            seed=seed,
+        )
+        support = _default_minsup(workload)
+        from repro.bench.metrics import Timer  # local import to keep module load cheap
+
+        for name in algorithms:
+            with Timer() as timer:
+                matrix = prepare_window(workload)
+                run_dsmatrix_algorithm(name, matrix, workload, support, connected=True)
+            rows.append(
+                {
+                    "stream_batches": batches,
+                    "algorithm": name,
+                    "minsup": support,
+                    "total_runtime_s": round(timer.elapsed, 4),
+                }
+            )
+    return {
+        "experiment": "E5-scalability",
+        "rows": rows,
+    }
+
+
+#: Mapping of experiment ids to their drivers (used by the CLI).
+EXPERIMENTS = {
+    "e1": experiment_accuracy,
+    "e2": experiment_memory,
+    "e3": experiment_runtime_fig2,
+    "e4": experiment_minsup_sweep,
+    "e5": experiment_scalability,
+}

@@ -1,0 +1,87 @@
+"""Measurement utilities: wall-clock timing, peak memory, structure sizes."""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from typing import Any, Optional, Set
+
+
+class Timer:
+    """Context manager measuring wall-clock time with ``perf_counter``.
+
+    >>> with Timer() as timer:
+    ...     do_work()
+    >>> timer.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+
+
+class MemoryMeter:
+    """Context manager measuring peak Python allocations via ``tracemalloc``.
+
+    The peak is relative to the start of the block, so the figure reported is
+    "additional memory the mining run needed", which matches the paper's
+    space-efficiency comparison (the window structure itself is accounted
+    separately via :func:`deep_sizeof`).
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes: int = 0
+        self._was_tracing = False
+
+    def __enter__(self) -> "MemoryMeter":
+        self._was_tracing = tracemalloc.is_tracing()
+        if not self._was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _current, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = peak
+        if not self._was_tracing:
+            tracemalloc.stop()
+
+
+def deep_sizeof(obj: Any, _seen: Optional[Set[int]] = None) -> int:
+    """Approximate deep size of a Python object graph in bytes.
+
+    Follows dictionaries, sequences, sets and ``__slots__``/``__dict__``
+    attributes, counting every reachable object once.
+    """
+    seen = _seen if _seen is not None else set()
+    identity = id(obj)
+    if identity in seen:
+        return 0
+    seen.add(identity)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_sizeof(key, seen)
+            size += deep_sizeof(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for element in obj:
+            size += deep_sizeof(element, seen)
+    elif isinstance(obj, (str, bytes, bytearray, int, float, bool, type(None))):
+        return size
+    else:
+        if hasattr(obj, "__dict__"):
+            size += deep_sizeof(vars(obj), seen)
+        slots = getattr(type(obj), "__slots__", ())
+        for slot in slots:
+            if hasattr(obj, slot):
+                size += deep_sizeof(getattr(obj, slot), seen)
+    return size

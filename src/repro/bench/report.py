@@ -1,0 +1,59 @@
+"""Plain-text and markdown rendering of experiment result rows."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+Row = Dict[str, object]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    headers = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_format_value(row.get(col, "")) for col in headers] for row in rows]
+    widths = [
+        max(len(headers[i]), max(len(line[i]) for line in cells))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for line in cells:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(
+    rows: Sequence[Row], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    headers = list(columns) if columns is not None else list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(col, "")) for col in headers) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``demo``
+    Run the paper's running example (Examples 1-7) and print the 15 frequent
+    connected subgraphs.
+``generate``
+    Generate a synthetic dataset (random graph stream, IBM synthetic, or
+    connect4-like) and write it as a FIMI transaction file.
+``mine``
+    Mine a FIMI transaction file with a sliding window and one of the five
+    algorithms.
+``bench``
+    Run one of the paper's experiments (e1-e5) and print its table.
+
+Run ``python -m repro --help`` for the full option reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import format_table
+from repro.core.algorithms import ALGORITHMS
+from repro.core.export import result_to_csv, result_to_json
+from repro.core.miner import StreamSubgraphMiner
+from repro.datasets.connect4 import Connect4LikeGenerator
+from repro.datasets.fimi import read_fimi, write_fimi
+from repro.datasets.paper_example import paper_example_batches, paper_example_registry
+from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
+from repro.datasets.synthetic import IBMSyntheticGenerator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frequent subgraph mining from streams of linked graph structured data",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the paper's running example")
+    demo.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="vertical_direct",
+        help="mining algorithm to use",
+    )
+    demo.add_argument("--minsup", type=int, default=2, help="absolute minimum support")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("output", help="FIMI file to write")
+    generate.add_argument(
+        "--kind",
+        choices=("graph", "ibm", "connect4"),
+        default="graph",
+        help="dataset family",
+    )
+    generate.add_argument("--count", type=int, default=1000, help="number of transactions")
+    generate.add_argument("--vertices", type=int, default=20, help="graph model vertices")
+    generate.add_argument("--fanout", type=float, default=4.0, help="graph model average fan-out")
+    generate.add_argument("--seed", type=int, default=42, help="random seed")
+
+    mine = subparsers.add_parser("mine", help="mine a FIMI transaction file")
+    mine.add_argument("input", help="FIMI file to read")
+    mine.add_argument("--minsup", type=float, default=0.1, help="absolute or relative minsup")
+    mine.add_argument("--batch-size", type=int, default=1000, help="transactions per batch")
+    mine.add_argument("--window", type=int, default=5, help="window size in batches")
+    mine.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="vertical",
+        help="mining algorithm to use",
+    )
+    mine.add_argument("--top", type=int, default=20, help="number of patterns to print")
+    mine.add_argument(
+        "--all-collections",
+        action="store_true",
+        help="report all frequent edge collections (skip the connectivity filter)",
+    )
+    mine.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="output format for the discovered patterns",
+    )
+    mine.add_argument(
+        "--output",
+        default=None,
+        help="write the formatted patterns to this file instead of stdout",
+    )
+
+    bench = subparsers.add_parser("bench", help="run one of the paper's experiments")
+    bench.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    bench.add_argument(
+        "--scale", choices=("tiny", "small", "paper"), default="small", help="workload size"
+    )
+    bench.add_argument("--json", action="store_true", help="print raw JSON instead of a table")
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# subcommand implementations
+# ---------------------------------------------------------------------- #
+def _cmd_demo(args: argparse.Namespace) -> int:
+    registry = paper_example_registry()
+    batches = paper_example_batches()
+    miner = StreamSubgraphMiner(
+        window_size=2, batch_size=3, algorithm=args.algorithm, registry=registry
+    )
+    for batch in batches:
+        miner.add_batch(batch)
+    result = miner.mine(minsup=args.minsup, connected_only=True)
+    print(f"window holds {miner.transaction_count} graphs; minsup={args.minsup}")
+    print(f"{len(result)} frequent connected subgraphs:")
+    for pattern in result:
+        edges = ", ".join(f"{u}-{v}" for u, v in sorted(registry.decode_pattern(pattern.items)))
+        print(f"  {{{','.join(pattern.sorted_items())}}}  support={pattern.support}  edges=[{edges}]")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "graph":
+        model = RandomGraphModel(
+            num_vertices=args.vertices, avg_fanout=args.fanout, seed=args.seed
+        )
+        registry = model.registry()
+        generator = GraphStreamGenerator(model, seed=args.seed + 1)
+        transactions = [
+            registry.encode(snapshot, register_new=False)
+            for snapshot in generator.snapshots(args.count)
+        ]
+    elif args.kind == "ibm":
+        transactions = IBMSyntheticGenerator(seed=args.seed).generate(args.count)
+    else:
+        transactions = Connect4LikeGenerator(seed=args.seed).generate(args.count)
+    path = write_fimi(args.output, transactions)
+    print(f"wrote {len(transactions)} transactions to {path}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    transactions = read_fimi(args.input)
+    miner = StreamSubgraphMiner(
+        window_size=args.window, batch_size=args.batch_size, algorithm=args.algorithm
+    )
+    miner.add_transactions(transactions)
+    minsup = args.minsup if args.minsup < 1 else int(args.minsup)
+    connected = not args.all_collections
+    if connected and args.algorithm != "vertical_direct":
+        # Connectivity needs edge semantics; FIMI files carry bare items, so
+        # default to reporting all collections unless the direct algorithm
+        # (which requires a registry anyway) was requested.
+        connected = False
+    result = miner.mine(minsup, connected_only=connected)
+    if args.format == "json":
+        rendered = result_to_json(result, miner.registry)
+    elif args.format == "csv":
+        rendered = result_to_csv(result)
+    else:
+        lines = [
+            f"{len(result)} frequent patterns "
+            f"(window of {miner.transaction_count} transactions)"
+        ]
+        for pattern in result.top(args.top):
+            lines.append(
+                f"  {{{','.join(pattern.sorted_items())}}}  support={pattern.support}"
+            )
+        rendered = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {len(result)} patterns to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.experiment]
+    outcome = driver(scale=args.scale)
+    if args.json:
+        print(json.dumps(outcome, indent=2, default=str))
+        return 0
+    rows = outcome.get("rows", [])
+    print(format_table(rows, title=str(outcome.get("experiment", args.experiment))))
+    for key, value in outcome.items():
+        if key in ("rows", "results"):
+            continue
+        print(f"{key}: {value}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "demo": _cmd_demo,
+        "generate": _cmd_generate,
+        "mine": _cmd_mine,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

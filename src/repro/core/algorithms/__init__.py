@@ -1,0 +1,69 @@
+"""The paper's five DSMatrix mining algorithms plus the two baselines.
+
+| Name | Class | Paper |
+|---|---|---|
+| ``fptree_multi``    | :class:`MultipleFPTreeMiner`       | §3.1 |
+| ``fptree_single``   | :class:`SingleFPTreeCountingMiner` | §3.2 |
+| ``fptree_topdown``  | :class:`TopDownFPTreeMiner`        | §3.3 |
+| ``vertical``        | :class:`VerticalMiner`             | §3.4 |
+| ``vertical_disk``   | :class:`VerticalDiskMiner`         | §3.4 variant, rows streamed from disk |
+| ``vertical_direct`` | :class:`VerticalDirectMiner`       | §4   |
+| ``dstree``          | :class:`DSTreeMiner`               | §2.1 baseline |
+| ``dstable``         | :class:`DSTableMiner`              | §2.2 baseline |
+
+Use :func:`get_algorithm` to instantiate by name.
+"""
+
+from typing import Dict, Type
+
+from repro.core.algorithms.base import MiningAlgorithm
+from repro.core.algorithms.baselines import DSTableMiner, DSTreeMiner
+from repro.core.algorithms.fptree_multi import MultipleFPTreeMiner
+from repro.core.algorithms.fptree_single import SingleFPTreeCountingMiner
+from repro.core.algorithms.fptree_topdown import TopDownFPTreeMiner
+from repro.core.algorithms.vertical import VerticalMiner
+from repro.core.algorithms.vertical_direct import VerticalDirectMiner
+from repro.core.algorithms.vertical_disk import VerticalDiskMiner
+from repro.exceptions import MiningError
+
+#: Registry of algorithm names to classes (DSMatrix algorithms only).
+ALGORITHMS: Dict[str, Type[MiningAlgorithm]] = {
+    MultipleFPTreeMiner.name: MultipleFPTreeMiner,
+    SingleFPTreeCountingMiner.name: SingleFPTreeCountingMiner,
+    TopDownFPTreeMiner.name: TopDownFPTreeMiner,
+    VerticalMiner.name: VerticalMiner,
+    VerticalDiskMiner.name: VerticalDiskMiner,
+    VerticalDirectMiner.name: VerticalDirectMiner,
+}
+
+#: All miners, including the DSTree / DSTable baselines.
+ALL_MINERS: Dict[str, type] = dict(ALGORITHMS)
+ALL_MINERS[DSTreeMiner.name] = DSTreeMiner
+ALL_MINERS[DSTableMiner.name] = DSTableMiner
+
+
+def get_algorithm(name: str, **kwargs) -> MiningAlgorithm:
+    """Instantiate a DSMatrix mining algorithm by its registry name."""
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise MiningError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "MiningAlgorithm",
+    "MultipleFPTreeMiner",
+    "SingleFPTreeCountingMiner",
+    "TopDownFPTreeMiner",
+    "VerticalMiner",
+    "VerticalDiskMiner",
+    "VerticalDirectMiner",
+    "DSTreeMiner",
+    "DSTableMiner",
+    "ALGORITHMS",
+    "ALL_MINERS",
+    "get_algorithm",
+]

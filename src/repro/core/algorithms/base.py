@@ -1,0 +1,110 @@
+"""Common interface and instrumentation for the DSMatrix mining algorithms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.exceptions import InvalidSupportError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.storage.dsmatrix import DSMatrix
+
+Items = FrozenSet[str]
+PatternCounts = Dict[Items, int]
+
+
+@dataclass
+class MiningStats:
+    """Instrumentation collected during one mining run.
+
+    These counters feed the space-efficiency experiment (E2): the number of
+    FP-trees simultaneously alive and their size are what distinguish the
+    multi-tree, single-tree and vertical algorithms in the paper's argument.
+    """
+
+    fptrees_built: int = 0
+    max_concurrent_fptrees: int = 0
+    max_fptree_nodes: int = 0
+    bitvector_intersections: int = 0
+    patterns_found: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flatten the stats into a plain dictionary (used by reports)."""
+        data = {
+            "fptrees_built": self.fptrees_built,
+            "max_concurrent_fptrees": self.max_concurrent_fptrees,
+            "max_fptree_nodes": self.max_fptree_nodes,
+            "bitvector_intersections": self.bitvector_intersections,
+            "patterns_found": self.patterns_found,
+        }
+        data.update(self.extra)
+        return data
+
+
+def resolve_minsup(minsup: float, transaction_count: int) -> int:
+    """Normalise a support threshold to an absolute count.
+
+    ``minsup`` may be an absolute integer (>= 1) or a relative fraction in
+    ``(0, 1)``; relative thresholds are converted with ceiling semantics so a
+    pattern is frequent when ``support >= ceil(minsup * |T|)``.
+    """
+    if isinstance(minsup, bool):
+        raise InvalidSupportError("minsup must be a number, not a boolean")
+    if minsup <= 0:
+        raise InvalidSupportError(f"minsup must be positive, got {minsup}")
+    if isinstance(minsup, float) and minsup < 1:
+        absolute = -(-minsup * transaction_count // 1)  # ceiling
+        return max(1, int(absolute))
+    if float(minsup) != int(minsup):
+        raise InvalidSupportError(
+            f"absolute minsup must be an integer, got {minsup}"
+        )
+    return int(minsup)
+
+
+class MiningAlgorithm(ABC):
+    """Base class of the five DSMatrix algorithms.
+
+    Subclasses implement :meth:`mine`, which returns *all* frequent patterns
+    (collections of frequent edges).  Algorithms whose output is already
+    restricted to connected subgraphs set ``produces_connected_only = True``
+    (only the direct algorithm of §4 does).
+    """
+
+    #: Registry name of the algorithm (used by :func:`get_algorithm` and the CLI).
+    name: str = "abstract"
+    #: Whether :meth:`mine` already excludes disconnected edge collections.
+    produces_connected_only: bool = False
+
+    def __init__(self) -> None:
+        self.stats = MiningStats()
+
+    def reset_stats(self) -> None:
+        """Clear instrumentation before a fresh run."""
+        self.stats = MiningStats()
+
+    @abstractmethod
+    def mine(
+        self,
+        matrix: DSMatrix,
+        minsup: int,
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        """Mine frequent edge collections from the DSMatrix.
+
+        Parameters
+        ----------
+        matrix:
+            The DSMatrix holding the current window.
+        minsup:
+            Absolute minimum support (use :func:`resolve_minsup` to convert
+            relative thresholds).
+        registry:
+            Edge registry; required by algorithms that need neighborhood
+            information (the direct algorithm), optional otherwise.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

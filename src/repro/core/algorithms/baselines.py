@@ -1,0 +1,160 @@
+"""Baseline stream miners over the DSTree and DSTable structures (§2.1-§2.2).
+
+These are not DSMatrix algorithms; they maintain their own window structure
+and exist so the accuracy and space experiments can compare the paper's
+proposal against the structures it improves upon.  Both expose the same
+two-step protocol as the facade: feed batches, then mine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.algorithms.base import MiningStats, PatternCounts
+from repro.exceptions import MiningError
+from repro.fptree.fpgrowth import FPGrowth
+from repro.graph.edge_registry import EdgeRegistry
+from repro.storage.dstable import DSTable
+from repro.storage.dstree import DSTree
+from repro.stream.batch import Batch
+
+Items = FrozenSet[str]
+
+
+class DSTreeMiner:
+    """Exact stream mining with an in-memory DSTree plus FP-growth.
+
+    The whole window lives in the DSTree in main memory and every projection
+    spawns FP-trees, which is why this baseline dominates the memory ranking
+    of experiment E2.
+
+    Two mining strategies are provided:
+
+    * ``"projection"`` (default, the §2.1 description) — for every item, the
+      {item}-projected database is formed by traversing the item's node-links
+      *upward* in the global DSTree; a local FP-tree is then grown for it.
+    * ``"rebuild"`` — the window's transactions are reconstructed from the
+      DSTree and handed to FP-growth in one go (a simpler but equivalent
+      formulation, kept for cross-checking).
+    """
+
+    name = "dstree"
+    produces_connected_only = False
+
+    _STRATEGIES = ("projection", "rebuild")
+
+    def __init__(self, window_size: int, strategy: str = "projection") -> None:
+        if strategy not in self._STRATEGIES:
+            raise MiningError(
+                f"unknown DSTree mining strategy {strategy!r}; "
+                f"expected one of {self._STRATEGIES}"
+            )
+        self._tree = DSTree(window_size=window_size)
+        self._strategy = strategy
+        self.stats = MiningStats()
+
+    @property
+    def structure(self) -> DSTree:
+        """The underlying DSTree (exposed for memory accounting)."""
+        return self._tree
+
+    @property
+    def strategy(self) -> str:
+        """The configured mining strategy (``projection`` or ``rebuild``)."""
+        return self._strategy
+
+    def append_batch(self, batch: Batch) -> None:
+        """Feed one batch into the window."""
+        self._tree.append_batch(batch)
+
+    def mine(
+        self, minsup: int, registry: Optional[EdgeRegistry] = None
+    ) -> PatternCounts:
+        """Mine every frequent edge collection in the current window."""
+        if minsup < 1:
+            raise MiningError(f"minsup must be >= 1, got {minsup}")
+        self.stats = MiningStats()
+        if self._strategy == "projection":
+            patterns = self._mine_by_projection(minsup)
+        else:
+            patterns = self._mine_by_rebuild(minsup)
+        self.stats.max_fptree_nodes = max(
+            self.stats.max_fptree_nodes, self._tree.node_count()
+        )
+        # The global DSTree itself also resides in memory during mining.
+        self.stats.extra["dstree_nodes"] = self._tree.node_count()
+        self.stats.patterns_found = len(patterns)
+        return patterns
+
+    def _mine_by_rebuild(self, minsup: int) -> PatternCounts:
+        miner = FPGrowth(minsup=minsup, order="canonical")
+        patterns = miner.mine(list(self._tree.weighted_transactions()))
+        self.stats.fptrees_built = miner.trees_built
+        self.stats.max_concurrent_fptrees = miner.max_concurrent_trees
+        self.stats.max_fptree_nodes = miner.max_tree_nodes
+        return patterns
+
+    def _mine_by_projection(self, minsup: int) -> PatternCounts:
+        """§2.1: upward traversal of node-links forms each projected database.
+
+        Because the DSTree stores items in canonical order, the prefix paths of
+        an item contain only items that come *before* it; mining the
+        {item}-projected database therefore yields every frequent itemset whose
+        canonically largest item is ``item``, and the union over all items is
+        complete and duplicate-free.
+        """
+        patterns: PatternCounts = {}
+        for item in self._tree.items():
+            support = self._tree.item_frequency(item)
+            if support < minsup:
+                continue
+            patterns[frozenset({item})] = support
+            projected = self._tree.projected_database(item)
+            if not projected:
+                continue
+            miner = FPGrowth(minsup=minsup, order="canonical")
+            patterns.update(miner.mine(projected, suffix={item}))
+            self.stats.fptrees_built += miner.trees_built
+            self.stats.max_concurrent_fptrees = max(
+                self.stats.max_concurrent_fptrees, miner.max_concurrent_trees
+            )
+            self.stats.max_fptree_nodes = max(
+                self.stats.max_fptree_nodes, miner.max_tree_nodes
+            )
+        return patterns
+
+
+class DSTableMiner:
+    """Exact stream mining with an on-disk DSTable plus FP-growth."""
+
+    name = "dstable"
+    produces_connected_only = False
+
+    def __init__(self, window_size: int, path=None) -> None:
+        self._table = DSTable(window_size=window_size, path=path)
+        self.stats = MiningStats()
+
+    @property
+    def structure(self) -> DSTable:
+        """The underlying DSTable (exposed for memory accounting)."""
+        return self._table
+
+    def append_batch(self, batch: Batch) -> None:
+        """Feed one batch into the window."""
+        self._table.append_batch(batch)
+
+    def mine(
+        self, minsup: int, registry: Optional[EdgeRegistry] = None
+    ) -> PatternCounts:
+        """Mine every frequent edge collection in the current window."""
+        if minsup < 1:
+            raise MiningError(f"minsup must be >= 1, got {minsup}")
+        self.stats = MiningStats()
+        miner = FPGrowth(minsup=minsup, order="canonical")
+        patterns = miner.mine(list(self._table.transactions()))
+        self.stats.fptrees_built = miner.trees_built
+        self.stats.max_concurrent_fptrees = miner.max_concurrent_trees
+        self.stats.max_fptree_nodes = miner.max_tree_nodes
+        self.stats.extra["dstable_pointers"] = self._table.pointer_count()
+        self.stats.patterns_found = len(patterns)
+        return patterns

@@ -1,0 +1,55 @@
+"""Algorithm 1 — mining with multiple recursive FP-trees (paper §3.1).
+
+For every frequent singleton edge ``x`` (in canonical order) the algorithm
+extracts the {x}-projected database from the DSMatrix (columns containing
+``x``, items after ``x`` in canonical order), builds an FP-tree for it and
+recursively builds conditional FP-trees for larger projections — the classic
+FP-growth recursion.  Multiple FP-trees are therefore alive simultaneously,
+which is exactly why this variant needs the most memory among the DSMatrix
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.fptree.fpgrowth import FPGrowth
+from repro.graph.edge_registry import EdgeRegistry
+from repro.storage.dsmatrix import DSMatrix
+
+
+class MultipleFPTreeMiner(MiningAlgorithm):
+    """Bottom-up mining with recursively constructed FP-trees."""
+
+    name = "fptree_multi"
+    produces_connected_only = False
+
+    def mine(
+        self,
+        matrix: DSMatrix,
+        minsup: int,
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        self.reset_stats()
+        patterns: PatternCounts = {}
+        frequent_singletons = matrix.frequent_items(minsup)
+        for item in frequent_singletons:
+            patterns[frozenset({item})] = matrix.item_frequency(item)
+
+        for item in frequent_singletons:
+            projected = matrix.projected_transactions(item, below_only=True)
+            if not projected:
+                continue
+            miner = FPGrowth(minsup=minsup, order="canonical")
+            found = miner.mine(projected, suffix={item})
+            patterns.update(found)
+            self.stats.fptrees_built += miner.trees_built
+            self.stats.max_concurrent_fptrees = max(
+                self.stats.max_concurrent_fptrees, miner.max_concurrent_trees
+            )
+            self.stats.max_fptree_nodes = max(
+                self.stats.max_fptree_nodes, miner.max_tree_nodes
+            )
+        self.stats.patterns_found = len(patterns)
+        return patterns

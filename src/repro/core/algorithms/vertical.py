@@ -1,0 +1,84 @@
+"""Algorithm 4 — vertical bit-vector mining (paper §3.4).
+
+Every DSMatrix row is a bit vector over the window's transaction columns.  The
+row sum of an item is its frequency; intersecting two bit vectors and counting
+the result gives the frequency of the pair, and so on.  The algorithm performs
+a depth-first enumeration over canonical item order (each extension only adds
+items later in the order, so every itemset is generated exactly once) and
+never materialises any tree — only the prefix's bit vector is kept per
+recursion level, which is why the vertical algorithms are the most
+memory-frugal of the five.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.graph.edge_registry import EdgeRegistry
+from repro.storage.bitvector import BitVector
+from repro.storage.dsmatrix import DSMatrix
+
+
+class VerticalMiner(MiningAlgorithm):
+    """Depth-first vertical (Eclat-style) mining over DSMatrix bit vectors."""
+
+    name = "vertical"
+    produces_connected_only = False
+
+    def mine(
+        self,
+        matrix: DSMatrix,
+        minsup: int,
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        self.reset_stats()
+        patterns: PatternCounts = {}
+        frequent_items = matrix.frequent_items(minsup)
+        rows: Dict[str, BitVector] = {item: matrix.row(item) for item in frequent_items}
+
+        for item in frequent_items:
+            patterns[frozenset({item})] = rows[item].count()
+
+        ordered: List[str] = list(frequent_items)  # canonical order
+        for index, item in enumerate(ordered):
+            self._extend(
+                prefix=(item,),
+                prefix_vector=rows[item],
+                start=index + 1,
+                ordered=ordered,
+                rows=rows,
+                minsup=minsup,
+                patterns=patterns,
+            )
+        self.stats.patterns_found = len(patterns)
+        return patterns
+
+    def _extend(
+        self,
+        prefix: Tuple[str, ...],
+        prefix_vector: BitVector,
+        start: int,
+        ordered: List[str],
+        rows: Dict[str, BitVector],
+        minsup: int,
+        patterns: PatternCounts,
+    ) -> None:
+        for index in range(start, len(ordered)):
+            item = ordered[index]
+            intersection = prefix_vector.intersect(rows[item])
+            self.stats.bitvector_intersections += 1
+            support = intersection.count()
+            if support < minsup:
+                continue
+            extended = prefix + (item,)
+            patterns[frozenset(extended)] = support
+            self._extend(
+                prefix=extended,
+                prefix_vector=intersection,
+                start=index + 1,
+                ordered=ordered,
+                rows=rows,
+                minsup=minsup,
+                patterns=patterns,
+            )

@@ -1,0 +1,129 @@
+"""Exporting mining results to JSON, CSV and Graphviz DOT.
+
+Downstream applications rarely stop at a Python object: dashboards want JSON,
+spreadsheets want CSV, and the discovered connected subgraphs are most easily
+inspected visually.  These helpers serialise a
+:class:`~repro.core.patterns.MiningResult` (optionally together with the
+:class:`~repro.graph.edge_registry.EdgeRegistry` that decodes items back to
+vertex pairs) without adding any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional
+
+from repro.core.patterns import FrequentPattern, MiningResult
+from repro.graph.edge_registry import EdgeRegistry
+
+
+def _pattern_record(
+    pattern: FrequentPattern, registry: Optional[EdgeRegistry]
+) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "items": list(pattern.sorted_items()),
+        "support": pattern.support,
+        "size": pattern.size,
+    }
+    if pattern.edges is not None:
+        record["edges"] = [
+            {"u": str(edge.u), "v": str(edge.v), "label": edge.label}
+            for edge in sorted(pattern.edges, key=lambda e: e.sort_key())
+        ]
+        record["connected"] = pattern.is_connected()
+    elif registry is not None and all(item in registry for item in pattern.items):
+        record["edges"] = [
+            {"u": str(u), "v": str(v), "label": None}
+            for u, v in registry.decode_pattern(pattern.items)
+        ]
+    return record
+
+
+def result_to_json(
+    result: MiningResult,
+    registry: Optional[EdgeRegistry] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """Serialise a mining result to a JSON document (a list of pattern records)."""
+    records = [_pattern_record(pattern, registry) for pattern in result]
+    return json.dumps(records, indent=indent, sort_keys=False)
+
+
+def result_to_csv(result: MiningResult) -> str:
+    """Serialise a mining result to CSV with columns ``items,size,support``.
+
+    Items within a pattern are joined with ``;`` so the CSV stays one row per
+    pattern.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["items", "size", "support"])
+    for pattern in result:
+        writer.writerow([";".join(pattern.sorted_items()), pattern.size, pattern.support])
+    return buffer.getvalue()
+
+
+def pattern_to_dot(
+    pattern: FrequentPattern,
+    registry: Optional[EdgeRegistry] = None,
+    graph_name: str = "pattern",
+) -> str:
+    """Render one pattern as an undirected Graphviz graph.
+
+    Edge labels show the item symbol (and the pattern support on the graph
+    label), so the output can be piped straight into ``dot -Tpng``.
+    """
+    lines: List[str] = [f"graph {graph_name} {{"]
+    lines.append(f'  label="support={pattern.support}";')
+    edges = pattern.edges
+    if edges is None and registry is not None:
+        edges = registry.decode(pattern.items)
+    if edges is None:
+        # Without edge information the items become isolated labelled nodes.
+        for item in pattern.sorted_items():
+            lines.append(f'  "{item}";')
+    else:
+        decoded = {edge: None for edge in edges}
+        if registry is not None:
+            for edge in edges:
+                if edge in registry:
+                    decoded[edge] = registry.item_for(edge)
+        for edge in sorted(decoded, key=lambda e: e.sort_key()):
+            label = decoded[edge] or (edge.label or "")
+            suffix = f' [label="{label}"]' if label else ""
+            lines.append(f'  "{edge.u}" -- "{edge.v}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def result_to_dot(
+    result: MiningResult,
+    registry: Optional[EdgeRegistry] = None,
+    max_patterns: int = 20,
+) -> str:
+    """Render the top patterns of a result as one Graphviz document.
+
+    Each pattern becomes a subgraph cluster; patterns are ordered by support
+    and truncated to ``max_patterns`` to keep the output readable.
+    """
+    lines: List[str] = ["graph patterns {"]
+    for index, pattern in enumerate(result.top(max_patterns)):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="#{index + 1} support={pattern.support}";')
+        edges = pattern.edges
+        if edges is None and registry is not None:
+            try:
+                edges = registry.decode(pattern.items)
+            except Exception:  # pragma: no cover - defensive
+                edges = None
+        if edges is None:
+            for item in pattern.sorted_items():
+                lines.append(f'    "p{index}_{item}";')
+        else:
+            for edge in sorted(edges, key=lambda e: e.sort_key()):
+                lines.append(f'    "p{index}_{edge.u}" -- "p{index}_{edge.v}";')
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,231 @@
+"""High-level facade: stream in graph snapshots, mine frequent connected subgraphs.
+
+:class:`StreamSubgraphMiner` wires together the pieces a user needs:
+
+* an :class:`~repro.graph.edge_registry.EdgeRegistry` that turns graph
+  snapshots into canonical edge transactions,
+* a :class:`~repro.storage.dsmatrix.DSMatrix` that keeps the sliding window on
+  disk (or in memory for small experiments),
+* one of the five mining algorithms, and
+* the connectivity post-processing of §3.5 for the algorithms that need it.
+
+Typical usage::
+
+    miner = StreamSubgraphMiner(window_size=2, batch_size=3)
+    miner.add_snapshots(snapshots)           # or add_batch / consume
+    result = miner.mine(minsup=2)            # MiningResult of connected patterns
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.algorithms import ALGORITHMS, get_algorithm
+from repro.core.algorithms.base import MiningAlgorithm, resolve_minsup
+from repro.core.patterns import MiningResult
+from repro.core.postprocess import filter_connected_patterns
+from repro.exceptions import MiningError, StreamError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+from repro.storage.dsmatrix import DSMatrix
+from repro.stream.batch import Batch
+from repro.stream.stream import GraphStream
+
+
+class StreamSubgraphMiner:
+    """Facade over the stream → DSMatrix → algorithm → post-processing pipeline.
+
+    Parameters
+    ----------
+    window_size:
+        Number of batches retained in the sliding window (``w``).
+    batch_size:
+        Number of snapshots per batch when feeding raw snapshots through
+        :meth:`add_snapshots`.  Ignored when batches are supplied directly.
+    algorithm:
+        Algorithm name (one of :data:`repro.core.algorithms.ALGORITHMS`) or an
+        already-instantiated :class:`MiningAlgorithm`.  Defaults to the
+        paper's direct vertical algorithm (§4).
+    registry:
+        Optional pre-populated edge registry.  A fresh one is created when
+        omitted and new edges are registered as they stream in.
+    item_universe:
+        Optional fixed set of item symbols for the DSMatrix rows.
+    storage_path:
+        Optional path; when given the DSMatrix persists itself there after
+        every batch (the paper's on-disk behaviour).
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        batch_size: int = 1000,
+        algorithm: Union[str, MiningAlgorithm] = "vertical_direct",
+        registry: Optional[EdgeRegistry] = None,
+        item_universe: Optional[Sequence[str]] = None,
+        storage_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise StreamError(f"batch_size must be positive, got {batch_size}")
+        self._registry = registry if registry is not None else EdgeRegistry()
+        self._matrix = DSMatrix(
+            window_size=window_size, items=item_universe, path=storage_path
+        )
+        self._batch_size = batch_size
+        self._pending: list = []
+        self._batches_consumed = 0
+        self._algorithm = self._resolve_algorithm(algorithm)
+
+    @staticmethod
+    def _resolve_algorithm(algorithm: Union[str, MiningAlgorithm]) -> MiningAlgorithm:
+        if isinstance(algorithm, MiningAlgorithm):
+            return algorithm
+        if isinstance(algorithm, str):
+            return get_algorithm(algorithm)
+        raise MiningError(
+            f"algorithm must be a name or a MiningAlgorithm, got {algorithm!r}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self) -> EdgeRegistry:
+        """The edge registry used to encode snapshots."""
+        return self._registry
+
+    @property
+    def matrix(self) -> DSMatrix:
+        """The DSMatrix holding the current window."""
+        return self._matrix
+
+    @property
+    def algorithm(self) -> MiningAlgorithm:
+        """The configured mining algorithm."""
+        return self._algorithm
+
+    @algorithm.setter
+    def algorithm(self, algorithm: Union[str, MiningAlgorithm]) -> None:
+        self._algorithm = self._resolve_algorithm(algorithm)
+
+    @property
+    def window_size(self) -> int:
+        """The sliding-window size ``w``."""
+        return self._matrix.window_size
+
+    @property
+    def batches_consumed(self) -> int:
+        """Number of batches fed so far (including those already evicted)."""
+        return self._batches_consumed
+
+    @property
+    def transaction_count(self) -> int:
+        """Transactions currently in the window."""
+        return self._matrix.num_columns
+
+    # ------------------------------------------------------------------ #
+    # feeding the stream
+    # ------------------------------------------------------------------ #
+    def add_batch(self, batch: Batch) -> None:
+        """Append one ready-made batch of transactions to the window."""
+        self._matrix.append_batch(batch)
+        self._batches_consumed += 1
+
+    def add_transactions(self, transactions: Iterable[Sequence[str]]) -> None:
+        """Append raw transactions, buffering them into batches of ``batch_size``."""
+        for transaction in transactions:
+            self._pending.append(tuple(transaction))
+            if len(self._pending) == self._batch_size:
+                self.flush_pending()
+
+    def add_snapshots(self, snapshots: Iterable[GraphSnapshot]) -> None:
+        """Encode and append graph snapshots, buffering into batches."""
+        self.add_transactions(
+            self._registry.encode(snapshot) for snapshot in snapshots
+        )
+
+    def flush_pending(self) -> None:
+        """Force the buffered snapshots/transactions into a (possibly small) batch."""
+        if not self._pending:
+            return
+        self.add_batch(Batch(self._pending, batch_id=self._batches_consumed))
+        self._pending = []
+
+    def consume(self, stream: Union[GraphStream, Iterable[Batch]]) -> None:
+        """Consume an entire stream of batches (or a GraphStream)."""
+        if isinstance(stream, GraphStream):
+            if stream.registry is not self._registry:
+                raise StreamError(
+                    "the GraphStream must share the miner's EdgeRegistry; "
+                    "pass registry=miner.registry when building the stream"
+                )
+            for batch in stream.batches():
+                self.add_batch(batch)
+            return
+        for batch in stream:
+            if not isinstance(batch, Batch):
+                raise StreamError(f"expected Batch instances, got {type(batch).__name__}")
+            self.add_batch(batch)
+
+    # ------------------------------------------------------------------ #
+    # mining
+    # ------------------------------------------------------------------ #
+    def mine(
+        self,
+        minsup: float,
+        connected_only: bool = True,
+        rule: str = "exact",
+        algorithm: Optional[Union[str, MiningAlgorithm]] = None,
+    ) -> MiningResult:
+        """Mine the current window.
+
+        Parameters
+        ----------
+        minsup:
+            Absolute (integer >= 1) or relative (float in (0, 1)) minimum
+            support.
+        connected_only:
+            Return only connected subgraphs (default).  With ``False`` every
+            collection of frequent edges is returned — not available for the
+            direct algorithm, which never generates disconnected collections.
+        rule:
+            Connectivity rule for the post-processing step: ``"exact"`` or
+            ``"paper"`` (see DESIGN.md).
+        algorithm:
+            Optional per-call algorithm override.
+        """
+        self.flush_pending()
+        miner = self._algorithm if algorithm is None else self._resolve_algorithm(algorithm)
+        absolute = resolve_minsup(minsup, self._matrix.num_columns)
+        counts = miner.mine(self._matrix, absolute, registry=self._registry)
+        if connected_only:
+            if not miner.produces_connected_only:
+                counts = filter_connected_patterns(counts, self._registry, rule=rule)
+        elif miner.produces_connected_only:
+            raise MiningError(
+                f"algorithm {miner.name!r} mines connected subgraphs directly; "
+                "it cannot return disconnected collections"
+            )
+        return MiningResult.from_counts(counts, registry=self._registry)
+
+    def mine_all_collections(
+        self,
+        minsup: float,
+        algorithm: Optional[Union[str, MiningAlgorithm]] = None,
+    ) -> MiningResult:
+        """Mine every collection of frequent edges (connected or disjoint)."""
+        return self.mine(
+            minsup, connected_only=False, algorithm=algorithm
+        )
+
+    def available_algorithms(self) -> Sequence[str]:
+        """Names of the algorithms that can be passed to :meth:`mine`."""
+        return tuple(sorted(ALGORITHMS))
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamSubgraphMiner(window={self.window_size}, "
+            f"algorithm={self._algorithm.name!r}, "
+            f"transactions={self.transaction_count})"
+        )

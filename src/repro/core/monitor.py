@@ -1,0 +1,172 @@
+"""Continuous monitoring of frequent connected subgraphs over a stream.
+
+The paper's mining is "delayed until needed"; in practice a stream application
+asks the same question after every few batches and cares about *what changed*:
+which connected structures became frequent, which faded out, and whose support
+moved.  :class:`PatternMonitor` wraps a
+:class:`~repro.core.miner.StreamSubgraphMiner`, re-mines on a configurable
+cadence and reports :class:`WindowDelta` objects describing the evolution of
+the result set between consecutive mining points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.core.patterns import MiningResult
+from repro.exceptions import MiningError
+from repro.stream.batch import Batch
+
+Items = FrozenSet[str]
+
+
+@dataclass
+class WindowDelta:
+    """Difference between two consecutive mining results.
+
+    Attributes
+    ----------
+    batch_index:
+        Number of batches consumed when this delta was produced.
+    emerged:
+        Patterns frequent now but not at the previous mining point.
+    faded:
+        Patterns frequent previously but not any more.
+    support_changes:
+        Patterns frequent at both points whose support changed, mapped to
+        ``(previous support, current support)``.
+    result:
+        The full current mining result.
+    """
+
+    batch_index: int
+    emerged: Dict[Items, int] = field(default_factory=dict)
+    faded: Dict[Items, int] = field(default_factory=dict)
+    support_changes: Dict[Items, tuple] = field(default_factory=dict)
+    result: Optional[MiningResult] = None
+
+    @property
+    def is_stable(self) -> bool:
+        """True when nothing emerged, faded, or changed support."""
+        return not self.emerged and not self.faded and not self.support_changes
+
+    def summary(self) -> str:
+        """One-line human-readable description of the delta."""
+        return (
+            f"batch {self.batch_index}: +{len(self.emerged)} emerged, "
+            f"-{len(self.faded)} faded, {len(self.support_changes)} support changes"
+        )
+
+
+class PatternMonitor:
+    """Re-mine the window on a fixed cadence and report result deltas.
+
+    Parameters
+    ----------
+    miner:
+        The stream miner to monitor (it keeps the window and the algorithm).
+    minsup:
+        Support threshold passed to every mining call (absolute or relative).
+    every_batches:
+        Mine after every ``every_batches`` consumed batches (default 1).
+    connected_only / rule:
+        Forwarded to :meth:`StreamSubgraphMiner.mine`.
+    """
+
+    def __init__(
+        self,
+        miner: StreamSubgraphMiner,
+        minsup: float,
+        every_batches: int = 1,
+        connected_only: bool = True,
+        rule: str = "exact",
+    ) -> None:
+        if every_batches < 1:
+            raise MiningError(f"every_batches must be >= 1, got {every_batches}")
+        self._miner = miner
+        self._minsup = minsup
+        self._every_batches = every_batches
+        self._connected_only = connected_only
+        self._rule = rule
+        self._previous: Optional[Dict[Items, int]] = None
+        self._batches_since_last_mine = 0
+        self._deltas: List[WindowDelta] = []
+
+    @property
+    def miner(self) -> StreamSubgraphMiner:
+        """The monitored stream miner."""
+        return self._miner
+
+    @property
+    def deltas(self) -> List[WindowDelta]:
+        """Every delta produced so far, in order."""
+        return list(self._deltas)
+
+    @property
+    def last_result(self) -> Optional[Dict[Items, int]]:
+        """The most recent pattern -> support mapping (``None`` before mining)."""
+        return dict(self._previous) if self._previous is not None else None
+
+    # ------------------------------------------------------------------ #
+    # feeding
+    # ------------------------------------------------------------------ #
+    def observe_batch(self, batch: Batch) -> Optional[WindowDelta]:
+        """Feed one batch; mine and return a delta when the cadence is reached."""
+        self._miner.add_batch(batch)
+        self._batches_since_last_mine += 1
+        if self._batches_since_last_mine < self._every_batches:
+            return None
+        self._batches_since_last_mine = 0
+        return self._mine_and_diff()
+
+    def observe_stream(self, batches: Iterable[Batch]) -> List[WindowDelta]:
+        """Feed many batches and collect every produced delta."""
+        produced: List[WindowDelta] = []
+        for batch in batches:
+            delta = self.observe_batch(batch)
+            if delta is not None:
+                produced.append(delta)
+        return produced
+
+    def force_mine(self) -> WindowDelta:
+        """Mine immediately regardless of the cadence."""
+        self._batches_since_last_mine = 0
+        return self._mine_and_diff()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _mine_and_diff(self) -> WindowDelta:
+        result = self._miner.mine(
+            self._minsup, connected_only=self._connected_only, rule=self._rule
+        )
+        current = result.to_dict()
+        previous = self._previous if self._previous is not None else {}
+
+        emerged = {
+            items: support
+            for items, support in current.items()
+            if items not in previous
+        }
+        faded = {
+            items: support
+            for items, support in previous.items()
+            if items not in current
+        }
+        support_changes = {
+            items: (previous[items], support)
+            for items, support in current.items()
+            if items in previous and previous[items] != support
+        }
+        delta = WindowDelta(
+            batch_index=self._miner.batches_consumed,
+            emerged=emerged,
+            faded=faded,
+            support_changes=support_changes,
+            result=result,
+        )
+        self._previous = current
+        self._deltas.append(delta)
+        return delta

@@ -1,0 +1,49 @@
+"""Dataset generators and file IO used by the examples, tests and benchmarks.
+
+Because the evaluation machines have no network access, the paper's data
+sources are substituted by local generators that reproduce their *shape*
+(density, transaction length, domain size) — see DESIGN.md §3:
+
+* :mod:`~repro.datasets.random_graphs` — the "Java-based random graph model
+  generator" (topology, average fan-out, edge centrality);
+* :mod:`~repro.datasets.synthetic` — IBM Quest-style synthetic transactions;
+* :mod:`~repro.datasets.connect4` — a connect4-like dense transaction set
+  (~43 items per record, 129-item domain);
+* :mod:`~repro.datasets.fimi` — FIMI file format reader/writer;
+* :mod:`~repro.datasets.paper_example` — the exact running example of the
+  paper (Examples 1-7), used by the unit tests.
+"""
+
+from repro.datasets.connect4 import Connect4LikeGenerator
+from repro.datasets.fimi import read_fimi, write_fimi
+from repro.datasets.paper_example import (
+    paper_example_batches,
+    paper_example_registry,
+    paper_example_snapshots,
+)
+from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
+from repro.datasets.stats import (
+    SnapshotStats,
+    TransactionStats,
+    item_support_distribution,
+    snapshot_stats,
+    transaction_stats,
+)
+from repro.datasets.synthetic import IBMSyntheticGenerator
+
+__all__ = [
+    "RandomGraphModel",
+    "GraphStreamGenerator",
+    "IBMSyntheticGenerator",
+    "Connect4LikeGenerator",
+    "read_fimi",
+    "write_fimi",
+    "TransactionStats",
+    "SnapshotStats",
+    "transaction_stats",
+    "snapshot_stats",
+    "item_support_distribution",
+    "paper_example_registry",
+    "paper_example_snapshots",
+    "paper_example_batches",
+]

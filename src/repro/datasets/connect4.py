@@ -1,0 +1,96 @@
+"""A connect4-like dense transaction generator.
+
+The paper uses the UCI ``connect4`` dataset: 67,557 records, an average
+transaction length of 43 items, a 130-item domain, each record describing a
+legal 8-ply position of the Connect Four game.  The dataset cannot be
+downloaded in this offline environment, so this generator reproduces its
+*shape*, which is what drives the miners' behaviour:
+
+* a 42-position board (6 rows x 7 columns), each position taking one of three
+  states (blank / player x / player o) — items ``p{pos}_{state}``;
+* one class item per record (win / loss / draw);
+* every record therefore has exactly 43 items out of a 129-item domain;
+* the state distribution is heavily skewed towards "blank" for high board
+  positions (8-ply games have at most 8 discs), which makes many items occur
+  in almost every record — the density that stresses the mining structures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import DatasetError
+
+Transaction = Tuple[str, ...]
+
+_ROWS = 6
+_COLUMNS = 7
+_STATES = ("b", "x", "o")
+_OUTCOMES = ("win", "loss", "draw")
+
+
+class Connect4LikeGenerator:
+    """Dense transactions mimicking the UCI connect4 dataset.
+
+    Parameters
+    ----------
+    plies:
+        Number of discs on the board in every generated position (the UCI
+        dataset uses 8-ply positions).
+    seed:
+        Seed of the internal random generator.
+    """
+
+    def __init__(self, plies: int = 8, seed: int = 0) -> None:
+        if plies < 0 or plies > _ROWS * _COLUMNS:
+            raise DatasetError(f"plies must be in [0, {_ROWS * _COLUMNS}], got {plies}")
+        self.plies = plies
+        self._rng = random.Random(seed)
+
+    @property
+    def domain_size(self) -> int:
+        """Number of distinct items that can appear (42 * 3 states + 3 outcomes)."""
+        return _ROWS * _COLUMNS * len(_STATES) + len(_OUTCOMES)
+
+    @property
+    def transaction_length(self) -> int:
+        """Items per record (42 position items + 1 outcome item = 43)."""
+        return _ROWS * _COLUMNS + 1
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def transactions(self, count: int) -> Iterator[Transaction]:
+        """Yield ``count`` dense records."""
+        if count < 0:
+            raise DatasetError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            yield self._one_record()
+
+    def generate(self, count: int) -> List[Transaction]:
+        """Materialise ``count`` records as a list."""
+        return list(self.transactions(count))
+
+    def _one_record(self) -> Transaction:
+        # Drop `plies` discs into random columns, alternating players, exactly
+        # as a legal position would be reached.
+        heights = [0] * _COLUMNS
+        board = {}
+        player = 0
+        for _ in range(self.plies):
+            open_columns = [col for col in range(_COLUMNS) if heights[col] < _ROWS]
+            if not open_columns:
+                break
+            column = self._rng.choice(open_columns)
+            row = heights[column]
+            heights[column] += 1
+            board[(row, column)] = _STATES[1 + player]
+            player = 1 - player
+        items: List[str] = []
+        for row in range(_ROWS):
+            for column in range(_COLUMNS):
+                state = board.get((row, column), _STATES[0])
+                items.append(f"p{row}_{column}_{state}")
+        items.append(f"outcome_{self._rng.choice(_OUTCOMES)}")
+        return tuple(sorted(items))

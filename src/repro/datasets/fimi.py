@@ -1,0 +1,65 @@
+"""Reader and writer for the FIMI transaction file format.
+
+The Frequent Itemset Mining Implementations (FIMI) repository distributes
+datasets as plain text: one transaction per line, items separated by single
+spaces.  Items are kept as strings so symbolic edge labels round-trip
+unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.exceptions import DatasetError
+
+Transaction = Tuple[str, ...]
+
+
+def read_fimi(path: Union[str, Path]) -> List[Transaction]:
+    """Read a FIMI file into a list of transactions.
+
+    Blank lines are skipped; lines starting with ``#`` are treated as comments.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"FIMI file not found: {source}")
+    transactions: List[Transaction] = []
+    with open(source, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            transactions.append(tuple(stripped.split()))
+    return transactions
+
+
+def iter_fimi(path: Union[str, Path]) -> Iterator[Transaction]:
+    """Stream a FIMI file lazily (one transaction at a time)."""
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"FIMI file not found: {source}")
+    with open(source, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield tuple(stripped.split())
+
+
+def write_fimi(
+    path: Union[str, Path], transactions: Iterable[Sequence[str]]
+) -> Path:
+    """Write transactions to a FIMI file and return the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        for transaction in transactions:
+            items = [str(item) for item in transaction]
+            for item in items:
+                if " " in item or "\n" in item:
+                    raise DatasetError(
+                        f"item {item!r} contains whitespace and cannot be written to FIMI"
+                    )
+            handle.write(" ".join(items) + "\n")
+    return target

@@ -1,0 +1,126 @@
+"""The paper's running example (Example 1 and Figure 1).
+
+A stream of nine graphs over four vertices ``v1..v4``; edges are labelled
+``a``-``f`` exactly as in the paper:
+
+=====  ==========
+item   edge
+=====  ==========
+a      (v1, v2)
+b      (v1, v3)
+c      (v1, v4)
+d      (v2, v3)
+e      (v2, v4)
+f      (v3, v4)
+=====  ==========
+
+With a window of ``w = 2`` batches of three graphs each and ``minsup = 2``,
+mining the window holding batches B2-B3 (graphs E4-E9) yields 17 collections
+of frequent edges, of which 15 are connected subgraphs (Examples 2-6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+from repro.stream.batch import Batch
+
+#: item -> vertex pair, as in the paper's Table 1.
+PAPER_EDGE_TABLE = {
+    "a": ("v1", "v2"),
+    "b": ("v1", "v3"),
+    "c": ("v1", "v4"),
+    "d": ("v2", "v3"),
+    "e": ("v2", "v4"),
+    "f": ("v3", "v4"),
+}
+
+#: The nine streamed graphs E1-E9 as vertex pairs.
+PAPER_GRAPHS: List[List[Tuple[str, str]]] = [
+    [("v1", "v4"), ("v2", "v3"), ("v3", "v4")],                  # E1 = {c, d, f}
+    [("v1", "v2"), ("v2", "v4"), ("v3", "v4")],                  # E2 = {a, e, f}
+    [("v1", "v2"), ("v1", "v4"), ("v3", "v4")],                  # E3 = {a, c, f}
+    [("v1", "v2"), ("v1", "v4"), ("v2", "v3"), ("v3", "v4")],    # E4 = {a, c, d, f}
+    [("v1", "v2"), ("v2", "v3"), ("v2", "v4"), ("v3", "v4")],    # E5 = {a, d, e, f}
+    [("v1", "v2"), ("v1", "v3"), ("v1", "v4")],                  # E6 = {a, b, c}
+    [("v1", "v2"), ("v1", "v4"), ("v3", "v4")],                  # E7 = {a, c, f}
+    [("v1", "v2"), ("v1", "v4"), ("v2", "v3"), ("v3", "v4")],    # E8 = {a, c, d, f}
+    [("v1", "v3"), ("v1", "v4"), ("v2", "v3")],                  # E9 = {b, c, d}
+]
+
+#: Expected item transactions for E1-E9 (sanity reference for the tests).
+PAPER_TRANSACTIONS = [
+    ("c", "d", "f"),
+    ("a", "e", "f"),
+    ("a", "c", "f"),
+    ("a", "c", "d", "f"),
+    ("a", "d", "e", "f"),
+    ("a", "b", "c"),
+    ("a", "c", "f"),
+    ("a", "c", "d", "f"),
+    ("b", "c", "d"),
+]
+
+
+def paper_example_registry() -> EdgeRegistry:
+    """The edge registry of Table 1 (items ``a``-``f`` over ``v1``-``v4``)."""
+    registry = EdgeRegistry()
+    for symbol, (u, v) in PAPER_EDGE_TABLE.items():
+        registry.register(Edge(u, v), symbol)
+    return registry.freeze()
+
+
+def paper_example_snapshots() -> List[GraphSnapshot]:
+    """The nine streamed graphs E1-E9 as snapshots."""
+    return [
+        GraphSnapshot([Edge(u, v) for u, v in pairs], timestamp=index + 1)
+        for index, pairs in enumerate(PAPER_GRAPHS)
+    ]
+
+
+def paper_example_batches() -> List[Batch]:
+    """The three batches B1-B3 of three graphs each, already encoded as items."""
+    registry = paper_example_registry()
+    snapshots = paper_example_snapshots()
+    transactions = [registry.encode(snapshot, register_new=False) for snapshot in snapshots]
+    return [
+        Batch(transactions[0:3], batch_id=0),
+        Batch(transactions[3:6], batch_id=1),
+        Batch(transactions[6:9], batch_id=2),
+    ]
+
+
+#: The 17 collections of frequent edges found in Examples 2-5 (minsup = 2,
+#: window holding batches B2-B3), with their supports.
+PAPER_ALL_FREQUENT = {
+    frozenset({"a"}): 5,
+    frozenset({"b"}): 2,
+    frozenset({"c"}): 5,
+    frozenset({"d"}): 4,
+    frozenset({"f"}): 4,
+    frozenset({"a", "c"}): 4,
+    frozenset({"a", "c", "d"}): 2,
+    frozenset({"a", "c", "d", "f"}): 2,
+    frozenset({"a", "c", "f"}): 3,
+    frozenset({"a", "d"}): 3,
+    frozenset({"a", "d", "f"}): 3,
+    frozenset({"a", "f"}): 4,
+    frozenset({"b", "c"}): 2,
+    frozenset({"c", "d"}): 3,
+    frozenset({"c", "d", "f"}): 2,
+    frozenset({"c", "f"}): 3,
+    frozenset({"d", "f"}): 3,
+}
+
+#: The two collections pruned by the connectivity post-processing (§3.5).
+PAPER_DISCONNECTED = {frozenset({"a", "f"}), frozenset({"c", "d"})}
+
+#: The 15 frequent connected subgraphs returned to the user (Example 6).
+PAPER_CONNECTED_FREQUENT = {
+    items: support
+    for items, support in PAPER_ALL_FREQUENT.items()
+    if items not in PAPER_DISCONNECTED
+}

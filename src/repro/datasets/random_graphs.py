@@ -1,0 +1,266 @@
+"""Random graph models and graph-stream generation.
+
+The paper's evaluation "generated random graph models via a Java-based
+generator by varying model parameters (e.g., topology, average fan-out of
+nodes, edge centrality, etc.)" and then derived graph streams from those
+models.  This module is the Python substitute:
+
+* :class:`RandomGraphModel` builds an *edge universe* over ``n`` vertices
+  according to a topology (uniform, scale-free preferential attachment, or
+  ring/small-world), with a per-edge *centrality weight* controlling how often
+  the edge appears in streamed snapshots.
+* :class:`GraphStreamGenerator` samples snapshots from a model: each snapshot
+  is a weighted random subset of the model's edges, optionally with gradual
+  concept drift (the weights are slowly rotated so that the frequent patterns
+  change over time, exercising the sliding-window semantics).
+
+All randomness flows through an explicit ``random.Random(seed)`` so every
+dataset used by the tests and benchmarks is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DatasetError
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+
+TOPOLOGIES = ("uniform", "scale_free", "ring")
+
+
+class RandomGraphModel:
+    """An edge universe with per-edge centrality weights.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``v0 .. v{n-1}``.
+    avg_fanout:
+        Average number of incident model edges per vertex; determines the
+        number of edges in the universe (``n * avg_fanout / 2``).
+    topology:
+        ``"uniform"`` (edges chosen uniformly at random), ``"scale_free"``
+        (preferential attachment — a few hub vertices concentrate many edges)
+        or ``"ring"`` (a ring plus random chords, a small-world-like shape).
+    centrality_skew:
+        Exponent shaping the edge-weight distribution: 0 gives uniform edge
+        centrality, larger values make a few edges much more likely to appear
+        in any snapshot (denser streams).
+    seed:
+        Seed for the internal random generator.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        avg_fanout: float = 3.0,
+        topology: str = "uniform",
+        centrality_skew: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if num_vertices < 2:
+            raise DatasetError(f"need at least 2 vertices, got {num_vertices}")
+        if avg_fanout <= 0:
+            raise DatasetError(f"avg_fanout must be positive, got {avg_fanout}")
+        if topology not in TOPOLOGIES:
+            raise DatasetError(
+                f"unknown topology {topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if centrality_skew < 0:
+            raise DatasetError("centrality_skew must be non-negative")
+        self.num_vertices = num_vertices
+        self.avg_fanout = avg_fanout
+        self.topology = topology
+        self.centrality_skew = centrality_skew
+        self._rng = random.Random(seed)
+        self._edges, self._weights = self._build_universe()
+
+    # ------------------------------------------------------------------ #
+    # universe construction
+    # ------------------------------------------------------------------ #
+    def _vertex(self, index: int) -> str:
+        return f"v{index}"
+
+    def _target_edge_count(self) -> int:
+        max_edges = self.num_vertices * (self.num_vertices - 1) // 2
+        target = int(round(self.num_vertices * self.avg_fanout / 2))
+        return max(1, min(target, max_edges))
+
+    def _build_universe(self) -> Tuple[List[Edge], List[float]]:
+        if self.topology == "uniform":
+            edges = self._build_uniform()
+        elif self.topology == "scale_free":
+            edges = self._build_scale_free()
+        else:
+            edges = self._build_ring()
+        weights = self._assign_weights(len(edges))
+        return edges, weights
+
+    def _build_uniform(self) -> List[Edge]:
+        target = self._target_edge_count()
+        chosen: set = set()
+        while len(chosen) < target:
+            u = self._rng.randrange(self.num_vertices)
+            v = self._rng.randrange(self.num_vertices)
+            if u == v:
+                continue
+            chosen.add(Edge(self._vertex(u), self._vertex(v)))
+        return sorted(chosen, key=Edge.sort_key)
+
+    def _build_scale_free(self) -> List[Edge]:
+        target = self._target_edge_count()
+        degrees: Dict[int, int] = {0: 1, 1: 1}
+        chosen = {Edge(self._vertex(0), self._vertex(1))}
+        while len(chosen) < target:
+            # Preferential attachment: endpoints drawn proportionally to degree,
+            # new vertices mixed in so the whole universe gets covered.
+            u = self._rng.randrange(self.num_vertices)
+            population = list(degrees)
+            weights = [degrees[vertex] for vertex in population]
+            v = self._rng.choices(population, weights=weights, k=1)[0]
+            if u == v:
+                continue
+            edge = Edge(self._vertex(u), self._vertex(v))
+            if edge in chosen:
+                continue
+            chosen.add(edge)
+            degrees[u] = degrees.get(u, 0) + 1
+            degrees[v] = degrees.get(v, 0) + 1
+        return sorted(chosen, key=Edge.sort_key)
+
+    def _build_ring(self) -> List[Edge]:
+        chosen = {
+            Edge(self._vertex(i), self._vertex((i + 1) % self.num_vertices))
+            for i in range(self.num_vertices)
+        }
+        target = max(self._target_edge_count(), len(chosen))
+        while len(chosen) < target:
+            u = self._rng.randrange(self.num_vertices)
+            span = self._rng.randint(2, max(2, self.num_vertices // 2))
+            v = (u + span) % self.num_vertices
+            if u == v:
+                continue
+            chosen.add(Edge(self._vertex(u), self._vertex(v)))
+        return sorted(chosen, key=Edge.sort_key)
+
+    def _assign_weights(self, count: int) -> List[float]:
+        if self.centrality_skew == 0:
+            return [1.0] * count
+        # Zipf-like weights: w_i = 1 / rank^skew, shuffled across edges.
+        weights = [1.0 / ((rank + 1) ** self.centrality_skew) for rank in range(count)]
+        self._rng.shuffle(weights)
+        return weights
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> List[Edge]:
+        """The model's edge universe, in canonical order."""
+        return list(self._edges)
+
+    @property
+    def weights(self) -> List[float]:
+        """The centrality weight of each edge (parallel to :attr:`edges`)."""
+        return list(self._weights)
+
+    def registry(self) -> EdgeRegistry:
+        """An edge registry covering the whole universe."""
+        return EdgeRegistry.from_edges(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomGraphModel(vertices={self.num_vertices}, edges={len(self._edges)}, "
+            f"topology={self.topology!r})"
+        )
+
+
+class GraphStreamGenerator:
+    """Sample a stream of graph snapshots from a :class:`RandomGraphModel`.
+
+    Parameters
+    ----------
+    model:
+        The edge universe and centrality weights to sample from.
+    avg_edges_per_snapshot:
+        Mean number of edges in a snapshot (actual sizes follow a Poisson-like
+        distribution clipped to ``[1, len(model)]``).
+    drift_interval:
+        When positive, every ``drift_interval`` snapshots the weight vector is
+        rotated by one position, slowly changing which edges are "hot" — this
+        exercises the sliding-window behaviour (patterns frequent early in the
+        stream fade out later).
+    seed:
+        Seed for the snapshot sampler.
+    """
+
+    def __init__(
+        self,
+        model: RandomGraphModel,
+        avg_edges_per_snapshot: float = 5.0,
+        drift_interval: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if avg_edges_per_snapshot <= 0:
+            raise DatasetError("avg_edges_per_snapshot must be positive")
+        if drift_interval < 0:
+            raise DatasetError("drift_interval must be non-negative")
+        self._model = model
+        self._avg_edges = avg_edges_per_snapshot
+        self._drift_interval = drift_interval
+        self._rng = random.Random(seed)
+
+    def _snapshot_size(self) -> int:
+        # Poisson via Knuth's method (small means only).
+        mean = self._avg_edges
+        threshold = math.exp(-mean)
+        k, p = 0, 1.0
+        while True:
+            k += 1
+            p *= self._rng.random()
+            if p <= threshold:
+                break
+        size = k - 1
+        return max(1, min(size, len(self._model)))
+
+    def snapshots(self, count: int) -> Iterator[GraphSnapshot]:
+        """Yield ``count`` snapshots."""
+        if count < 0:
+            raise DatasetError(f"count must be non-negative, got {count}")
+        edges = self._model.edges
+        weights = self._model.weights
+        for index in range(count):
+            if (
+                self._drift_interval
+                and index > 0
+                and index % self._drift_interval == 0
+            ):
+                weights = weights[1:] + weights[:1]
+            size = self._snapshot_size()
+            chosen = self._weighted_sample(edges, weights, size)
+            yield GraphSnapshot(chosen, timestamp=index + 1)
+
+    def generate(self, count: int) -> List[GraphSnapshot]:
+        """Materialise ``count`` snapshots as a list."""
+        return list(self.snapshots(count))
+
+    def _weighted_sample(
+        self, edges: Sequence[Edge], weights: Sequence[float], size: int
+    ) -> List[Edge]:
+        """Weighted sampling without replacement (exponential-sort trick)."""
+        keyed = []
+        for edge, weight in zip(edges, weights):
+            if weight <= 0:
+                continue
+            # Smaller key = more likely to be picked first.
+            key = -math.log(max(self._rng.random(), 1e-12)) / weight
+            keyed.append((key, edge))
+        keyed.sort(key=lambda pair: pair[0])
+        return [edge for _key, edge in keyed[:size]]

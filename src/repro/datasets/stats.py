@@ -1,0 +1,143 @@
+"""Workload statistics: characterising streams, windows and graph snapshots.
+
+The benchmark harness (and anyone adopting the library) needs to know how
+dense a workload actually is before interpreting mining results — the paper's
+space argument (§2.2–§2.3) is explicitly a function of density.  This module
+computes those characteristics from transactions, batches or graph snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import DatasetError
+from repro.graph.graph import GraphSnapshot
+
+Transaction = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TransactionStats:
+    """Summary statistics of a transaction collection."""
+
+    transaction_count: int
+    distinct_items: int
+    total_item_occurrences: int
+    min_length: int
+    max_length: int
+    avg_length: float
+    density: float  #: occurrences / (transactions * distinct items), in [0, 1]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten into a plain dictionary (for report rows)."""
+        return {
+            "transactions": self.transaction_count,
+            "distinct_items": self.distinct_items,
+            "avg_length": round(self.avg_length, 2),
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "density": round(self.density, 4),
+        }
+
+
+def transaction_stats(transactions: Sequence[Transaction]) -> TransactionStats:
+    """Compute :class:`TransactionStats` for a list of transactions."""
+    transactions = list(transactions)
+    if not transactions:
+        return TransactionStats(0, 0, 0, 0, 0, 0.0, 0.0)
+    lengths = [len(t) for t in transactions]
+    item_counts: Counter = Counter()
+    for transaction in transactions:
+        item_counts.update(set(transaction))
+    total = sum(lengths)
+    distinct = len(item_counts)
+    density = total / (len(transactions) * distinct) if distinct else 0.0
+    return TransactionStats(
+        transaction_count=len(transactions),
+        distinct_items=distinct,
+        total_item_occurrences=total,
+        min_length=min(lengths),
+        max_length=max(lengths),
+        avg_length=total / len(transactions),
+        density=density,
+    )
+
+
+def item_support_distribution(
+    transactions: Sequence[Transaction], buckets: int = 10
+) -> List[int]:
+    """Histogram of relative item supports split into ``buckets`` equal ranges.
+
+    Bucket ``i`` counts the items whose relative support falls in
+    ``[i/buckets, (i+1)/buckets)`` (the last bucket is closed on the right).
+    Useful for judging how skewed a workload is before choosing ``minsup``.
+    """
+    if buckets < 1:
+        raise DatasetError(f"buckets must be >= 1, got {buckets}")
+    transactions = list(transactions)
+    histogram = [0] * buckets
+    if not transactions:
+        return histogram
+    counts: Counter = Counter()
+    for transaction in transactions:
+        counts.update(set(transaction))
+    total = len(transactions)
+    for count in counts.values():
+        relative = count / total
+        index = min(int(relative * buckets), buckets - 1)
+        histogram[index] += 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class SnapshotStats:
+    """Summary statistics of a collection of graph snapshots."""
+
+    snapshot_count: int
+    distinct_vertices: int
+    distinct_edges: int
+    avg_edges_per_snapshot: float
+    max_degree: int
+    avg_degree: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten into a plain dictionary (for report rows)."""
+        return {
+            "snapshots": self.snapshot_count,
+            "distinct_vertices": self.distinct_vertices,
+            "distinct_edges": self.distinct_edges,
+            "avg_edges_per_snapshot": round(self.avg_edges_per_snapshot, 2),
+            "max_degree": self.max_degree,
+            "avg_degree": round(self.avg_degree, 2),
+        }
+
+
+def snapshot_stats(snapshots: Iterable[GraphSnapshot]) -> SnapshotStats:
+    """Compute :class:`SnapshotStats` over an iterable of graph snapshots.
+
+    Degrees are computed on the *union* graph (every edge seen at least once),
+    which is what bounds the neighborhood table of the direct algorithm.
+    """
+    snapshot_list = list(snapshots)
+    if not snapshot_list:
+        return SnapshotStats(0, 0, 0, 0.0, 0, 0.0)
+    edge_union = set()
+    total_edges = 0
+    for snapshot in snapshot_list:
+        total_edges += len(snapshot)
+        edge_union.update(snapshot.edges)
+    degree: Counter = Counter()
+    for edge in edge_union:
+        degree[edge.u] += 1
+        degree[edge.v] += 1
+    vertices = len(degree)
+    return SnapshotStats(
+        snapshot_count=len(snapshot_list),
+        distinct_vertices=vertices,
+        distinct_edges=len(edge_union),
+        avg_edges_per_snapshot=total_edges / len(snapshot_list),
+        max_degree=max(degree.values()) if degree else 0,
+        avg_degree=(sum(degree.values()) / vertices) if vertices else 0.0,
+    )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate the failing
+subsystem (storage, stream, mining, datasets, linked data).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs, edges, or vertex identifiers."""
+
+
+class EdgeRegistryError(GraphError):
+    """Raised when an edge label cannot be resolved or registered."""
+
+
+class StreamError(ReproError):
+    """Raised for invalid stream, batch, or sliding-window operations."""
+
+
+class WindowError(StreamError):
+    """Raised when a sliding window is used inconsistently (e.g. empty slide)."""
+
+
+class StorageError(ReproError):
+    """Raised for errors in on-disk structures (DSMatrix, DSTable, DSTree files)."""
+
+
+class DSMatrixError(StorageError):
+    """Raised for DSMatrix-specific failures (bad boundaries, corrupt files)."""
+
+
+class DSTableError(StorageError):
+    """Raised for DSTable-specific failures (broken pointer chains)."""
+
+
+class DSTreeError(StorageError):
+    """Raised for DSTree-specific failures (inconsistent per-batch counts)."""
+
+
+class MiningError(ReproError):
+    """Raised when a mining algorithm is configured or invoked incorrectly."""
+
+
+class InvalidSupportError(MiningError):
+    """Raised when a minimum-support threshold is not a positive value."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators and file readers."""
+
+
+class LinkedDataError(ReproError):
+    """Raised by the linked-data (RDF triple) subsystem."""
+
+
+class ParseError(LinkedDataError):
+    """Raised when an N-Triples document cannot be parsed."""

@@ -1,0 +1,29 @@
+"""Optional extensions beyond the paper's core algorithms.
+
+The paper's related-work and future-work discussion points at three natural
+extensions that this package provides on top of the core library:
+
+* :mod:`~repro.extensions.fading` — time-fading (damped) and landmark stream
+  models, in the spirit of the TUF-streaming work the authors cite: recent
+  batches weigh more than old ones, or the stream is mined from a fixed
+  landmark instead of a sliding window.
+* :mod:`~repro.extensions.topk` — top-k frequent connected subgraphs (cf. the
+  top-k dense subgraph discovery of Valari et al. cited in §1.1), useful when
+  a support threshold is hard to pick a priori.
+"""
+
+from repro.extensions.fading import (
+    LandmarkCounter,
+    TimeFadingVerticalMiner,
+    batch_decay_weights,
+    weighted_support,
+)
+from repro.extensions.topk import mine_top_k_connected
+
+__all__ = [
+    "batch_decay_weights",
+    "weighted_support",
+    "TimeFadingVerticalMiner",
+    "LandmarkCounter",
+    "mine_top_k_connected",
+]

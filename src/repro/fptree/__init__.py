@@ -1,0 +1,24 @@
+"""FP-tree machinery: tree construction, FP-growth, TD-FP-growth, counting.
+
+These are the in-memory structures the stream miners build *per projection*;
+the window contents themselves stay in the on-disk structures of
+:mod:`repro.storage`.
+"""
+
+from repro.fptree.counting import count_itemsets_by_node_traversal
+from repro.fptree.fpgrowth import FPGrowth, fp_growth
+from repro.fptree.node import FPNode
+from repro.fptree.projected import filter_and_order_transactions, weighted_item_frequencies
+from repro.fptree.topdown import top_down_mine
+from repro.fptree.tree import FPTree
+
+__all__ = [
+    "FPNode",
+    "FPTree",
+    "FPGrowth",
+    "fp_growth",
+    "top_down_mine",
+    "count_itemsets_by_node_traversal",
+    "filter_and_order_transactions",
+    "weighted_item_frequencies",
+]

@@ -1,0 +1,132 @@
+"""FP-growth: recursive frequent-itemset mining over FP-trees.
+
+Besides the plain :func:`fp_growth` function, the :class:`FPGrowth` class keeps
+instrumentation counters (number of conditional trees built, maximum number of
+trees simultaneously alive, largest tree size) that the space-efficiency
+experiment (E2) reports — this is exactly the quantity the paper argues about
+when comparing the multi-FP-tree algorithm with the single-tree ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import MiningError
+from repro.fptree.projected import WeightedTransaction
+from repro.fptree.tree import FPTree
+
+Pattern = FrozenSet[str]
+PatternCounts = Dict[Pattern, int]
+
+
+class FPGrowth:
+    """Configurable FP-growth miner with instrumentation counters.
+
+    Parameters
+    ----------
+    minsup:
+        Absolute minimum support (>= 1).
+    order:
+        Item order used for the trees (``"canonical"`` or ``"frequency"``).
+    """
+
+    def __init__(self, minsup: int, order: str = "canonical") -> None:
+        if minsup < 1:
+            raise MiningError(f"minsup must be >= 1, got {minsup}")
+        self._minsup = minsup
+        self._order = order
+        self.trees_built = 0
+        self.max_concurrent_trees = 0
+        self.max_tree_nodes = 0
+        self._live_trees = 0
+
+    @property
+    def minsup(self) -> int:
+        """The absolute minimum support threshold."""
+        return self._minsup
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters."""
+        self.trees_built = 0
+        self.max_concurrent_trees = 0
+        self.max_tree_nodes = 0
+        self._live_trees = 0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def mine(
+        self,
+        transactions: Iterable[Union[Sequence[str], WeightedTransaction]],
+        suffix: Optional[Iterable[str]] = None,
+    ) -> PatternCounts:
+        """Mine all frequent itemsets from (weighted) transactions.
+
+        ``suffix`` items are appended to every produced pattern — this is how
+        the stream algorithms mine a {x}-projected database and receive
+        patterns already containing ``x``.
+        """
+        base: Pattern = frozenset(suffix) if suffix is not None else frozenset()
+        tree = self._build_tree(transactions)
+        patterns: PatternCounts = {}
+        try:
+            self._mine_tree(tree, base, patterns)
+        finally:
+            self._release_tree()
+        return patterns
+
+    def mine_tree(self, tree: FPTree, suffix: Optional[Iterable[str]] = None) -> PatternCounts:
+        """Mine an already-built FP-tree (used by the single-tree algorithms)."""
+        base: Pattern = frozenset(suffix) if suffix is not None else frozenset()
+        patterns: PatternCounts = {}
+        self._track_tree(tree)
+        try:
+            self._mine_tree(tree, base, patterns)
+        finally:
+            self._release_tree()
+        return patterns
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _build_tree(
+        self, transactions: Iterable[Union[Sequence[str], WeightedTransaction]]
+    ) -> FPTree:
+        tree = FPTree.build(transactions, minsup=self._minsup, order=self._order)
+        self._track_tree(tree)
+        return tree
+
+    def _track_tree(self, tree: FPTree) -> None:
+        self.trees_built += 1
+        self._live_trees += 1
+        self.max_concurrent_trees = max(self.max_concurrent_trees, self._live_trees)
+        self.max_tree_nodes = max(self.max_tree_nodes, tree.node_count())
+
+    def _release_tree(self) -> None:
+        self._live_trees -= 1
+
+    def _mine_tree(self, tree: FPTree, suffix: Pattern, patterns: PatternCounts) -> None:
+        for item in tree.items_bottom_up():
+            support = tree.support(item)
+            if support < self._minsup:
+                continue
+            pattern = suffix | {item}
+            patterns[pattern] = support
+            conditional = tree.conditional_tree(item, self._minsup)
+            self._track_tree(conditional)
+            try:
+                if not conditional.is_empty():
+                    self._mine_tree(conditional, pattern, patterns)
+            finally:
+                self._release_tree()
+
+
+def fp_growth(
+    transactions: Iterable[Union[Sequence[str], WeightedTransaction]],
+    minsup: int,
+    order: str = "canonical",
+    suffix: Optional[Iterable[str]] = None,
+) -> PatternCounts:
+    """Convenience wrapper: mine frequent itemsets with default instrumentation."""
+    miner = FPGrowth(minsup=minsup, order=order)
+    return miner.mine(transactions, suffix=suffix)

@@ -1,0 +1,53 @@
+"""Nodes of an FP-tree."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class FPNode:
+    """One node of an FP-tree: an item with an aggregate count.
+
+    Unlike the :class:`~repro.storage.dstree.DSTreeNode`, FP-tree nodes carry a
+    single count because FP-trees are built per projection for the *current*
+    window; the per-batch bookkeeping lives in the stream structures.
+    """
+
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(
+        self,
+        item: Optional[str],
+        count: int = 0,
+        parent: Optional["FPNode"] = None,
+    ) -> None:
+        self.item = item
+        self.count = count
+        self.parent = parent
+        self.children: Dict[str, "FPNode"] = {}
+
+    def is_root(self) -> bool:
+        """True for the item-less root node."""
+        return self.item is None
+
+    def prefix_path(self) -> List[str]:
+        """Items on the path from this node's parent up to (excluding) the root."""
+        items: List[str] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            items.append(node.item)
+            node = node.parent
+        items.reverse()
+        return items
+
+    def depth(self) -> int:
+        """Number of ancestors with items (root has depth 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None and node.item is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return f"FPNode(item={self.item!r}, count={self.count})"

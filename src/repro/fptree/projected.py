@@ -1,0 +1,95 @@
+"""Helpers for preparing (projected) transaction databases for FP-trees.
+
+A *weighted transaction database* is a list of ``(itemset, count)`` pairs.
+Plain transaction lists are a special case with every count equal to one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.exceptions import MiningError
+
+Itemset = Tuple[str, ...]
+WeightedTransaction = Tuple[Itemset, int]
+
+
+def normalise_weighted(
+    transactions: Iterable[Union[Sequence[str], WeightedTransaction]],
+) -> List[WeightedTransaction]:
+    """Accept plain or weighted transactions and return weighted ones.
+
+    A transaction is treated as weighted when it is a 2-tuple whose second
+    element is an ``int`` and whose first element is a sequence of items.
+    """
+    weighted: List[WeightedTransaction] = []
+    for entry in transactions:
+        if (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[1], int)
+            and not isinstance(entry[0], str)
+        ):
+            items, count = entry
+            weighted.append((tuple(items), count))
+        else:
+            weighted.append((tuple(entry), 1))
+    return weighted
+
+
+def weighted_item_frequencies(
+    transactions: Iterable[WeightedTransaction],
+) -> Counter:
+    """Item frequencies of a weighted transaction database."""
+    counts: Counter = Counter()
+    for items, count in transactions:
+        for item in set(items):
+            counts[item] += count
+    return counts
+
+
+def filter_and_order_transactions(
+    transactions: Iterable[WeightedTransaction],
+    minsup: int,
+    order: str = "canonical",
+) -> Tuple[List[WeightedTransaction], Counter]:
+    """Drop infrequent items and order each transaction for tree insertion.
+
+    Parameters
+    ----------
+    transactions:
+        Weighted transactions.
+    minsup:
+        Minimum support threshold (absolute count, must be >= 1).
+    order:
+        ``"canonical"`` sorts items lexicographically (the stream-friendly
+        order used by DSTree/DSMatrix mining); ``"frequency"`` sorts by
+        descending frequency with a lexicographic tie-break (classic
+        FP-growth).
+
+    Returns
+    -------
+    (ordered transactions, frequent item counter)
+    """
+    if minsup < 1:
+        raise MiningError(f"minsup must be >= 1, got {minsup}")
+    if order not in ("canonical", "frequency"):
+        raise MiningError(f"unknown item order {order!r}")
+    transactions = list(transactions)
+    frequencies = weighted_item_frequencies(transactions)
+    frequent = {item: n for item, n in frequencies.items() if n >= minsup}
+
+    if order == "canonical":
+        def sort_key(item: str) -> Tuple:
+            return (item,)
+    else:
+        def sort_key(item: str) -> Tuple:
+            return (-frequent[item], item)
+
+    ordered: List[WeightedTransaction] = []
+    for items, count in transactions:
+        kept = sorted({item for item in items if item in frequent}, key=sort_key)
+        if kept:
+            ordered.append((tuple(kept), count))
+    return ordered, Counter(frequent)

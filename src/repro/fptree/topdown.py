@@ -1,0 +1,79 @@
+"""Top-down mining of a single FP-tree (paper §3.3, after TD-FP-growth).
+
+The third algorithm builds one FP-tree per frequent singleton (like §3.2) but
+mines it *top-down*: items are processed from the first position of the
+canonical order towards the last, and projections only ever look "down" the
+order, so no additional FP-trees are materialised — the projections are plain
+(itemset, count) lists derived from the single tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.exceptions import MiningError
+from repro.fptree.projected import WeightedTransaction, weighted_item_frequencies
+from repro.fptree.tree import FPTree
+
+Pattern = FrozenSet[str]
+PatternCounts = Dict[Pattern, int]
+
+
+def _weighted_transactions_of_tree(tree: FPTree) -> List[WeightedTransaction]:
+    """Recover the (filtered, ordered) transactions represented by the tree.
+
+    A node whose count exceeds the summed counts of its children marks that
+    many transactions ending at that node.
+    """
+    weighted: List[WeightedTransaction] = []
+    for node in tree.iter_nodes():
+        children_total = sum(child.count for child in node.children.values())
+        ending = node.count - children_total
+        if ending > 0:
+            weighted.append((tuple(node.prefix_path() + [node.item]), ending))
+    return weighted
+
+
+def top_down_mine(
+    tree: FPTree,
+    minsup: int,
+    suffix: Optional[Iterable[str]] = None,
+) -> PatternCounts:
+    """Mine all frequent itemsets of ``tree`` in top-down order.
+
+    Parameters mirror :func:`repro.fptree.counting.count_itemsets_by_node_traversal`;
+    the result excludes the bare suffix pattern.
+    """
+    if minsup < 1:
+        raise MiningError(f"minsup must be >= 1, got {minsup}")
+    base: Pattern = frozenset(suffix) if suffix is not None else frozenset()
+    patterns: PatternCounts = {}
+    weighted = _weighted_transactions_of_tree(tree)
+    _mine_top_down(weighted, minsup, base, patterns)
+    return patterns
+
+
+def _mine_top_down(
+    weighted: List[WeightedTransaction],
+    minsup: int,
+    suffix: Pattern,
+    patterns: PatternCounts,
+) -> None:
+    frequencies = weighted_item_frequencies(weighted)
+    # Top-down order: first item of the canonical order first.
+    frequent_items = sorted(
+        item for item, count in frequencies.items() if count >= minsup
+    )
+    for item in frequent_items:
+        pattern = suffix | {item}
+        patterns[pattern] = frequencies[item]
+        projection: List[WeightedTransaction] = []
+        for items, count in weighted:
+            if item not in items:
+                continue
+            index = items.index(item)
+            rest = items[index + 1 :]
+            if rest:
+                projection.append((rest, count))
+        if projection:
+            _mine_top_down(projection, minsup, pattern, patterns)

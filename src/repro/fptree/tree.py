@@ -1,0 +1,173 @@
+"""The FP-tree structure (prefix tree + header table with node links)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import MiningError
+from repro.fptree.node import FPNode
+from repro.fptree.projected import (
+    WeightedTransaction,
+    filter_and_order_transactions,
+    normalise_weighted,
+)
+
+Itemset = Tuple[str, ...]
+
+
+class FPTree:
+    """An FP-tree with a header table of node links.
+
+    The tree is built from a (possibly weighted) transaction database with a
+    chosen item order — ``"canonical"`` (lexicographic, used throughout the
+    stream miners) or ``"frequency"`` (classic FP-growth).  Infrequent items
+    are removed during construction.
+    """
+
+    def __init__(self, minsup: int = 1, order: str = "canonical") -> None:
+        if minsup < 1:
+            raise MiningError(f"minsup must be >= 1, got {minsup}")
+        self._minsup = minsup
+        self._order = order
+        self._root = FPNode(None)
+        self._header: Dict[str, List[FPNode]] = {}
+        self._item_counts: Counter = Counter()
+        self._insertion_order: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        transactions: Iterable[Union[Sequence[str], WeightedTransaction]],
+        minsup: int = 1,
+        order: str = "canonical",
+    ) -> "FPTree":
+        """Build a tree from plain or weighted transactions."""
+        weighted = normalise_weighted(transactions)
+        ordered, frequent = filter_and_order_transactions(weighted, minsup, order)
+        tree = cls(minsup=minsup, order=order)
+        tree._item_counts = frequent
+        for items, count in ordered:
+            tree._insert(items, count)
+        return tree
+
+    def _insert(self, items: Sequence[str], count: int) -> None:
+        node = self._root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, 0, parent=node)
+                node.children[item] = child
+                self._header.setdefault(item, []).append(child)
+                if item not in self._insertion_order:
+                    self._insertion_order.append(item)
+            child.count += count
+            node = child
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> FPNode:
+        """The item-less root node."""
+        return self._root
+
+    @property
+    def minsup(self) -> int:
+        """The minimum support used while building the tree."""
+        return self._minsup
+
+    @property
+    def order(self) -> str:
+        """Item ordering policy (``canonical`` or ``frequency``)."""
+        return self._order
+
+    def is_empty(self) -> bool:
+        """True when the tree has no item nodes."""
+        return not self._root.children
+
+    def items(self) -> List[str]:
+        """Frequent items present in the tree, in the tree's item order."""
+        items = list(self._header)
+        if self._order == "canonical":
+            return sorted(items)
+        return sorted(items, key=lambda item: (-self._item_counts[item], item))
+
+    def items_bottom_up(self) -> List[str]:
+        """Items from the *last* position of the order to the first.
+
+        FP-growth processes items bottom-up; TD-FP-growth processes the same
+        list in reverse.
+        """
+        return list(reversed(self.items()))
+
+    def support(self, item: str) -> int:
+        """Support of a frequent item within the database the tree was built from."""
+        return self._item_counts.get(item, 0)
+
+    def nodes_of(self, item: str) -> List[FPNode]:
+        """The node-link list of ``item``."""
+        return list(self._header.get(item, ()))
+
+    def node_count(self) -> int:
+        """Number of item nodes in the tree (memory-accounting helper)."""
+        return sum(len(nodes) for nodes in self._header.values())
+
+    def iter_nodes(self) -> Iterator[FPNode]:
+        """Depth-first, pre-order traversal of all item nodes."""
+        stack = sorted(
+            self._root.children.values(), key=lambda n: n.item or "", reverse=True
+        )
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                sorted(node.children.values(), key=lambda n: n.item or "", reverse=True)
+            )
+
+    def branches(self) -> List[Tuple[Itemset, int]]:
+        """All root-to-leaf paths with the leaf's count (diagnostic helper)."""
+        result: List[Tuple[Itemset, int]] = []
+        for node in self.iter_nodes():
+            if not node.children:
+                result.append((tuple(node.prefix_path() + [node.item]), node.count))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # FP-growth primitives
+    # ------------------------------------------------------------------ #
+    def conditional_pattern_base(self, item: str) -> List[WeightedTransaction]:
+        """Prefix paths of every ``item`` node, weighted by the node count."""
+        base: List[WeightedTransaction] = []
+        for node in self._header.get(item, ()):
+            prefix = tuple(node.prefix_path())
+            if prefix:
+                base.append((prefix, node.count))
+        return base
+
+    def conditional_tree(self, item: str, minsup: Optional[int] = None) -> "FPTree":
+        """Build the conditional FP-tree of ``item``."""
+        support = self._minsup if minsup is None else minsup
+        return FPTree.build(
+            self.conditional_pattern_base(item), minsup=support, order=self._order
+        )
+
+    def single_path(self) -> Optional[List[FPNode]]:
+        """Return the nodes of the tree's single path, or ``None`` if branching."""
+        path: List[FPNode] = []
+        node = self._root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            path.append(node)
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"FPTree(items={len(self._header)}, nodes={self.node_count()}, "
+            f"order={self._order!r}, minsup={self._minsup})"
+        )

@@ -1,0 +1,35 @@
+"""Graph model: vertices, edges, graph snapshots, edge registry, connectivity.
+
+This subpackage provides the structural substrate of the miner:
+
+* :class:`~repro.graph.edge.Edge` — an undirected, optionally labelled edge
+  between two vertices (vertices are arbitrary hashable identifiers, typically
+  strings or URIs).
+* :class:`~repro.graph.graph.GraphSnapshot` — one streamed graph (a set of
+  edges observed at one timestamp).
+* :class:`~repro.graph.edge_registry.EdgeRegistry` — the canonical
+  edge-to-symbol mapping used to turn graph snapshots into transactions, plus
+  the vertex table (paper Table 1) and the neighborhood table (paper Table 2).
+* :mod:`~repro.graph.connectivity` — connectivity predicates used by the
+  post-processing step and by the direct mining algorithm.
+"""
+
+from repro.graph.connectivity import (
+    connected_components_of_edges,
+    is_connected_edge_set,
+    satisfies_paper_rule,
+    vertex_frequencies,
+)
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+
+__all__ = [
+    "Edge",
+    "EdgeRegistry",
+    "GraphSnapshot",
+    "connected_components_of_edges",
+    "is_connected_edge_set",
+    "satisfies_paper_rule",
+    "vertex_frequencies",
+]

@@ -1,0 +1,120 @@
+"""Connectivity predicates over collections of edges.
+
+Two checks are provided:
+
+* :func:`satisfies_paper_rule` — the rule stated in §3.5 of the paper: a
+  collection ``X`` of at least two edges is kept when every edge in ``X`` has an
+  endpoint shared by at least two edges of ``X``.  The rule is *necessary* for
+  connectivity but not *sufficient* (for example, two disjoint triangles pass).
+* :func:`is_connected_edge_set` — an exact check using union-find over the
+  vertices touched by the edges.
+
+Both are exposed because the reproduction keeps the paper's behaviour available
+while defaulting to the exact semantics for correctness experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Set
+
+from repro.graph.edge import Edge, VertexId
+
+
+def vertex_frequencies(edges: Iterable[Edge]) -> Counter:
+    """Count how many edges of the collection touch each vertex.
+
+    This is the ``frequency(v_i)`` quantity of §3.5.
+    """
+    counts: Counter = Counter()
+    for edge in edges:
+        counts[edge.u] += 1
+        counts[edge.v] += 1
+    return counts
+
+
+def satisfies_paper_rule(edges: Iterable[Edge]) -> bool:
+    """Apply the paper's §3.5 vertex-frequency rule.
+
+    A collection ``X`` with ``|X| >= 2`` satisfies the rule when, for every edge
+    ``(v_i, v_j)`` in ``X``, at least one of ``frequency(v_i)`` or
+    ``frequency(v_j)`` is ``>= 2`` within ``X``.  Collections of zero or one
+    edge are trivially accepted.
+    """
+    edge_list = list(edges)
+    if len(edge_list) <= 1:
+        return True
+    counts = vertex_frequencies(edge_list)
+    return all(counts[edge.u] >= 2 or counts[edge.v] >= 2 for edge in edge_list)
+
+
+class _UnionFind:
+    """Minimal union-find over hashable vertex identifiers."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[VertexId, VertexId] = {}
+        self._rank: Dict[VertexId, int] = {}
+
+    def add(self, item: VertexId) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: VertexId) -> VertexId:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: VertexId, b: VertexId) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+
+    def component_count(self) -> int:
+        return sum(1 for item in self._parent if self._parent[item] == item)
+
+
+def is_connected_edge_set(edges: Iterable[Edge]) -> bool:
+    """Exact connectivity: do the edges form a single connected subgraph?
+
+    Collections of zero or one edge are considered connected, matching the
+    treatment of frequent singletons in the paper.
+    """
+    edge_list = list(edges)
+    if len(edge_list) <= 1:
+        return True
+    uf = _UnionFind()
+    for edge in edge_list:
+        uf.add(edge.u)
+        uf.add(edge.v)
+        uf.union(edge.u, edge.v)
+    return uf.component_count() == 1
+
+
+def connected_components_of_edges(edges: Iterable[Edge]) -> List[Set[Edge]]:
+    """Partition a collection of edges into connected components.
+
+    Returns a list of edge sets, one per component, in deterministic order
+    (sorted by the smallest edge of each component).
+    """
+    edge_list = list(edges)
+    if not edge_list:
+        return []
+    uf = _UnionFind()
+    for edge in edge_list:
+        uf.add(edge.u)
+        uf.add(edge.v)
+        uf.union(edge.u, edge.v)
+    groups: Dict[VertexId, Set[Edge]] = {}
+    for edge in edge_list:
+        groups.setdefault(uf.find(edge.u), set()).add(edge)
+    return sorted(groups.values(), key=lambda comp: min(e.sort_key() for e in comp))

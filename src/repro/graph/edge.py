@@ -1,0 +1,128 @@
+"""Edges of streamed graphs.
+
+An :class:`Edge` is an *undirected* connection between two vertices.  Vertices
+are arbitrary hashable identifiers (strings, integers, URIs); the edge stores
+them in a canonical order so that ``Edge("v2", "v1") == Edge("v1", "v2")``.
+
+Edges may carry an optional *label* (for example an RDF predicate).  Two edges
+with the same endpoints but different labels are distinct edges — this is how
+multi-relational linked data is represented.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional, Tuple
+
+from repro.exceptions import GraphError
+
+VertexId = Hashable
+
+
+def _canonical_pair(u: VertexId, v: VertexId) -> Tuple[VertexId, VertexId]:
+    """Return ``(u, v)`` ordered canonically (by repr if types are unorderable)."""
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Edge:
+    """An undirected edge between two vertices with an optional label.
+
+    Parameters
+    ----------
+    u, v:
+        The endpoints.  They must be distinct hashable values; self-loops are
+        rejected because the paper's transactions never contain them and the
+        connectivity rule of §3.5 is undefined for loops.
+    label:
+        Optional edge label (e.g. an RDF predicate URI).  Edges with different
+        labels between the same endpoints are different domain items.
+    """
+
+    __slots__ = ("_u", "_v", "_label", "_hash")
+
+    def __init__(self, u: VertexId, v: VertexId, label: Optional[str] = None) -> None:
+        if u is None or v is None:
+            raise GraphError("edge endpoints must not be None")
+        if u == v:
+            raise GraphError(f"self-loop edges are not supported: ({u!r}, {v!r})")
+        self._u, self._v = _canonical_pair(u, v)
+        self._label = label
+        self._hash = hash((self._u, self._v, self._label))
+
+    @property
+    def u(self) -> VertexId:
+        """First endpoint in canonical order."""
+        return self._u
+
+    @property
+    def v(self) -> VertexId:
+        """Second endpoint in canonical order."""
+        return self._v
+
+    @property
+    def label(self) -> Optional[str]:
+        """The edge label, or ``None`` for unlabelled edges."""
+        return self._label
+
+    @property
+    def vertices(self) -> Tuple[VertexId, VertexId]:
+        """Both endpoints as a canonical tuple (paper Table 1 entry)."""
+        return (self._u, self._v)
+
+    def other(self, vertex: VertexId) -> VertexId:
+        """Return the endpoint that is not ``vertex``.
+
+        Raises
+        ------
+        GraphError
+            If ``vertex`` is not an endpoint of this edge.
+        """
+        if vertex == self._u:
+            return self._v
+        if vertex == self._v:
+            return self._u
+        raise GraphError(f"{vertex!r} is not an endpoint of {self!r}")
+
+    def shares_vertex_with(self, other: "Edge") -> bool:
+        """True when this edge and ``other`` have at least one common endpoint."""
+        return (
+            self._u == other._u
+            or self._u == other._v
+            or self._v == other._u
+            or self._v == other._v
+        )
+
+    def __iter__(self) -> Iterator[VertexId]:
+        yield self._u
+        yield self._v
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex == self._u or vertex == self._v
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return (
+            self._u == other._u
+            and self._v == other._v
+            and self._label == other._label
+        )
+
+    def __lt__(self, other: "Edge") -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> Tuple[str, str, str]:
+        """A deterministic sort key usable across mixed vertex types."""
+        return (repr(self._u), repr(self._v), "" if self._label is None else self._label)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self._label is None:
+            return f"Edge({self._u!r}, {self._v!r})"
+        return f"Edge({self._u!r}, {self._v!r}, label={self._label!r})"

@@ -1,0 +1,93 @@
+"""Graph snapshots: one streamed graph observed at one timestamp.
+
+A :class:`GraphSnapshot` is the unit of arrival in a graph stream (the paper's
+``G = (V, E)`` at time ``T_i``).  It is a thin immutable wrapper around a set of
+:class:`~repro.graph.edge.Edge` objects with convenience accessors used by the
+stream adapters and the dataset generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from repro.exceptions import GraphError
+from repro.graph.edge import Edge, VertexId
+
+
+class GraphSnapshot:
+    """An immutable set of edges observed together (one stream element).
+
+    Parameters
+    ----------
+    edges:
+        The edges of the snapshot.  Duplicates are collapsed.
+    timestamp:
+        Optional position of the snapshot in the stream (``T_1``, ``T_2``, ...).
+        Purely informational; ordering in the stream is what matters.
+    """
+
+    __slots__ = ("_edges", "_timestamp")
+
+    def __init__(self, edges: Iterable[Edge], timestamp: Optional[int] = None) -> None:
+        edge_set = frozenset(edges)
+        for edge in edge_set:
+            if not isinstance(edge, Edge):
+                raise GraphError(f"GraphSnapshot expects Edge instances, got {edge!r}")
+        self._edges: FrozenSet[Edge] = edge_set
+        self._timestamp = timestamp
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The snapshot's edges."""
+        return self._edges
+
+    @property
+    def timestamp(self) -> Optional[int]:
+        """The snapshot's position in the stream, if known."""
+        return self._timestamp
+
+    @property
+    def vertices(self) -> Set[VertexId]:
+        """All vertices touched by at least one edge."""
+        seen: Set[VertexId] = set()
+        for edge in self._edges:
+            seen.add(edge.u)
+            seen.add(edge.v)
+        return seen
+
+    def degree(self, vertex: VertexId) -> int:
+        """Number of snapshot edges incident to ``vertex``."""
+        return sum(1 for edge in self._edges if vertex in edge)
+
+    def adjacency(self) -> Dict[VertexId, Set[VertexId]]:
+        """Adjacency mapping of the snapshot (vertex -> set of neighbours)."""
+        adjacency: Dict[VertexId, Set[VertexId]] = {}
+        for edge in self._edges:
+            adjacency.setdefault(edge.u, set()).add(edge.v)
+            adjacency.setdefault(edge.v, set()).add(edge.u)
+        return adjacency
+
+    def sorted_edges(self) -> List[Edge]:
+        """Edges in deterministic order (useful for tests and serialisation)."""
+        return sorted(self._edges, key=Edge.sort_key)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def __contains__(self, edge: object) -> bool:
+        return edge in self._edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSnapshot):
+            return NotImplemented
+        return self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash(self._edges)
+
+    def __repr__(self) -> str:
+        stamp = "" if self._timestamp is None else f", timestamp={self._timestamp}"
+        return f"GraphSnapshot({len(self._edges)} edges{stamp})"

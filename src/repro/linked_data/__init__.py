@@ -1,0 +1,40 @@
+"""Linked-data substrate: RDF triples, namespaces, N-Triples IO, stream adapters.
+
+The paper motivates its miner with streams of *linked data* — resources
+connected by RDF triples that are published continuously.  This subpackage
+provides a small, dependency-free RDF model (rdflib is intentionally not
+required) sufficient to:
+
+* represent IRIs, literals, blank nodes and triples,
+* parse and serialise the N-Triples line format,
+* hold triples in a queryable in-memory store, and
+* convert a stream of triples (grouped by document / time step) into the
+  :class:`~repro.graph.graph.GraphSnapshot` stream the miner consumes.
+"""
+
+from repro.linked_data.namespace import FOAF, RDF, RDFS, Namespace
+from repro.linked_data.parser import parse_ntriples, serialize_ntriples
+from repro.linked_data.rdf_stream import (
+    RDFStreamAdapter,
+    TripleStore,
+    snapshot_from_triples,
+    triple_to_edge,
+)
+from repro.linked_data.triple import IRI, BlankNode, Literal, Triple
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "FOAF",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "TripleStore",
+    "RDFStreamAdapter",
+    "triple_to_edge",
+    "snapshot_from_triples",
+]

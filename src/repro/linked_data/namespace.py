@@ -1,0 +1,57 @@
+"""Namespace helpers for building IRIs compactly."""
+
+from __future__ import annotations
+
+from repro.exceptions import LinkedDataError
+from repro.linked_data.triple import IRI
+
+
+class Namespace:
+    """A base IRI from which terms are derived by attribute or item access.
+
+    Example
+    -------
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.alice
+    IRI('http://example.org/alice')
+    >>> EX["knows"]
+    IRI('http://example.org/knows')
+    """
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise LinkedDataError("namespace base must not be empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        """The namespace base IRI string."""
+        return self._base
+
+    def term(self, name: str) -> IRI:
+        """Build the IRI for ``name`` within this namespace."""
+        return IRI(self._base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return self.term(name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+#: The RDF core vocabulary.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+#: The RDF Schema vocabulary.
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+#: Friend-of-a-friend, used by the social linked-data examples.
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+#: Dublin Core terms.
+DCTERMS = Namespace("http://purl.org/dc/terms/")

@@ -1,0 +1,171 @@
+"""A small N-Triples parser and serialiser.
+
+Supports the common subset of the N-Triples grammar: IRIs in angle brackets,
+blank nodes, plain / language-tagged / typed literals with the usual string
+escapes, comment lines starting with ``#`` and blank lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.exceptions import ParseError
+from repro.linked_data.triple import IRI, BlankNode, Literal, Triple
+
+_ESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+
+def _unescape(text: str) -> str:
+    result: List[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch == "\\":
+            if index + 1 >= len(text):
+                raise ParseError(f"dangling escape in literal: {text!r}")
+            nxt = text[index + 1]
+            if nxt in _ESCAPES:
+                result.append(_ESCAPES[nxt])
+                index += 2
+                continue
+            if nxt in ("u", "U"):
+                width = 4 if nxt == "u" else 8
+                code = text[index + 2 : index + 2 + width]
+                if len(code) != width:
+                    raise ParseError(f"invalid unicode escape in literal: {text!r}")
+                result.append(chr(int(code, 16)))
+                index += 2 + width
+                continue
+            raise ParseError(f"unknown escape sequence \\{nxt} in literal: {text!r}")
+        result.append(ch)
+        index += 1
+    return "".join(result)
+
+
+class _LineParser:
+    """Cursor-based parser for one N-Triples line."""
+
+    def __init__(self, line: str, line_number: int) -> None:
+        self._line = line
+        self._pos = 0
+        self._line_number = line_number
+
+    def fail(self, message: str) -> ParseError:
+        return ParseError(f"line {self._line_number}: {message}: {self._line!r}")
+
+    def skip_whitespace(self) -> None:
+        while self._pos < len(self._line) and self._line[self._pos] in " \t":
+            self._pos += 1
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._line)
+
+    def expect(self, char: str) -> None:
+        if self.at_end() or self._line[self._pos] != char:
+            raise self.fail(f"expected {char!r}")
+        self._pos += 1
+
+    def parse_term(self) -> Union[IRI, BlankNode, Literal]:
+        self.skip_whitespace()
+        if self.at_end():
+            raise self.fail("unexpected end of line")
+        ch = self._line[self._pos]
+        if ch == "<":
+            return self._parse_iri()
+        if ch == "_":
+            return self._parse_blank()
+        if ch == '"':
+            return self._parse_literal()
+        raise self.fail(f"unexpected character {ch!r}")
+
+    def _parse_iri(self) -> IRI:
+        end = self._line.find(">", self._pos + 1)
+        if end == -1:
+            raise self.fail("unterminated IRI")
+        value = self._line[self._pos + 1 : end]
+        self._pos = end + 1
+        try:
+            return IRI(value)
+        except Exception as exc:  # LinkedDataError
+            raise self.fail(str(exc)) from exc
+
+    def _parse_blank(self) -> BlankNode:
+        if not self._line.startswith("_:", self._pos):
+            raise self.fail("invalid blank node")
+        end = self._pos + 2
+        while end < len(self._line) and self._line[end] not in " \t":
+            end += 1
+        label = self._line[self._pos + 2 : end]
+        self._pos = end
+        try:
+            return BlankNode(label)
+        except Exception as exc:
+            raise self.fail(str(exc)) from exc
+
+    def _parse_literal(self) -> Literal:
+        # Find the closing quote, honouring escaped quotes.
+        index = self._pos + 1
+        while index < len(self._line):
+            if self._line[index] == "\\":
+                index += 2
+                continue
+            if self._line[index] == '"':
+                break
+            index += 1
+        else:
+            raise self.fail("unterminated literal")
+        raw = self._line[self._pos + 1 : index]
+        self._pos = index + 1
+        value = _unescape(raw)
+        # Optional language tag or datatype.
+        if self._pos < len(self._line) and self._line[self._pos] == "@":
+            end = self._pos + 1
+            while end < len(self._line) and self._line[end] not in " \t":
+                end += 1
+            language = self._line[self._pos + 1 : end]
+            self._pos = end
+            return Literal(value, language=language)
+        if self._line.startswith("^^", self._pos):
+            self._pos += 2
+            datatype = self._parse_iri()
+            return Literal(value, datatype=datatype)
+        return Literal(value)
+
+
+def parse_ntriples_line(line: str, line_number: int = 0) -> Triple:
+    """Parse a single non-empty, non-comment N-Triples line."""
+    parser = _LineParser(line.strip(), line_number)
+    subject = parser.parse_term()
+    if isinstance(subject, Literal):
+        raise parser.fail("literal cannot be a subject")
+    predicate = parser.parse_term()
+    if not isinstance(predicate, IRI):
+        raise parser.fail("predicate must be an IRI")
+    obj = parser.parse_term()
+    parser.skip_whitespace()
+    parser.expect(".")
+    parser.skip_whitespace()
+    if not parser.at_end():
+        raise parser.fail("trailing characters after terminating dot")
+    return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(text: Union[str, Iterable[str]]) -> Iterator[Triple]:
+    """Parse an N-Triples document (string or iterable of lines) lazily."""
+    lines = text.splitlines() if isinstance(text, str) else text
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_ntriples_line(stripped, number)
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialise triples to an N-Triples document (one statement per line)."""
+    return "\n".join(triple.n3() for triple in triples) + "\n"

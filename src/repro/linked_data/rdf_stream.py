@@ -1,0 +1,194 @@
+"""From linked data to graph streams.
+
+The miner consumes :class:`~repro.graph.graph.GraphSnapshot` objects; linked
+data arrives as RDF triples.  This module provides:
+
+* :class:`TripleStore` — a small in-memory triple store with pattern matching
+  (the "projected database" of node values the paper mentions lives here in
+  spirit: attribute triples are queryable even though only resource-to-resource
+  triples become edges);
+* :func:`triple_to_edge` — the translation of a resource-linking triple into a
+  labelled undirected edge;
+* :func:`snapshot_from_triples` — one batch/document of triples → one snapshot;
+* :class:`RDFStreamAdapter` — groups an incoming triple stream into snapshots
+  (by fixed group size or by explicit document boundaries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import LinkedDataError
+from repro.graph.edge import Edge
+from repro.graph.graph import GraphSnapshot
+from repro.linked_data.triple import IRI, BlankNode, Literal, Triple
+
+Term = Union[IRI, BlankNode, Literal]
+
+
+def _resource_key(term: Union[IRI, BlankNode]) -> str:
+    """A stable vertex identifier for a resource term."""
+    if isinstance(term, IRI):
+        return term.value
+    return f"_:{term.label}"
+
+
+def triple_to_edge(triple: Triple, use_predicate_label: bool = True) -> Edge:
+    """Convert a resource-linking triple into an undirected labelled edge.
+
+    Raises
+    ------
+    LinkedDataError
+        If the triple's object is a literal (attribute statements do not link
+        two resources) or the triple is a self-link.
+    """
+    if not triple.links_resources():
+        raise LinkedDataError(f"triple does not link two resources: {triple!r}")
+    subject_key = _resource_key(triple.subject)
+    object_key = _resource_key(triple.object)  # type: ignore[arg-type]
+    if subject_key == object_key:
+        raise LinkedDataError(f"self-link triples cannot become edges: {triple!r}")
+    label = triple.predicate.value if use_predicate_label else None
+    return Edge(subject_key, object_key, label=label)
+
+
+def snapshot_from_triples(
+    triples: Iterable[Triple],
+    timestamp: Optional[int] = None,
+    use_predicate_label: bool = True,
+    skip_attribute_triples: bool = True,
+) -> GraphSnapshot:
+    """Build one graph snapshot from a group of triples.
+
+    Attribute (literal-valued) and self-link triples are skipped by default;
+    with ``skip_attribute_triples=False`` they raise instead.
+    """
+    edges: List[Edge] = []
+    for triple in triples:
+        if not triple.links_resources() or _resource_key(triple.subject) == _resource_key(
+            triple.object  # type: ignore[arg-type]
+        ):
+            if skip_attribute_triples:
+                continue
+            raise LinkedDataError(f"cannot convert triple to edge: {triple!r}")
+        edges.append(triple_to_edge(triple, use_predicate_label=use_predicate_label))
+    return GraphSnapshot(edges, timestamp=timestamp)
+
+
+class TripleStore:
+    """A small in-memory triple store with (s, p, o) pattern matching."""
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._triples: Set[Triple] = set(triples) if triples is not None else set()
+
+    def add(self, triple: Triple) -> None:
+        """Insert one triple (idempotent)."""
+        self._triples.add(triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> None:
+        """Insert many triples."""
+        self._triples.update(triples)
+
+    def remove(self, triple: Triple) -> None:
+        """Remove a triple if present."""
+        self._triples.discard(triple)
+
+    def match(
+        self,
+        subject: Optional[Union[IRI, BlankNode]] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> List[Triple]:
+        """All triples matching the given (possibly wildcarded) pattern."""
+        results = [
+            triple
+            for triple in self._triples
+            if (subject is None or triple.subject == subject)
+            and (predicate is None or triple.predicate == predicate)
+            and (obj is None or triple.object == obj)
+        ]
+        return sorted(results, key=lambda t: t.n3())
+
+    def subjects(self) -> Set[Union[IRI, BlankNode]]:
+        """All distinct subjects."""
+        return {triple.subject for triple in self._triples}
+
+    def predicates(self) -> Set[IRI]:
+        """All distinct predicates."""
+        return {triple.predicate for triple in self._triples}
+
+    def value(
+        self, subject: Union[IRI, BlankNode], predicate: IRI
+    ) -> Optional[Term]:
+        """The object of the first matching triple, or ``None``."""
+        matches = self.match(subject=subject, predicate=predicate)
+        return matches[0].object if matches else None
+
+    def to_snapshot(self, timestamp: Optional[int] = None) -> GraphSnapshot:
+        """Snapshot of the store's current link structure."""
+        return snapshot_from_triples(self._triples, timestamp=timestamp)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._triples, key=lambda t: t.n3()))
+
+    def __contains__(self, triple: object) -> bool:
+        return triple in self._triples
+
+    def __repr__(self) -> str:
+        return f"TripleStore({len(self._triples)} triples)"
+
+
+class RDFStreamAdapter:
+    """Group a stream of triples into graph snapshots.
+
+    Two grouping modes are supported:
+
+    * ``group_size`` — every ``group_size`` consecutive link triples form one
+      snapshot (attribute triples are skipped and do not count);
+    * :meth:`snapshots_from_documents` — each document (iterable of triples)
+      becomes one snapshot, which models "one published linked-data document
+      per time step".
+    """
+
+    def __init__(self, group_size: int = 10, use_predicate_label: bool = True) -> None:
+        if group_size <= 0:
+            raise LinkedDataError(f"group_size must be positive, got {group_size}")
+        self._group_size = group_size
+        self._use_predicate_label = use_predicate_label
+
+    def snapshots_from_triples(self, triples: Iterable[Triple]) -> Iterator[GraphSnapshot]:
+        """Yield snapshots of ``group_size`` link triples each."""
+        buffer: List[Triple] = []
+        timestamp = 0
+        for triple in triples:
+            if not triple.links_resources():
+                continue
+            if _resource_key(triple.subject) == _resource_key(triple.object):  # type: ignore[arg-type]
+                continue
+            buffer.append(triple)
+            if len(buffer) == self._group_size:
+                yield snapshot_from_triples(
+                    buffer,
+                    timestamp=timestamp,
+                    use_predicate_label=self._use_predicate_label,
+                )
+                buffer = []
+                timestamp += 1
+        if buffer:
+            yield snapshot_from_triples(
+                buffer, timestamp=timestamp, use_predicate_label=self._use_predicate_label
+            )
+
+    def snapshots_from_documents(
+        self, documents: Iterable[Sequence[Triple]]
+    ) -> Iterator[GraphSnapshot]:
+        """Yield one snapshot per document of triples."""
+        for timestamp, document in enumerate(documents):
+            yield snapshot_from_triples(
+                document,
+                timestamp=timestamp,
+                use_predicate_label=self._use_predicate_label,
+            )

@@ -1,0 +1,204 @@
+"""RDF terms and triples.
+
+Only the features the miner needs are modelled: IRIs, plain/typed literals,
+blank nodes, and (subject, predicate, object) triples.  Terms are immutable
+and hashable so triples can live in sets and dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.exceptions import LinkedDataError
+
+
+class IRI:
+    """An internationalised resource identifier (absolute URI)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: str) -> None:
+        if not value or any(ch in value for ch in "<>\n"):
+            raise LinkedDataError(f"invalid IRI: {value!r}")
+        self._value = value
+
+    @property
+    def value(self) -> str:
+        """The IRI string."""
+        return self._value
+
+    def local_name(self) -> str:
+        """The fragment or last path segment (handy for labelling edges)."""
+        for separator in ("#", "/"):
+            if separator in self._value:
+                tail = self._value.rsplit(separator, 1)[1]
+                if tail:
+                    return tail
+        return self._value
+
+    def n3(self) -> str:
+        """N-Triples serialisation (``<iri>``)."""
+        return f"<{self._value}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("IRI", self._value))
+
+    def __repr__(self) -> str:
+        return f"IRI({self._value!r})"
+
+
+class Literal:
+    """An RDF literal with optional datatype IRI or language tag."""
+
+    __slots__ = ("_value", "_datatype", "_language")
+
+    def __init__(
+        self,
+        value: str,
+        datatype: Optional[IRI] = None,
+        language: Optional[str] = None,
+    ) -> None:
+        if datatype is not None and language is not None:
+            raise LinkedDataError("a literal cannot have both a datatype and a language")
+        self._value = str(value)
+        self._datatype = datatype
+        self._language = language
+
+    @property
+    def value(self) -> str:
+        """The lexical form."""
+        return self._value
+
+    @property
+    def datatype(self) -> Optional[IRI]:
+        """The datatype IRI, if any."""
+        return self._datatype
+
+    @property
+    def language(self) -> Optional[str]:
+        """The language tag, if any."""
+        return self._language
+
+    def n3(self) -> str:
+        """N-Triples serialisation with escaping."""
+        escaped = (
+            self._value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self._language is not None:
+            return f'"{escaped}"@{self._language}'
+        if self._datatype is not None:
+            return f'"{escaped}"^^{self._datatype.n3()}'
+        return f'"{escaped}"'
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self._value == other._value
+            and self._datatype == other._datatype
+            and self._language == other._language
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self._value, self._datatype, self._language))
+
+    def __repr__(self) -> str:
+        return f"Literal({self._value!r})"
+
+
+class BlankNode:
+    """An anonymous resource (``_:label``)."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str) -> None:
+        if not label or " " in label:
+            raise LinkedDataError(f"invalid blank node label: {label!r}")
+        self._label = label
+
+    @property
+    def label(self) -> str:
+        """The blank-node label (without the ``_:`` prefix)."""
+        return self._label
+
+    def n3(self) -> str:
+        """N-Triples serialisation (``_:label``)."""
+        return f"_:{self._label}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlankNode) and self._label == other._label
+
+    def __hash__(self) -> int:
+        return hash(("BlankNode", self._label))
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self._label!r})"
+
+
+Subject = Union[IRI, BlankNode]
+Object = Union[IRI, BlankNode, Literal]
+
+
+class Triple:
+    """One RDF statement: (subject, predicate, object)."""
+
+    __slots__ = ("_subject", "_predicate", "_object")
+
+    def __init__(self, subject: Subject, predicate: IRI, obj: Object) -> None:
+        if not isinstance(subject, (IRI, BlankNode)):
+            raise LinkedDataError(f"invalid triple subject: {subject!r}")
+        if not isinstance(predicate, IRI):
+            raise LinkedDataError(f"invalid triple predicate: {predicate!r}")
+        if not isinstance(obj, (IRI, BlankNode, Literal)):
+            raise LinkedDataError(f"invalid triple object: {obj!r}")
+        self._subject = subject
+        self._predicate = predicate
+        self._object = obj
+
+    @property
+    def subject(self) -> Subject:
+        """The triple's subject."""
+        return self._subject
+
+    @property
+    def predicate(self) -> IRI:
+        """The triple's predicate."""
+        return self._predicate
+
+    @property
+    def object(self) -> Object:
+        """The triple's object."""
+        return self._object
+
+    def as_tuple(self) -> Tuple[Subject, IRI, Object]:
+        """The (s, p, o) tuple."""
+        return (self._subject, self._predicate, self._object)
+
+    def links_resources(self) -> bool:
+        """True when the object is a resource (IRI or blank node), not a literal.
+
+        Only resource-to-resource statements create edges in the linked-data
+        graph the miner analyses; literal-valued statements are attributes.
+        """
+        return isinstance(self._object, (IRI, BlankNode))
+
+    def n3(self) -> str:
+        """N-Triples serialisation, including the trailing dot."""
+        return f"{self._subject.n3()} {self._predicate.n3()} {self._object.n3()} ."
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"Triple({self._subject!r}, {self._predicate!r}, {self._object!r})"

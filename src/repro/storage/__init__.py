@@ -1,0 +1,18 @@
+"""Storage structures: bit vectors, DSMatrix, DSTable and DSTree.
+
+* :class:`~repro.storage.bitvector.BitVector` — arbitrary-length bitset with
+  intersection/union/count, the workhorse of the vertical miners.
+* :class:`~repro.storage.dsmatrix.DSMatrix` — the paper's disk-backed binary
+  matrix over the sliding window (§2.3, §3).
+* :class:`~repro.storage.dstable.DSTable` — the disk-backed pointer table
+  baseline (§2.2).
+* :class:`~repro.storage.dstree.DSTree` — the in-memory stream tree baseline
+  (§2.1).
+"""
+
+from repro.storage.bitvector import BitVector
+from repro.storage.dsmatrix import DSMatrix
+from repro.storage.dstable import DSTable
+from repro.storage.dstree import DSTree
+
+__all__ = ["BitVector", "DSMatrix", "DSTable", "DSTree"]

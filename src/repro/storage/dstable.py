@@ -1,0 +1,283 @@
+"""DSTable — the disk-backed pointer table baseline (§2.2).
+
+The DSTable captures the window's transactions as a two-dimensional table:
+
+* one row per domain item, rows ordered canonically;
+* each row entry is a *pointer* ``(next_item, next_position)`` to the table
+  location of the **next** item of the same transaction (``None`` for the last
+  item of a transaction);
+* each row keeps ``w`` boundary values marking where each batch ends in that
+  row, so the window slide can drop the oldest batch's entries.
+
+The structure exists in this reproduction as the comparison baseline of the
+paper's experiments: it finds the same frequent patterns but needs
+``m * w`` boundary values and up to ``m * |T|`` pointers, versus the DSMatrix's
+``w`` boundaries and ``m * |T|`` *bits*.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import DSTableError
+from repro.stream.batch import Batch, Transaction
+
+# A pointer references the (item, index-within-that-item's-row) of the next
+# item in the same transaction; None marks the end of the transaction.
+Pointer = Optional[Tuple[str, int]]
+
+
+class DSTable:
+    """Pointer-based table over the transactions of the current sliding window.
+
+    Parameters
+    ----------
+    window_size:
+        Number of batches retained (``w``).
+    path:
+        Optional file path; when given the table is flushed to disk (JSON)
+        after every batch append.
+    """
+
+    def __init__(
+        self, window_size: int, path: Optional[Union[str, Path]] = None
+    ) -> None:
+        if window_size <= 0:
+            raise DSTableError(f"window size must be positive, got {window_size}")
+        self._window_size = window_size
+        self._rows: Dict[str, List[Pointer]] = {}
+        # Per-row boundaries: for each batch in the window, the row length at
+        # the end of that batch (the paper's "w boundary values for each item").
+        self._row_boundaries: Dict[str, Deque[int]] = {}
+        # Heads: for each transaction in window order, the (item, index) of its
+        # first entry, or None for an empty transaction.
+        self._heads: List[Pointer] = []
+        self._batch_transaction_counts: Deque[int] = deque()
+        self._path = Path(path) if path is not None else None
+
+    # ------------------------------------------------------------------ #
+    # window maintenance
+    # ------------------------------------------------------------------ #
+    def append_batch(self, batch: Batch) -> int:
+        """Add a batch, sliding the window first if it is full.
+
+        Returns the number of transactions evicted.
+        """
+        evicted = 0
+        if len(self._batch_transaction_counts) == self._window_size:
+            evicted = self._slide()
+        for transaction in batch.transactions:
+            self._insert_transaction(transaction)
+        self._batch_transaction_counts.append(len(batch))
+        for item in self._rows:
+            self._row_boundaries.setdefault(item, deque()).append(len(self._rows[item]))
+        # Items that appeared for the first time in this batch need boundary
+        # histories padded with zeros for the earlier batches in the window.
+        for item, bounds in self._row_boundaries.items():
+            while len(bounds) < len(self._batch_transaction_counts):
+                bounds.appendleft(0)
+        if self._path is not None:
+            self.save(self._path)
+        return evicted
+
+    def _insert_transaction(self, transaction: Transaction) -> None:
+        """Append one transaction as a linked chain of pointers."""
+        if not transaction:
+            self._heads.append(None)
+            return
+        ordered = tuple(sorted(transaction))
+        # Pre-compute the position every item will occupy in its row.
+        positions = []
+        for item in ordered:
+            row = self._rows.setdefault(item, [])
+            positions.append((item, len(row)))
+            row.append(None)  # placeholder, patched below
+        # Patch each entry to point at the next item's location.
+        for index in range(len(ordered)):
+            item, position = positions[index]
+            nxt = positions[index + 1] if index + 1 < len(ordered) else None
+            self._rows[item][position] = nxt
+        self._heads.append(positions[0])
+
+    def _slide(self) -> int:
+        """Remove the oldest batch using the per-row boundary values."""
+        dropped_transactions = self._batch_transaction_counts.popleft()
+        dropped_per_row: Dict[str, int] = {}
+        for item, bounds in self._row_boundaries.items():
+            dropped_per_row[item] = bounds.popleft() if bounds else 0
+        # Drop the oldest entries of every row and shift pointers.
+        for item, row in self._rows.items():
+            dropped = dropped_per_row.get(item, 0)
+            remaining = row[dropped:]
+            self._rows[item] = [
+                self._shift_pointer(pointer, dropped_per_row) for pointer in remaining
+            ]
+            bounds = self._row_boundaries[item]
+            self._row_boundaries[item] = deque(b - dropped for b in bounds)
+        # Drop the evicted transactions' heads and shift the remaining ones.
+        remaining_heads = self._heads[dropped_transactions:]
+        self._heads = [
+            self._shift_pointer(pointer, dropped_per_row) for pointer in remaining_heads
+        ]
+        return dropped_transactions
+
+    @staticmethod
+    def _shift_pointer(pointer: Pointer, dropped_per_row: Dict[str, int]) -> Pointer:
+        if pointer is None:
+            return None
+        item, position = pointer
+        return (item, position - dropped_per_row.get(item, 0))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def window_size(self) -> int:
+        """The configured window size ``w``."""
+        return self._window_size
+
+    @property
+    def num_transactions(self) -> int:
+        """Transactions currently in the window (``|T|``)."""
+        return len(self._heads)
+
+    @property
+    def num_batches(self) -> int:
+        """Batches currently in the window."""
+        return len(self._batch_transaction_counts)
+
+    def items(self) -> List[str]:
+        """Domain items in canonical (sorted) order."""
+        return sorted(self._rows)
+
+    def row_boundaries(self, item: str) -> List[int]:
+        """The ``w`` boundary values of ``item``'s row."""
+        if item not in self._rows:
+            raise DSTableError(f"unknown item {item!r}")
+        return list(self._row_boundaries.get(item, ()))
+
+    def pointer_count(self) -> int:
+        """Total number of stored pointers (the paper's space argument)."""
+        return sum(len(row) for row in self._rows.values())
+
+    def transactions(self) -> Iterator[Transaction]:
+        """Rebuild every transaction by following its pointer chain."""
+        for head in self._heads:
+            yield self._follow_chain(head)
+
+    def _follow_chain(self, head: Pointer) -> Transaction:
+        items: List[str] = []
+        pointer = head
+        guard = 0
+        limit = self.pointer_count() + 1
+        while pointer is not None:
+            item, position = pointer
+            try:
+                next_pointer = self._rows[item][position]
+            except (KeyError, IndexError):
+                raise DSTableError(
+                    f"broken pointer chain at ({item!r}, {position})"
+                ) from None
+            items.append(item)
+            pointer = next_pointer
+            guard += 1
+            if guard > limit:
+                raise DSTableError("pointer chain does not terminate (cycle detected)")
+        return tuple(items)
+
+    def item_frequencies(self) -> Counter:
+        """Window-wide frequencies of every item."""
+        counts: Counter = Counter()
+        for transaction in self.transactions():
+            counts.update(transaction)
+        return counts
+
+    def projected_transactions(
+        self, item: str, below_only: bool = True
+    ) -> List[Transaction]:
+        """The {``item``}-projected database, mirroring the DSMatrix helper."""
+        projected: List[Transaction] = []
+        for transaction in self.transactions():
+            if item not in transaction:
+                continue
+            if below_only:
+                index = transaction.index(item)
+                projected.append(transaction[index + 1 :])
+            else:
+                projected.append(tuple(i for i in transaction if i != item))
+        return projected
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write the table to disk as JSON and return the path written."""
+        target = Path(path) if path is not None else self._path
+        if target is None:
+            raise DSTableError("no path configured for DSTable.save()")
+        payload = {
+            "window_size": self._window_size,
+            "batch_transaction_counts": list(self._batch_transaction_counts),
+            "rows": {
+                item: [list(p) if p is not None else None for p in row]
+                for item, row in self._rows.items()
+            },
+            "row_boundaries": {
+                item: list(bounds) for item, bounds in self._row_boundaries.items()
+            },
+            "heads": [list(p) if p is not None else None for p in self._heads],
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DSTable":
+        """Read a table previously written by :meth:`save`."""
+        source = Path(path)
+        if not source.exists():
+            raise DSTableError(f"DSTable file not found: {source}")
+        with open(source, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise DSTableError(f"corrupt DSTable file: {source}") from exc
+        table = cls(window_size=payload["window_size"])
+        table._batch_transaction_counts = deque(payload["batch_transaction_counts"])
+        table._rows = {
+            item: [tuple(p) if p is not None else None for p in row]
+            for item, row in payload["rows"].items()
+        }
+        table._row_boundaries = {
+            item: deque(bounds) for item, bounds in payload["row_boundaries"].items()
+        }
+        table._heads = [tuple(p) if p is not None else None for p in payload["heads"]]
+        table._path = source
+        return table
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_batches(
+        cls,
+        batches: Sequence[Batch],
+        window_size: Optional[int] = None,
+        path: Optional[Union[str, Path]] = None,
+    ) -> "DSTable":
+        """Build a table by appending ``batches`` in order."""
+        size = window_size if window_size is not None else max(len(batches), 1)
+        table = cls(window_size=size, path=path)
+        for batch in batches:
+            table.append_batch(batch)
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"DSTable(items={len(self._rows)}, transactions={len(self._heads)}, "
+            f"batches={len(self._batch_transaction_counts)}/{self._window_size})"
+        )

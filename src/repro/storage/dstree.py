@@ -1,0 +1,236 @@
+"""DSTree — the in-memory stream tree baseline (§2.1).
+
+The DSTree is a prefix tree over transactions arranged in *canonical* item
+order (so that item-frequency drift never forces node reordering).  Every node
+keeps a list of ``w`` frequency values, one per batch of the sliding window;
+when the window slides the oldest slot is dropped and a fresh slot is appended,
+and nodes whose counts are all zero are pruned.
+
+The DSTree is the memory-hungry baseline of the paper's experiments: the whole
+tree (plus the FP-trees built from it during mining) lives in main memory.
+Mining extracts projected databases by following node-links upward, exactly as
+the DSTree/FP-growth combination of Leung & Khan (ICDM 2006) does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DSTreeError
+from repro.stream.batch import Batch, Transaction
+
+
+class DSTreeNode:
+    """One node of the DSTree: an item plus ``w`` per-batch frequency counts."""
+
+    __slots__ = ("item", "counts", "parent", "children")
+
+    def __init__(self, item: Optional[str], window_size: int, parent: Optional["DSTreeNode"]) -> None:
+        self.item = item
+        self.counts: List[int] = [0] * window_size
+        self.parent = parent
+        self.children: Dict[str, "DSTreeNode"] = {}
+
+    @property
+    def total(self) -> int:
+        """Total frequency across the window (sum of the ``w`` counts)."""
+        return sum(self.counts)
+
+    def path_to_root(self) -> List[str]:
+        """Items on the path from this node's parent up to (excluding) the root."""
+        items: List[str] = []
+        node = self.parent
+        while node is not None and node.item is not None:
+            items.append(node.item)
+            node = node.parent
+        items.reverse()
+        return items
+
+    def __repr__(self) -> str:
+        return f"DSTreeNode(item={self.item!r}, counts={self.counts})"
+
+
+class DSTree:
+    """Prefix tree over the window's transactions with per-batch counts.
+
+    Parameters
+    ----------
+    window_size:
+        Number of batches retained (``w``); also the length of every node's
+        frequency list.
+    """
+
+    def __init__(self, window_size: int) -> None:
+        if window_size <= 0:
+            raise DSTreeError(f"window size must be positive, got {window_size}")
+        self._window_size = window_size
+        self._root = DSTreeNode(None, window_size, None)
+        self._node_links: Dict[str, List[DSTreeNode]] = {}
+        self._batches_seen = 0
+        self._batch_transaction_counts: Deque[int] = deque()
+
+    # ------------------------------------------------------------------ #
+    # window maintenance
+    # ------------------------------------------------------------------ #
+    def append_batch(self, batch: Batch) -> None:
+        """Insert a batch's transactions, sliding the window first if full."""
+        if len(self._batch_transaction_counts) == self._window_size:
+            self._slide()
+        slot = len(self._batch_transaction_counts)
+        for transaction in batch.transactions:
+            self._insert_transaction(transaction, slot)
+        self._batch_transaction_counts.append(len(batch))
+        self._batches_seen += 1
+
+    def _insert_transaction(self, transaction: Transaction, slot: int) -> None:
+        node = self._root
+        for item in sorted(transaction):
+            child = node.children.get(item)
+            if child is None:
+                child = DSTreeNode(item, self._window_size, node)
+                node.children[item] = child
+                self._node_links.setdefault(item, []).append(child)
+            child.counts[slot] += 1
+            node = child
+
+    def _slide(self) -> None:
+        """Drop the oldest batch slot from every node and prune empty nodes."""
+        self._batch_transaction_counts.popleft()
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            node.counts.pop(0)
+            node.counts.append(0)
+        self._prune_empty_nodes()
+
+    def _prune_empty_nodes(self) -> None:
+        def prune(node: DSTreeNode) -> None:
+            for item in list(node.children):
+                child = node.children[item]
+                prune(child)
+                if child.total == 0 and not child.children:
+                    del node.children[item]
+                    links = self._node_links.get(item)
+                    if links is not None:
+                        try:
+                            links.remove(child)
+                        except ValueError:
+                            pass
+                        if not links:
+                            del self._node_links[item]
+
+        prune(self._root)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def window_size(self) -> int:
+        """The configured window size ``w``."""
+        return self._window_size
+
+    @property
+    def root(self) -> DSTreeNode:
+        """The (item-less) root node."""
+        return self._root
+
+    @property
+    def num_batches(self) -> int:
+        """Batches currently represented in the window."""
+        return len(self._batch_transaction_counts)
+
+    def node_count(self) -> int:
+        """Number of item nodes in the tree (memory-accounting helper)."""
+        count = 0
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def items(self) -> List[str]:
+        """Items currently present in the tree, canonical order."""
+        return sorted(self._node_links)
+
+    def item_frequency(self, item: str) -> int:
+        """Window-wide frequency of ``item`` (sum over its node-links)."""
+        return sum(node.total for node in self._node_links.get(item, ()))
+
+    def item_frequencies(self) -> Counter:
+        """Window-wide frequencies of every item."""
+        return Counter({item: self.item_frequency(item) for item in self.items()})
+
+    def check_count_invariant(self) -> bool:
+        """Verify the DSTree property: a node's total >= sum of its children's totals."""
+        stack = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            children_total = sum(child.total for child in node.children.values())
+            if node.total < children_total:
+                return False
+            stack.extend(node.children.values())
+        return True
+
+    # ------------------------------------------------------------------ #
+    # mining support
+    # ------------------------------------------------------------------ #
+    def projected_database(self, item: str) -> List[Tuple[Transaction, int]]:
+        """The {``item``}-projected database: (prefix path, count) pairs.
+
+        Obtained by traversing the node-links of ``item`` upward, which is how
+        the DSTree-based exact algorithm forms projected databases.
+        """
+        projected: List[Tuple[Transaction, int]] = []
+        for node in self._node_links.get(item, ()):
+            count = node.total
+            if count <= 0:
+                continue
+            prefix = tuple(node.path_to_root())
+            projected.append((prefix, count))
+        return projected
+
+    def weighted_transactions(self) -> Iterator[Tuple[Transaction, int]]:
+        """Reconstruct the window's transactions as (itemset, multiplicity) pairs.
+
+        A node's "ending count" is its total minus the totals of its children;
+        a positive ending count means that many transactions end at that node.
+        """
+        stack: List[DSTreeNode] = list(self._root.children.values())
+        while stack:
+            node = stack.pop()
+            children_total = sum(child.total for child in node.children.values())
+            ending = node.total - children_total
+            if ending > 0:
+                path = tuple(node.path_to_root() + [node.item])
+                yield path, ending
+            stack.extend(node.children.values())
+
+    def transactions(self) -> List[Transaction]:
+        """Expand :meth:`weighted_transactions` into a flat transaction list."""
+        expanded: List[Transaction] = []
+        for itemset, count in self.weighted_transactions():
+            expanded.extend([itemset] * count)
+        return expanded
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_batches(
+        cls, batches: Sequence[Batch], window_size: Optional[int] = None
+    ) -> "DSTree":
+        """Build a tree by appending ``batches`` in order."""
+        size = window_size if window_size is not None else max(len(batches), 1)
+        tree = cls(window_size=size)
+        for batch in batches:
+            tree.append_batch(batch)
+        return tree
+
+    def __repr__(self) -> str:
+        return (
+            f"DSTree(nodes={self.node_count()}, items={len(self._node_links)}, "
+            f"batches={self.num_batches}/{self._window_size})"
+        )

@@ -1,0 +1,13 @@
+"""Stream model: batches, sliding windows, graph and transaction streams.
+
+The paper processes a stream of graph snapshots in *batches*; a *sliding
+window* retains the most recent ``w`` batches, and the on-disk structures
+(DSMatrix / DSTable) are updated when the window slides.  This subpackage
+provides those abstractions, independent of any particular storage structure.
+"""
+
+from repro.stream.batch import Batch
+from repro.stream.stream import GraphStream, TransactionStream
+from repro.stream.window import SlidingWindow
+
+__all__ = ["Batch", "GraphStream", "TransactionStream", "SlidingWindow"]

@@ -1,0 +1,104 @@
+"""Batches of transactions.
+
+A :class:`Batch` is an ordered, immutable collection of transactions (each a
+tuple of item symbols) arriving together in the stream.  Batches are the unit
+of window sliding: when a new batch arrives, the oldest batch leaves the
+window.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StreamError
+
+Item = str
+Transaction = Tuple[Item, ...]
+
+
+class Batch:
+    """An immutable batch of transactions.
+
+    Parameters
+    ----------
+    transactions:
+        The transactions of the batch.  Each transaction is normalised to a
+        sorted tuple of unique items (canonical order), matching the paper's
+        requirement that structures are built in a fixed canonical item order.
+    batch_id:
+        Optional identifier (position of the batch in the stream).
+    """
+
+    __slots__ = ("_transactions", "_batch_id")
+
+    def __init__(
+        self,
+        transactions: Iterable[Sequence[Item]],
+        batch_id: Optional[int] = None,
+    ) -> None:
+        normalised: List[Transaction] = []
+        for transaction in transactions:
+            items = tuple(sorted(set(transaction)))
+            normalised.append(items)
+        self._transactions: Tuple[Transaction, ...] = tuple(normalised)
+        self._batch_id = batch_id
+
+    @property
+    def transactions(self) -> Tuple[Transaction, ...]:
+        """The normalised transactions of the batch."""
+        return self._transactions
+
+    @property
+    def batch_id(self) -> Optional[int]:
+        """The batch identifier, if known."""
+        return self._batch_id
+
+    def item_frequencies(self) -> Counter:
+        """Frequency of every item within this batch."""
+        counts: Counter = Counter()
+        for transaction in self._transactions:
+            counts.update(transaction)
+        return counts
+
+    def items(self) -> List[Item]:
+        """All distinct items appearing in the batch, in canonical order."""
+        return sorted(self.item_frequencies())
+
+    def with_id(self, batch_id: int) -> "Batch":
+        """Return a copy of this batch carrying ``batch_id``."""
+        clone = Batch.__new__(Batch)
+        clone._transactions = self._transactions
+        clone._batch_id = batch_id
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self._transactions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Batch):
+            return NotImplemented
+        return self._transactions == other._transactions
+
+    def __hash__(self) -> int:
+        return hash(self._transactions)
+
+    def __repr__(self) -> str:
+        ident = "" if self._batch_id is None else f" id={self._batch_id}"
+        return f"Batch({len(self._transactions)} transactions{ident})"
+
+    @classmethod
+    def merge(cls, batches: Sequence["Batch"]) -> "Batch":
+        """Concatenate several batches into one (used by window-wide scans)."""
+        if not batches:
+            raise StreamError("cannot merge zero batches")
+        merged: List[Transaction] = []
+        for batch in batches:
+            merged.extend(batch.transactions)
+        return cls(merged)

@@ -1,0 +1,121 @@
+"""Streams of graph snapshots and of raw transactions.
+
+A :class:`GraphStream` wraps any iterable of
+:class:`~repro.graph.graph.GraphSnapshot` objects and batches it; a
+:class:`TransactionStream` does the same for already-encoded transactions.
+Both yield :class:`~repro.stream.batch.Batch` objects, which is what the
+sliding window and the storage structures consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.exceptions import StreamError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+from repro.stream.batch import Batch, Transaction
+
+
+class TransactionStream:
+    """A batched stream of transactions.
+
+    Parameters
+    ----------
+    transactions:
+        Any iterable of transactions (sequences of item symbols).
+    batch_size:
+        Number of transactions per batch.  The final batch may be smaller
+        unless ``drop_last`` is set.
+    drop_last:
+        Discard a trailing partial batch (default keeps it).
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Sequence[str]],
+        batch_size: int,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise StreamError(f"batch_size must be positive, got {batch_size}")
+        self._transactions = transactions
+        self._batch_size = batch_size
+        self._drop_last = drop_last
+
+    @property
+    def batch_size(self) -> int:
+        """Number of transactions per emitted batch."""
+        return self._batch_size
+
+    def batches(self) -> Iterator[Batch]:
+        """Yield successive batches with sequential ``batch_id`` values."""
+        buffer: List[Sequence[str]] = []
+        batch_id = 0
+        for transaction in self._transactions:
+            buffer.append(transaction)
+            if len(buffer) == self._batch_size:
+                yield Batch(buffer, batch_id=batch_id)
+                buffer = []
+                batch_id += 1
+        if buffer and not self._drop_last:
+            yield Batch(buffer, batch_id=batch_id)
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self.batches()
+
+
+class GraphStream:
+    """A batched stream of graph snapshots encoded through an edge registry.
+
+    Parameters
+    ----------
+    snapshots:
+        Any iterable of :class:`~repro.graph.graph.GraphSnapshot`.
+    registry:
+        The :class:`~repro.graph.edge_registry.EdgeRegistry` used to encode
+        snapshots into transactions.  A fresh registry is created when omitted
+        and exposed via :attr:`registry`.
+    batch_size:
+        Number of snapshots per batch.
+    register_new_edges:
+        Whether unseen edges are added to the registry while streaming
+        (default) or rejected.
+    """
+
+    def __init__(
+        self,
+        snapshots: Iterable[GraphSnapshot],
+        registry: Optional[EdgeRegistry] = None,
+        batch_size: int = 1000,
+        register_new_edges: bool = True,
+    ) -> None:
+        if batch_size <= 0:
+            raise StreamError(f"batch_size must be positive, got {batch_size}")
+        self._snapshots = snapshots
+        self._registry = registry if registry is not None else EdgeRegistry()
+        self._batch_size = batch_size
+        self._register_new_edges = register_new_edges
+
+    @property
+    def registry(self) -> EdgeRegistry:
+        """The edge registry used to encode snapshots."""
+        return self._registry
+
+    @property
+    def batch_size(self) -> int:
+        """Number of snapshots per emitted batch."""
+        return self._batch_size
+
+    def transactions(self) -> Iterator[Transaction]:
+        """Yield the encoded transaction of every snapshot in order."""
+        for snapshot in self._snapshots:
+            yield self._registry.encode(snapshot, register_new=self._register_new_edges)
+
+    def batches(self) -> Iterator[Batch]:
+        """Yield successive batches of encoded transactions."""
+        stream = TransactionStream(self.transactions(), batch_size=self._batch_size)
+        return stream.batches()
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self.batches()

@@ -1,0 +1,101 @@
+"""Sliding window over batches of transactions.
+
+The :class:`SlidingWindow` keeps the most recent ``w`` batches.  When a new
+batch is pushed into a full window the oldest batch is evicted and returned,
+so storage structures can mirror the slide (drop the oldest batch's columns,
+append the new batch's columns — exactly the DSMatrix behaviour of §3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from repro.exceptions import WindowError
+from repro.stream.batch import Batch, Transaction
+
+
+class SlidingWindow:
+    """A bounded FIFO of batches with window-wide helpers.
+
+    Parameters
+    ----------
+    size:
+        The window size ``w`` (number of batches retained).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise WindowError(f"window size must be positive, got {size}")
+        self._size = size
+        self._batches: Deque[Batch] = deque()
+
+    @property
+    def size(self) -> int:
+        """Maximum number of batches retained (``w``)."""
+        return self._size
+
+    @property
+    def batches(self) -> List[Batch]:
+        """The retained batches, oldest first."""
+        return list(self._batches)
+
+    @property
+    def is_full(self) -> bool:
+        """True once ``w`` batches are retained."""
+        return len(self._batches) == self._size
+
+    def push(self, batch: Batch) -> Optional[Batch]:
+        """Add ``batch``; return the evicted oldest batch if the window was full."""
+        evicted: Optional[Batch] = None
+        if len(self._batches) == self._size:
+            evicted = self._batches.popleft()
+        self._batches.append(batch)
+        return evicted
+
+    def transactions(self) -> List[Transaction]:
+        """All transactions currently in the window, oldest batch first."""
+        result: List[Transaction] = []
+        for batch in self._batches:
+            result.extend(batch.transactions)
+        return result
+
+    def boundaries(self) -> List[int]:
+        """Cumulative column boundaries between batches (paper's boundary list).
+
+        For batches of sizes ``[3, 3]`` this returns ``[3, 6]``, matching the
+        running example "Boundaries: Cols 3 & 6".
+        """
+        bounds: List[int] = []
+        total = 0
+        for batch in self._batches:
+            total += len(batch)
+            bounds.append(total)
+        return bounds
+
+    def transaction_count(self) -> int:
+        """Total number of transactions in the window (``|T|``)."""
+        return sum(len(batch) for batch in self._batches)
+
+    def item_frequencies(self) -> Counter:
+        """Window-wide item frequencies."""
+        counts: Counter = Counter()
+        for batch in self._batches:
+            counts.update(batch.item_frequencies())
+        return counts
+
+    def items(self) -> List[str]:
+        """Distinct items in the window in canonical order."""
+        return sorted(self.item_frequencies())
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator[Batch]:
+        return iter(self._batches)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindow(size={self._size}, batches={len(self._batches)}, "
+            f"transactions={self.transaction_count()})"
+        )

@@ -1,0 +1,58 @@
+"""Unit tests for repro.bench.metrics."""
+
+import time
+
+from repro.bench.metrics import MemoryMeter, Timer, deep_sizeof
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestMemoryMeter:
+    def test_measures_allocations(self):
+        with MemoryMeter() as meter:
+            _payload = [list(range(1000)) for _ in range(50)]
+        assert meter.peak_bytes > 10_000
+
+    def test_nested_meters_do_not_stop_outer_tracing(self):
+        with MemoryMeter() as outer:
+            with MemoryMeter() as inner:
+                _x = list(range(1000))
+            _y = list(range(1000))
+        assert inner.peak_bytes > 0
+        assert outer.peak_bytes > 0
+
+
+class TestDeepSizeof:
+    def test_larger_containers_report_more(self):
+        small = deep_sizeof([1, 2, 3])
+        large = deep_sizeof(list(range(1000)))
+        assert large > small
+
+    def test_handles_cycles(self):
+        a = {"name": "a"}
+        a["self"] = a
+        assert deep_sizeof(a) > 0
+
+    def test_follows_object_attributes(self):
+        class Holder:
+            def __init__(self):
+                self.payload = list(range(500))
+
+        assert deep_sizeof(Holder()) > deep_sizeof(object())
+
+    def test_follows_slots(self):
+        from repro.storage.bitvector import BitVector
+
+        assert deep_sizeof(BitVector.ones(1000)) > 0
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof(shared) + 200

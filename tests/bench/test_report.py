@@ -1,0 +1,44 @@
+"""Unit tests for repro.bench.report."""
+
+from repro.bench.report import format_table, rows_to_markdown
+
+ROWS = [
+    {"algorithm": "vertical", "runtime_s": 0.12345, "patterns": 42},
+    {"algorithm": "vertical_direct", "runtime_s": 0.1, "patterns": 40},
+]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(ROWS)
+        assert "algorithm" in text
+        assert "vertical_direct" in text
+        assert "0.1235" in text  # floats rendered with 4 decimals
+
+    def test_title_prepended(self):
+        assert format_table(ROWS, title="E3").splitlines()[0] == "E3"
+
+    def test_column_selection_and_order(self):
+        text = format_table(ROWS, columns=["patterns", "algorithm"])
+        header = text.splitlines()[0]
+        assert header.index("patterns") < header.index("algorithm")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_missing_cells_rendered_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text.count("\n") == 3
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = rows_to_markdown(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| algorithm")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_empty(self):
+        assert rows_to_markdown([]) == "(no rows)"

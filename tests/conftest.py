@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_example import (
+    paper_example_batches,
+    paper_example_registry,
+    paper_example_snapshots,
+)
+from repro.storage.dsmatrix import DSMatrix
+
+
+@pytest.fixture
+def paper_registry():
+    """The edge registry of the paper's Table 1 (items a-f)."""
+    return paper_example_registry()
+
+
+@pytest.fixture
+def paper_batches():
+    """The three batches B1-B3 of the paper's running example."""
+    return paper_example_batches()
+
+
+@pytest.fixture
+def paper_snapshots():
+    """The nine streamed graphs E1-E9."""
+    return paper_example_snapshots()
+
+
+@pytest.fixture
+def paper_window_matrix(paper_batches):
+    """A DSMatrix holding the window of batches B2-B3 (graphs E4-E9)."""
+    matrix = DSMatrix(window_size=2)
+    for batch in paper_batches:
+        matrix.append_batch(batch)
+    return matrix

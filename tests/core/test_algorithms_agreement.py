@@ -1,0 +1,109 @@
+"""Cross-algorithm agreement on randomly generated graph streams.
+
+This is the unit-test version of the paper's accuracy experiment: on random
+graph streams all algorithms (and the brute-force reference) must return
+identical results.  Includes a hypothesis-driven variant on tiny random
+streams.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import ALGORITHMS, get_algorithm
+from repro.core.postprocess import filter_connected_patterns
+from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.storage.dsmatrix import DSMatrix
+from repro.stream.batch import Batch
+from repro.stream.stream import TransactionStream
+from tests.helpers import (
+    brute_force_connected_frequent,
+    brute_force_frequent_itemsets,
+)
+
+NON_DIRECT = [name for name in sorted(ALGORITHMS) if name != "vertical_direct"]
+
+
+def build_random_window(seed: int, num_snapshots: int = 60, batch_size: int = 10,
+                        window_size: int = 3):
+    model = RandomGraphModel(num_vertices=8, avg_fanout=3.0, seed=seed)
+    registry = model.registry()
+    generator = GraphStreamGenerator(model, avg_edges_per_snapshot=4.0, seed=seed + 1)
+    transactions = [
+        registry.encode(snapshot, register_new=False)
+        for snapshot in generator.snapshots(num_snapshots)
+    ]
+    matrix = DSMatrix(window_size=window_size)
+    for batch in TransactionStream(transactions, batch_size=batch_size).batches():
+        matrix.append_batch(batch)
+    window_transactions = list(matrix.transactions())
+    return matrix, registry, window_transactions
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("minsup", [2, 5])
+def test_non_direct_algorithms_match_brute_force(seed, minsup):
+    matrix, registry, window_transactions = build_random_window(seed)
+    expected = brute_force_frequent_itemsets(window_transactions, minsup)
+    for name in NON_DIRECT:
+        found = get_algorithm(name).mine(matrix, minsup, registry=registry)
+        assert found == expected, name
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("minsup", [2, 5])
+def test_direct_algorithm_matches_brute_force_connected(seed, minsup):
+    matrix, registry, window_transactions = build_random_window(seed)
+    expected = brute_force_connected_frequent(window_transactions, minsup, registry)
+    found = get_algorithm("vertical_direct").mine(matrix, minsup, registry=registry)
+    assert found == expected
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_direct_equals_vertical_plus_postprocessing(seed):
+    matrix, registry, _ = build_random_window(seed)
+    minsup = 3
+    vertical = get_algorithm("vertical").mine(matrix, minsup, registry=registry)
+    post = filter_connected_patterns(vertical, registry, rule="exact")
+    direct = get_algorithm("vertical_direct").mine(matrix, minsup, registry=registry)
+    assert direct == post
+
+
+# ---------------------------------------------------------------------- #
+# hypothesis: tiny random edge streams over a 4-vertex universe
+# ---------------------------------------------------------------------- #
+VERTICES = ["v1", "v2", "v3", "v4", "v5"]
+ALL_EDGES = [
+    Edge(VERTICES[i], VERTICES[j])
+    for i in range(len(VERTICES))
+    for j in range(i + 1, len(VERTICES))
+]
+
+edge_transactions = st.lists(
+    st.sets(st.sampled_from(range(len(ALL_EDGES))), min_size=1, max_size=5),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edge_transactions, st.integers(min_value=1, max_value=3))
+def test_hypothesis_all_algorithms_agree(edge_index_sets, minsup):
+    registry = EdgeRegistry.from_edges(ALL_EDGES)
+    transactions = [
+        tuple(sorted(registry.item_for(ALL_EDGES[index]) for index in index_set))
+        for index_set in edge_index_sets
+    ]
+    matrix = DSMatrix(window_size=1)
+    matrix.append_batch(Batch(transactions))
+
+    expected_all = brute_force_frequent_itemsets(transactions, minsup)
+    expected_connected = brute_force_connected_frequent(transactions, minsup, registry)
+
+    for name in NON_DIRECT:
+        assert get_algorithm(name).mine(matrix, minsup, registry=registry) == expected_all
+    assert (
+        get_algorithm("vertical_direct").mine(matrix, minsup, registry=registry)
+        == expected_connected
+    )

@@ -1,0 +1,96 @@
+"""All five algorithms reproduce the paper's running example exactly.
+
+Examples 2-7 of the paper: with the window holding batches B2-B3 and
+minsup = 2, the miners must find the 17 collections of frequent edges, of
+which 15 are connected subgraphs.
+"""
+
+import pytest
+
+from repro.core.algorithms import ALGORITHMS, get_algorithm
+from repro.core.postprocess import filter_connected_patterns
+from repro.datasets.paper_example import (
+    PAPER_ALL_FREQUENT,
+    PAPER_CONNECTED_FREQUENT,
+)
+
+NON_DIRECT = [name for name in sorted(ALGORITHMS) if name != "vertical_direct"]
+
+
+@pytest.mark.parametrize("name", NON_DIRECT)
+def test_all_collections_match_paper(name, paper_window_matrix, paper_registry):
+    algorithm = get_algorithm(name)
+    found = algorithm.mine(paper_window_matrix, 2, registry=paper_registry)
+    assert found == PAPER_ALL_FREQUENT
+
+
+@pytest.mark.parametrize("name", NON_DIRECT)
+def test_postprocessed_connected_subgraphs_match_paper(
+    name, paper_window_matrix, paper_registry
+):
+    algorithm = get_algorithm(name)
+    found = algorithm.mine(paper_window_matrix, 2, registry=paper_registry)
+    connected = filter_connected_patterns(found, paper_registry, rule="exact")
+    assert connected == PAPER_CONNECTED_FREQUENT
+
+
+def test_direct_algorithm_matches_paper(paper_window_matrix, paper_registry):
+    algorithm = get_algorithm("vertical_direct")
+    found = algorithm.mine(paper_window_matrix, 2, registry=paper_registry)
+    assert found == PAPER_CONNECTED_FREQUENT
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_pattern_counts_of_the_paper(name, paper_window_matrix, paper_registry):
+    # "a total of 5+7+1+3+1 = 17 collections" and "only 15 frequent connected
+    # subgraphs are then returned to the user".
+    algorithm = get_algorithm(name)
+    found = algorithm.mine(paper_window_matrix, 2, registry=paper_registry)
+    if algorithm.produces_connected_only:
+        assert len(found) == 15
+    else:
+        assert len(found) == 17
+        assert len(filter_connected_patterns(found, paper_registry)) == 15
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_higher_minsup_shrinks_results(name, paper_window_matrix, paper_registry):
+    algorithm = get_algorithm(name)
+    low = algorithm.mine(paper_window_matrix, 2, registry=paper_registry)
+    high = algorithm.mine(paper_window_matrix, 4, registry=paper_registry)
+    assert set(high) <= set(low)
+    assert all(support >= 4 for support in high.values())
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_minsup_one_returns_every_observed_collection(
+    name, paper_window_matrix, paper_registry
+):
+    algorithm = get_algorithm(name)
+    found = algorithm.mine(paper_window_matrix, 1, registry=paper_registry)
+    # Every single edge present in the window must be reported.
+    for item, frequency in paper_window_matrix.item_frequencies().items():
+        if frequency > 0:
+            assert found[frozenset({item})] == frequency
+
+
+def test_example7_direct_never_produces_disjoint_pairs(
+    paper_window_matrix, paper_registry
+):
+    # Example 7: the direct algorithm never produces {a, f} even though both
+    # edges are frequent, because f is not a neighbour of a.
+    found = get_algorithm("vertical_direct").mine(
+        paper_window_matrix, 2, registry=paper_registry
+    )
+    assert frozenset({"a", "f"}) not in found
+    assert frozenset({"c", "d"}) not in found
+
+
+def test_example5_pair_supports(paper_window_matrix, paper_registry):
+    # Example 5: {a,c}:4, {a,d}:3, {a,f}:4.
+    found = get_algorithm("vertical").mine(paper_window_matrix, 2, registry=paper_registry)
+    assert found[frozenset({"a", "c"})] == 4
+    assert found[frozenset({"a", "d"})] == 3
+    assert found[frozenset({"a", "f"})] == 4
+    assert found[frozenset({"b", "c"})] == 2
+    assert found[frozenset({"d", "f"})] == 3

@@ -1,0 +1,65 @@
+"""Unit tests for the DSTree / DSTable baseline miners (§2.1-§2.2)."""
+
+import pytest
+
+from repro.core.algorithms.baselines import DSTableMiner, DSTreeMiner
+from repro.datasets.paper_example import PAPER_ALL_FREQUENT
+from repro.exceptions import MiningError
+from tests.helpers import brute_force_frequent_itemsets, transactions_from_batches
+
+
+@pytest.mark.parametrize("miner_cls", [DSTreeMiner, DSTableMiner])
+class TestBaselines:
+    def test_paper_example(self, miner_cls, paper_batches):
+        miner = miner_cls(window_size=2)
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        assert miner.mine(2) == PAPER_ALL_FREQUENT
+
+    def test_matches_brute_force_on_full_stream(self, miner_cls, paper_batches):
+        miner = miner_cls(window_size=3)
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        expected = brute_force_frequent_itemsets(
+            transactions_from_batches(paper_batches), 3
+        )
+        assert miner.mine(3) == expected
+
+    def test_invalid_minsup(self, miner_cls, paper_batches):
+        miner = miner_cls(window_size=2)
+        miner.append_batch(paper_batches[0])
+        with pytest.raises(MiningError):
+            miner.mine(0)
+
+    def test_stats_populated(self, miner_cls, paper_batches):
+        miner = miner_cls(window_size=2)
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        miner.mine(2)
+        assert miner.stats.patterns_found == len(PAPER_ALL_FREQUENT)
+        assert miner.stats.fptrees_built >= 1
+
+    def test_structure_exposed(self, miner_cls, paper_batches):
+        miner = miner_cls(window_size=2)
+        miner.append_batch(paper_batches[0])
+        assert miner.structure is not None
+
+
+class TestBaselineSpecifics:
+    def test_dstree_extra_stats_report_tree_size(self, paper_batches):
+        miner = DSTreeMiner(window_size=2)
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        miner.mine(2)
+        assert miner.stats.extra["dstree_nodes"] > 0
+
+    def test_dstable_extra_stats_report_pointer_count(self, paper_batches):
+        miner = DSTableMiner(window_size=2)
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        miner.mine(2)
+        assert miner.stats.extra["dstable_pointers"] > 0
+
+    def test_names(self):
+        assert DSTreeMiner.name == "dstree"
+        assert DSTableMiner.name == "dstable"

@@ -1,0 +1,94 @@
+"""Tests for closed / maximal pattern summarisation on MiningResult."""
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.core.patterns import MiningResult
+from repro.datasets.paper_example import paper_example_batches, paper_example_registry
+
+
+def make_result():
+    counts = {
+        frozenset({"a"}): 5,
+        frozenset({"b"}): 3,
+        frozenset({"a", "b"}): 3,
+        frozenset({"a", "c"}): 2,
+        frozenset({"c"}): 2,
+        frozenset({"a", "b", "c"}): 1,
+    }
+    return MiningResult.from_counts(counts)
+
+
+class TestClosed:
+    def test_closed_removes_patterns_absorbed_by_equal_support_supersets(self):
+        closed = make_result().closed()
+        # {b}:3 is absorbed by {a,b}:3; {c}:2 by {a,c}:2.
+        assert {"b"} not in closed
+        assert {"c"} not in closed
+        assert {"a"} in closed          # support 5 unmatched by any superset
+        assert {"a", "b"} in closed
+        assert {"a", "c"} in closed
+        assert {"a", "b", "c"} in closed
+
+    def test_closed_preserves_supports(self):
+        closed = make_result().closed()
+        assert closed.support_of({"a", "b"}) == 3
+
+    def test_closed_is_idempotent(self):
+        closed = make_result().closed()
+        assert closed.closed() == closed
+
+
+class TestMaximal:
+    def test_maximal_keeps_only_top_patterns(self):
+        maximal = make_result().maximal()
+        assert len(maximal) == 1
+        assert {"a", "b", "c"} in maximal
+
+    def test_maximal_subset_of_closed(self):
+        result = make_result()
+        maximal_sets = {p.items for p in result.maximal()}
+        closed_sets = {p.items for p in result.closed()}
+        assert maximal_sets <= closed_sets
+
+    def test_empty_result(self):
+        empty = MiningResult([])
+        assert len(empty.closed()) == 0
+        assert len(empty.maximal()) == 0
+
+
+class TestOnPaperExample:
+    def test_paper_example_summaries(self):
+        registry = paper_example_registry()
+        miner = StreamSubgraphMiner(
+            window_size=2, batch_size=3, algorithm="vertical", registry=registry
+        )
+        for batch in paper_example_batches():
+            miner.add_batch(batch)
+        result = miner.mine(minsup=2)          # 15 connected patterns
+        closed = result.closed()
+        maximal = result.maximal()
+        assert len(maximal) <= len(closed) <= len(result)
+        # The 4-edge collection {a,c,d,f} is both closed and maximal.
+        assert {"a", "c", "d", "f"} in closed
+        assert {"a", "c", "d", "f"} in maximal
+        # Every maximal pattern is connected (inherited from the result).
+        for pattern in maximal:
+            assert pattern.is_connected()
+
+    def test_closed_supports_recover_all_supports(self):
+        registry = paper_example_registry()
+        miner = StreamSubgraphMiner(
+            window_size=2, batch_size=3, algorithm="vertical", registry=registry
+        )
+        for batch in paper_example_batches():
+            miner.add_batch(batch)
+        result = miner.mine_all_collections(minsup=2)
+        closed = result.closed()
+        # Closedness property: each pattern's support equals the maximum
+        # support of a closed superset.
+        for pattern in result:
+            supers = [
+                c.support
+                for c in closed
+                if pattern.items <= c.items
+            ]
+            assert max(supers) == pattern.support

@@ -1,0 +1,51 @@
+"""Tests for the two DSTree mining strategies (§2.1 projection vs rebuild)."""
+
+import pytest
+
+from repro.core.algorithms.baselines import DSTreeMiner
+from repro.datasets.paper_example import PAPER_ALL_FREQUENT
+from repro.exceptions import MiningError
+from tests.helpers import brute_force_frequent_itemsets, transactions_from_batches
+
+
+class TestDSTreeStrategies:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(MiningError):
+            DSTreeMiner(window_size=2, strategy="magic")
+
+    def test_default_strategy_is_projection(self):
+        assert DSTreeMiner(window_size=2).strategy == "projection"
+
+    @pytest.mark.parametrize("strategy", ["projection", "rebuild"])
+    def test_paper_example(self, strategy, paper_batches):
+        miner = DSTreeMiner(window_size=2, strategy=strategy)
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        assert miner.mine(2) == PAPER_ALL_FREQUENT
+
+    @pytest.mark.parametrize("minsup", [1, 2, 3, 5])
+    def test_strategies_agree(self, minsup, paper_batches):
+        projection = DSTreeMiner(window_size=3, strategy="projection")
+        rebuild = DSTreeMiner(window_size=3, strategy="rebuild")
+        for batch in paper_batches:
+            projection.append_batch(batch)
+            rebuild.append_batch(batch)
+        assert projection.mine(minsup) == rebuild.mine(minsup)
+
+    def test_projection_matches_brute_force_on_full_stream(self, paper_batches):
+        miner = DSTreeMiner(window_size=3, strategy="projection")
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        expected = brute_force_frequent_itemsets(
+            transactions_from_batches(paper_batches), 2
+        )
+        assert miner.mine(2) == expected
+
+    def test_projection_builds_fptrees_per_item(self, paper_batches):
+        miner = DSTreeMiner(window_size=2, strategy="projection")
+        for batch in paper_batches:
+            miner.append_batch(batch)
+        miner.mine(2)
+        # One local FP-tree (at least) per frequent non-leading item.
+        assert miner.stats.fptrees_built >= 4
+        assert miner.stats.extra["dstree_nodes"] > 0

@@ -1,0 +1,92 @@
+"""Tests for JSON / CSV / DOT export of mining results."""
+
+import csv
+import io
+import json
+
+from repro.core.export import (
+    pattern_to_dot,
+    result_to_csv,
+    result_to_dot,
+    result_to_json,
+)
+from repro.core.miner import StreamSubgraphMiner
+from repro.core.patterns import MiningResult
+from repro.datasets.paper_example import paper_example_batches, paper_example_registry
+
+
+def paper_result(connected=True):
+    registry = paper_example_registry()
+    miner = StreamSubgraphMiner(
+        window_size=2, batch_size=3, algorithm="vertical", registry=registry
+    )
+    for batch in paper_example_batches():
+        miner.add_batch(batch)
+    result = miner.mine(minsup=2) if connected else miner.mine_all_collections(minsup=2)
+    return result, registry
+
+
+class TestJsonExport:
+    def test_round_trips_through_json(self):
+        result, registry = paper_result()
+        payload = json.loads(result_to_json(result, registry))
+        assert len(payload) == 15
+        by_items = {tuple(record["items"]): record for record in payload}
+        assert by_items[("a", "c")]["support"] == 4
+        assert by_items[("a", "c")]["connected"] is True
+        assert {"u", "v", "label"} <= set(by_items[("a", "c")]["edges"][0])
+
+    def test_json_without_registry_or_edges(self):
+        result = MiningResult.from_counts({frozenset({"x", "y"}): 3})
+        payload = json.loads(result_to_json(result))
+        assert payload[0]["items"] == ["x", "y"]
+        assert "edges" not in payload[0]
+
+    def test_compact_json(self):
+        result, registry = paper_result()
+        text = result_to_json(result, registry, indent=None)
+        assert "\n" not in text
+
+
+class TestCsvExport:
+    def test_csv_structure(self):
+        result, _registry = paper_result()
+        rows = list(csv.reader(io.StringIO(result_to_csv(result))))
+        assert rows[0] == ["items", "size", "support"]
+        assert len(rows) == 1 + 15
+        items_column = [row[0] for row in rows[1:]]
+        assert "a;c" in items_column
+
+    def test_csv_supports_are_integers(self):
+        result, _registry = paper_result()
+        rows = list(csv.reader(io.StringIO(result_to_csv(result))))
+        for row in rows[1:]:
+            assert int(row[2]) >= 2
+
+
+class TestDotExport:
+    def test_single_pattern_dot(self):
+        result, registry = paper_result()
+        pattern = next(p for p in result if p.sorted_items() == ("a", "c"))
+        dot = pattern_to_dot(pattern, registry)
+        assert dot.startswith("graph pattern {")
+        assert '"v1" -- "v2"' in dot
+        assert 'label="a"' in dot
+        assert "support=4" in dot
+
+    def test_pattern_without_edges_lists_items_as_nodes(self):
+        result = MiningResult.from_counts({frozenset({"x", "y"}): 3})
+        dot = pattern_to_dot(next(iter(result)))
+        assert '"x";' in dot
+        assert "--" not in dot
+
+    def test_result_dot_clusters(self):
+        result, registry = paper_result()
+        dot = result_to_dot(result, registry, max_patterns=3)
+        assert dot.count("subgraph cluster_") == 3
+        assert dot.strip().endswith("}")
+
+    def test_result_dot_handles_more_requested_than_available(self):
+        result, registry = paper_result()
+        dot = result_to_dot(result, registry, max_patterns=99)
+        assert dot.count("subgraph cluster_") == 15

@@ -1,0 +1,104 @@
+"""Tests for the continuous pattern monitor (window deltas)."""
+
+import pytest
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.core.monitor import PatternMonitor, WindowDelta
+from repro.datasets.paper_example import paper_example_batches, paper_example_registry
+from repro.exceptions import MiningError
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.stream.batch import Batch
+
+
+def make_monitor(every_batches=1, minsup=2, window_size=2):
+    registry = paper_example_registry()
+    miner = StreamSubgraphMiner(
+        window_size=window_size, batch_size=3, algorithm="vertical", registry=registry
+    )
+    return PatternMonitor(miner, minsup=minsup, every_batches=every_batches)
+
+
+class TestPatternMonitor:
+    def test_invalid_cadence(self):
+        with pytest.raises(MiningError):
+            make_monitor(every_batches=0)
+
+    def test_delta_produced_per_batch_by_default(self):
+        monitor = make_monitor()
+        deltas = monitor.observe_stream(paper_example_batches())
+        assert len(deltas) == 3
+        assert all(isinstance(delta, WindowDelta) for delta in deltas)
+        assert [d.batch_index for d in deltas] == [1, 2, 3]
+
+    def test_cadence_skips_intermediate_batches(self):
+        monitor = make_monitor(every_batches=2)
+        batches = paper_example_batches()
+        assert monitor.observe_batch(batches[0]) is None
+        assert monitor.observe_batch(batches[1]) is not None
+        assert monitor.observe_batch(batches[2]) is None
+
+    def test_first_delta_reports_everything_as_emerged(self):
+        monitor = make_monitor()
+        delta = monitor.observe_batch(paper_example_batches()[0])
+        assert delta.faded == {}
+        assert delta.support_changes == {}
+        assert len(delta.emerged) == len(delta.result)
+
+    def test_final_window_matches_direct_mining(self):
+        monitor = make_monitor()
+        deltas = monitor.observe_stream(paper_example_batches())
+        final = deltas[-1]
+        assert monitor.last_result == final.result.to_dict()
+        # The final window (B2-B3) is the paper's 15-connected-subgraph window.
+        assert len(final.result) == 15
+
+    def test_emerged_and_faded_track_window_slides(self):
+        monitor = make_monitor()
+        deltas = monitor.observe_stream(paper_example_batches())
+        second, third = deltas[1], deltas[2]
+        # Edge e is frequent in the B1-B2 window but not in B2-B3.
+        assert frozenset({"e"}) in second.result.to_dict()
+        assert frozenset({"e"}) in third.faded
+        # Everything reported as emerged is indeed in the new result.
+        for items in third.emerged:
+            assert items in third.result.to_dict()
+
+    def test_support_changes_have_old_and_new_values(self):
+        monitor = make_monitor()
+        deltas = monitor.observe_stream(paper_example_batches())
+        for delta in deltas[1:]:
+            for items, (old, new) in delta.support_changes.items():
+                assert old != new
+                assert delta.result.to_dict()[items] == new
+
+    def test_stable_window_reports_no_changes(self):
+        registry = EdgeRegistry()
+        pair = [Edge("x", "y"), Edge("y", "z")]
+        for edge in pair:
+            registry.register(edge)
+        miner = StreamSubgraphMiner(
+            window_size=2, batch_size=2, algorithm="vertical", registry=registry
+        )
+        monitor = PatternMonitor(miner, minsup=2)
+        transaction = tuple(registry.item_for(edge) for edge in pair)
+        batch = Batch([transaction] * 2)
+        monitor.observe_batch(batch)
+        monitor.observe_batch(batch)
+        delta = monitor.observe_batch(batch)
+        assert delta.is_stable
+        assert "0 faded" in delta.summary()
+
+    def test_force_mine(self):
+        monitor = make_monitor(every_batches=10)
+        batches = paper_example_batches()
+        assert monitor.observe_batch(batches[0]) is None
+        delta = monitor.force_mine()
+        assert delta.batch_index == 1
+        assert len(monitor.deltas) == 1
+
+    def test_summary_mentions_counts(self):
+        monitor = make_monitor()
+        delta = monitor.observe_batch(paper_example_batches()[0])
+        assert "emerged" in delta.summary()
+        assert f"batch {delta.batch_index}" in delta.summary()

@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.postprocess (the §3.5 pruning step)."""
+
+import pytest
+
+from repro.core.postprocess import filter_connected_patterns, is_connected_itemset
+from repro.datasets.paper_example import (
+    PAPER_ALL_FREQUENT,
+    PAPER_CONNECTED_FREQUENT,
+    PAPER_DISCONNECTED,
+)
+from repro.exceptions import MiningError
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+
+
+class TestIsConnectedItemset:
+    def test_singletons_connected(self, paper_registry):
+        for item in paper_registry.items():
+            assert is_connected_itemset(frozenset({item}), paper_registry)
+
+    def test_paper_example6_cases(self, paper_registry):
+        assert is_connected_itemset(frozenset({"a", "c"}), paper_registry)
+        assert not is_connected_itemset(frozenset({"a", "f"}), paper_registry)
+        assert not is_connected_itemset(frozenset({"c", "d"}), paper_registry)
+
+    def test_unknown_rule_rejected(self, paper_registry):
+        with pytest.raises(MiningError):
+            is_connected_itemset(frozenset({"a"}), paper_registry, rule="bogus")
+
+    def test_paper_rule_vs_exact_divergence(self):
+        # Two disjoint triangles: the paper rule keeps them, exact does not.
+        registry = EdgeRegistry()
+        triangle_one = [Edge("x1", "x2"), Edge("x2", "x3"), Edge("x1", "x3")]
+        triangle_two = [Edge("y1", "y2"), Edge("y2", "y3"), Edge("y1", "y3")]
+        items = frozenset(
+            registry.register(edge) for edge in triangle_one + triangle_two
+        )
+        assert is_connected_itemset(items, registry, rule="paper")
+        assert not is_connected_itemset(items, registry, rule="exact")
+
+
+class TestFilterConnectedPatterns:
+    def test_paper_example_prunes_exactly_two(self, paper_registry):
+        filtered = filter_connected_patterns(PAPER_ALL_FREQUENT, paper_registry)
+        assert filtered == PAPER_CONNECTED_FREQUENT
+        assert len(PAPER_ALL_FREQUENT) - len(filtered) == len(PAPER_DISCONNECTED)
+
+    def test_paper_rule_gives_same_result_on_paper_example(self, paper_registry):
+        exact = filter_connected_patterns(PAPER_ALL_FREQUENT, paper_registry, rule="exact")
+        paper = filter_connected_patterns(PAPER_ALL_FREQUENT, paper_registry, rule="paper")
+        assert exact == paper
+
+    def test_supports_preserved(self, paper_registry):
+        filtered = filter_connected_patterns(PAPER_ALL_FREQUENT, paper_registry)
+        for items, support in filtered.items():
+            assert PAPER_ALL_FREQUENT[items] == support
+
+    def test_empty_input(self, paper_registry):
+        assert filter_connected_patterns({}, paper_registry) == {}

@@ -1,0 +1,69 @@
+"""Unit tests for repro.datasets.connect4.Connect4LikeGenerator."""
+
+import pytest
+
+from repro.datasets.connect4 import Connect4LikeGenerator
+from repro.exceptions import DatasetError
+
+
+class TestConnect4LikeGenerator:
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            Connect4LikeGenerator(plies=-1)
+        with pytest.raises(DatasetError):
+            Connect4LikeGenerator(plies=43)
+        with pytest.raises(DatasetError):
+            Connect4LikeGenerator(seed=1).generate(-5)
+
+    def test_domain_and_transaction_shape_match_uci_connect4(self):
+        generator = Connect4LikeGenerator(seed=1)
+        assert generator.domain_size == 129
+        assert generator.transaction_length == 43
+
+    def test_every_record_has_43_items(self):
+        generator = Connect4LikeGenerator(seed=2)
+        for record in generator.generate(50):
+            assert len(record) == 43
+            assert list(record) == sorted(record)
+
+    def test_exactly_eight_discs_per_record(self):
+        generator = Connect4LikeGenerator(plies=8, seed=3)
+        for record in generator.generate(30):
+            discs = [item for item in record if item.endswith(("_x", "_o"))]
+            blanks = [item for item in record if item.endswith("_b")]
+            assert len(discs) == 8
+            assert len(blanks) == 34
+
+    def test_players_alternate(self):
+        generator = Connect4LikeGenerator(plies=8, seed=4)
+        for record in generator.generate(30):
+            x_count = sum(1 for item in record if item.endswith("_x"))
+            o_count = sum(1 for item in record if item.endswith("_o"))
+            assert x_count == 4
+            assert o_count == 4
+
+    def test_one_outcome_item_per_record(self):
+        generator = Connect4LikeGenerator(seed=5)
+        for record in generator.generate(20):
+            outcomes = [item for item in record if item.startswith("outcome_")]
+            assert len(outcomes) == 1
+
+    def test_dense_items_exist(self):
+        # High rows are almost always blank in 8-ply positions, so some items
+        # appear in nearly every record — this is the density that matters.
+        generator = Connect4LikeGenerator(seed=6)
+        records = generator.generate(200)
+        from collections import Counter
+
+        counts = Counter(item for record in records for item in record)
+        assert counts.most_common(1)[0][1] == 200
+
+    def test_deterministic_with_seed(self):
+        assert Connect4LikeGenerator(seed=7).generate(20) == Connect4LikeGenerator(
+            seed=7
+        ).generate(20)
+
+    def test_zero_plies_board_all_blank(self):
+        generator = Connect4LikeGenerator(plies=0, seed=8)
+        record = generator.generate(1)[0]
+        assert sum(1 for item in record if item.endswith("_b")) == 42

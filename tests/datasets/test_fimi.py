@@ -1,0 +1,41 @@
+"""Unit tests for the FIMI reader/writer."""
+
+import pytest
+
+from repro.datasets.fimi import iter_fimi, read_fimi, write_fimi
+from repro.exceptions import DatasetError
+
+
+class TestFimiIO:
+    def test_round_trip(self, tmp_path):
+        transactions = [("a", "b"), ("c",), ("a", "c", "d")]
+        path = write_fimi(tmp_path / "data.fimi", transactions)
+        assert read_fimi(path) == list(transactions)
+
+    def test_iter_matches_read(self, tmp_path):
+        transactions = [("1", "2", "3"), ("2", "4")]
+        path = write_fimi(tmp_path / "data.fimi", transactions)
+        assert list(iter_fimi(path)) == read_fimi(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.fimi"
+        path.write_text("# header\n\n1 2 3\n\n4 5\n", encoding="utf-8")
+        assert read_fimi(path) == [("1", "2", "3"), ("4", "5")]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_fimi(tmp_path / "absent.fimi")
+        with pytest.raises(DatasetError):
+            list(iter_fimi(tmp_path / "absent.fimi"))
+
+    def test_items_with_whitespace_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_fimi(tmp_path / "bad.fimi", [("a b",)])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_fimi(tmp_path / "nested" / "dir" / "data.fimi", [("a",)])
+        assert path.exists()
+
+    def test_integer_items_stringified(self, tmp_path):
+        path = write_fimi(tmp_path / "ints.fimi", [(1, 2), (3,)])
+        assert read_fimi(path) == [("1", "2"), ("3",)]

@@ -1,0 +1,60 @@
+"""Consistency checks for the bundled paper example dataset."""
+
+from repro.datasets.paper_example import (
+    PAPER_ALL_FREQUENT,
+    PAPER_CONNECTED_FREQUENT,
+    PAPER_DISCONNECTED,
+    PAPER_EDGE_TABLE,
+    PAPER_GRAPHS,
+    PAPER_TRANSACTIONS,
+    paper_example_batches,
+    paper_example_registry,
+    paper_example_snapshots,
+)
+from repro.graph.connectivity import is_connected_edge_set
+
+
+class TestPaperExampleData:
+    def test_nine_graphs(self):
+        assert len(PAPER_GRAPHS) == 9
+        assert len(paper_example_snapshots()) == 9
+
+    def test_registry_matches_table1(self):
+        registry = paper_example_registry()
+        assert registry.items() == sorted(PAPER_EDGE_TABLE)
+        for item, vertices in PAPER_EDGE_TABLE.items():
+            assert registry.vertices_of(item) == vertices
+
+    def test_registry_is_frozen(self):
+        assert paper_example_registry().frozen
+
+    def test_snapshot_encoding_matches_expected_transactions(self):
+        registry = paper_example_registry()
+        snapshots = paper_example_snapshots()
+        encoded = [registry.encode(s, register_new=False) for s in snapshots]
+        assert encoded == list(PAPER_TRANSACTIONS)
+
+    def test_batches_are_three_by_three(self):
+        batches = paper_example_batches()
+        assert [len(b) for b in batches] == [3, 3, 3]
+        assert [b.batch_id for b in batches] == [0, 1, 2]
+
+    def test_expected_pattern_tables_are_consistent(self):
+        assert len(PAPER_ALL_FREQUENT) == 17
+        assert len(PAPER_CONNECTED_FREQUENT) == 15
+        assert PAPER_DISCONNECTED <= set(PAPER_ALL_FREQUENT)
+        assert set(PAPER_CONNECTED_FREQUENT) == set(PAPER_ALL_FREQUENT) - PAPER_DISCONNECTED
+
+    def test_connectivity_labels_are_correct(self):
+        registry = paper_example_registry()
+        for items in PAPER_ALL_FREQUENT:
+            edges = registry.decode(items)
+            expected_connected = items not in PAPER_DISCONNECTED
+            assert is_connected_edge_set(edges) == expected_connected
+
+    def test_supports_recomputed_from_window(self):
+        registry = paper_example_registry()
+        window = PAPER_TRANSACTIONS[3:]
+        for items, support in PAPER_ALL_FREQUENT.items():
+            observed = sum(1 for t in window if items <= set(t))
+            assert observed == support, items

@@ -1,0 +1,114 @@
+"""Unit tests for repro.datasets.random_graphs."""
+
+import pytest
+
+from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
+from repro.exceptions import DatasetError
+from repro.graph.graph import GraphSnapshot
+
+
+class TestRandomGraphModel:
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            RandomGraphModel(num_vertices=1)
+        with pytest.raises(DatasetError):
+            RandomGraphModel(num_vertices=5, avg_fanout=0)
+        with pytest.raises(DatasetError):
+            RandomGraphModel(num_vertices=5, topology="hypercube")
+        with pytest.raises(DatasetError):
+            RandomGraphModel(num_vertices=5, centrality_skew=-1)
+
+    @pytest.mark.parametrize("topology", ["uniform", "scale_free", "ring"])
+    def test_edge_count_tracks_fanout(self, topology):
+        model = RandomGraphModel(
+            num_vertices=20, avg_fanout=4.0, topology=topology, seed=7
+        )
+        # n * fanout / 2 = 40 edges requested; ring may add a few for the cycle.
+        assert 20 <= len(model) <= 60
+        assert len(model.weights) == len(model.edges)
+
+    def test_deterministic_with_seed(self):
+        a = RandomGraphModel(num_vertices=15, seed=3)
+        b = RandomGraphModel(num_vertices=15, seed=3)
+        assert a.edges == b.edges
+        assert a.weights == b.weights
+
+    def test_different_seeds_differ(self):
+        a = RandomGraphModel(num_vertices=15, seed=3)
+        b = RandomGraphModel(num_vertices=15, seed=4)
+        assert a.edges != b.edges or a.weights != b.weights
+
+    def test_zero_skew_gives_uniform_weights(self):
+        model = RandomGraphModel(num_vertices=10, centrality_skew=0, seed=1)
+        assert set(model.weights) == {1.0}
+
+    def test_registry_covers_universe(self):
+        model = RandomGraphModel(num_vertices=10, seed=2)
+        registry = model.registry()
+        assert len(registry) == len(model)
+
+    def test_ring_topology_contains_cycle(self):
+        model = RandomGraphModel(num_vertices=8, avg_fanout=2.0, topology="ring", seed=5)
+        edge_set = set(model.edges)
+        from repro.graph.edge import Edge
+
+        for index in range(8):
+            assert Edge(f"v{index}", f"v{(index + 1) % 8}") in edge_set
+
+    def test_repr(self):
+        assert "topology='uniform'" in repr(RandomGraphModel(num_vertices=5, seed=1))
+
+
+class TestGraphStreamGenerator:
+    def make_generator(self, **kwargs):
+        model = RandomGraphModel(num_vertices=12, avg_fanout=4.0, seed=11)
+        defaults = dict(avg_edges_per_snapshot=4.0, seed=13)
+        defaults.update(kwargs)
+        return GraphStreamGenerator(model, **defaults), model
+
+    def test_parameter_validation(self):
+        model = RandomGraphModel(num_vertices=5, seed=1)
+        with pytest.raises(DatasetError):
+            GraphStreamGenerator(model, avg_edges_per_snapshot=0)
+        with pytest.raises(DatasetError):
+            GraphStreamGenerator(model, drift_interval=-1)
+
+    def test_generates_requested_count(self):
+        generator, _ = self.make_generator()
+        snapshots = generator.generate(25)
+        assert len(snapshots) == 25
+        assert all(isinstance(s, GraphSnapshot) for s in snapshots)
+
+    def test_negative_count_rejected(self):
+        generator, _ = self.make_generator()
+        with pytest.raises(DatasetError):
+            generator.generate(-1)
+
+    def test_snapshots_only_use_model_edges(self):
+        generator, model = self.make_generator()
+        universe = set(model.edges)
+        for snapshot in generator.generate(30):
+            assert set(snapshot.edges) <= universe
+            assert len(snapshot) >= 1
+
+    def test_deterministic_with_seed(self):
+        generator_a, _ = self.make_generator()
+        generator_b, _ = self.make_generator()
+        assert generator_a.generate(10) == generator_b.generate(10)
+
+    def test_average_snapshot_size_near_target(self):
+        generator, _ = self.make_generator(avg_edges_per_snapshot=5.0)
+        sizes = [len(s) for s in generator.generate(300)]
+        assert 3.0 <= sum(sizes) / len(sizes) <= 7.0
+
+    def test_drift_changes_edge_distribution(self):
+        generator, _ = self.make_generator(drift_interval=10, seed=21)
+        snapshots = generator.generate(200)
+        first_half = set()
+        second_half = set()
+        for snapshot in snapshots[:100]:
+            first_half.update(snapshot.edges)
+        for snapshot in snapshots[100:]:
+            second_half.update(snapshot.edges)
+        # Both halves draw from the same universe but need not be identical.
+        assert first_half and second_half

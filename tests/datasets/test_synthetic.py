@@ -1,0 +1,88 @@
+"""Unit tests for repro.datasets.synthetic.IBMSyntheticGenerator."""
+
+import pytest
+
+from repro.datasets.synthetic import IBMSyntheticGenerator
+from repro.exceptions import DatasetError
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_items": 0},
+            {"avg_transaction_length": 0},
+            {"avg_pattern_length": -1},
+            {"num_patterns": 0},
+            {"correlation": 1.5},
+            {"correlation": -0.1},
+            {"corruption_level": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DatasetError):
+            IBMSyntheticGenerator(**kwargs)
+
+    def test_negative_count(self):
+        with pytest.raises(DatasetError):
+            IBMSyntheticGenerator(seed=1).generate(-1)
+
+
+class TestGeneration:
+    def make(self, **kwargs):
+        defaults = dict(
+            num_items=50,
+            avg_transaction_length=8.0,
+            avg_pattern_length=3.0,
+            num_patterns=20,
+            seed=5,
+        )
+        defaults.update(kwargs)
+        return IBMSyntheticGenerator(**defaults)
+
+    def test_generates_requested_count(self):
+        assert len(self.make().generate(123)) == 123
+
+    def test_items_within_domain(self):
+        generator = self.make()
+        for transaction in generator.generate(100):
+            assert transaction
+            for item in transaction:
+                assert item.startswith("i")
+                assert 0 <= int(item[1:]) < 50
+
+    def test_transactions_are_sorted_and_unique(self):
+        for transaction in self.make().generate(50):
+            assert list(transaction) == sorted(set(transaction))
+
+    def test_deterministic_with_seed(self):
+        assert self.make().generate(40) == self.make().generate(40)
+
+    def test_different_seeds_differ(self):
+        assert self.make(seed=5).generate(40) != self.make(seed=6).generate(40)
+
+    def test_average_transaction_length_near_target(self):
+        lengths = [len(t) for t in self.make().generate(400)]
+        average = sum(lengths) / len(lengths)
+        assert 4.0 <= average <= 14.0
+
+    def test_pattern_pool_shapes_transactions(self):
+        generator = self.make(corruption_level=0.0, correlation=0.0)
+        patterns = generator.patterns
+        assert len(patterns) == 20
+        # With no corruption, every transaction is a union of pool patterns.
+        transactions = generator.generate(30)
+        pool_items = set()
+        for pattern in patterns:
+            pool_items.update(pattern)
+        for transaction in transactions:
+            assert set(transaction) <= pool_items
+
+    def test_frequent_patterns_emerge(self):
+        # The heavy-weighted patterns should be recoverable as frequent itemsets.
+        from repro.fptree.fpgrowth import fp_growth
+
+        generator = self.make(corruption_level=0.1)
+        transactions = generator.generate(300)
+        patterns = fp_growth(transactions, minsup=30)
+        assert any(len(p) >= 2 for p in patterns)

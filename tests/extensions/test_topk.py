@@ -1,0 +1,62 @@
+"""Tests for top-k frequent connected subgraph mining."""
+
+import pytest
+
+from repro.datasets.paper_example import PAPER_CONNECTED_FREQUENT
+from repro.exceptions import MiningError
+from repro.extensions.topk import mine_top_k_connected
+
+
+class TestTopK:
+    def test_invalid_parameters(self, paper_window_matrix, paper_registry):
+        with pytest.raises(MiningError):
+            mine_top_k_connected(paper_window_matrix, paper_registry, k=0)
+        with pytest.raises(MiningError):
+            mine_top_k_connected(paper_window_matrix, paper_registry, k=3, min_size=0)
+        with pytest.raises(MiningError):
+            mine_top_k_connected(
+                paper_window_matrix, paper_registry, k=3, algorithm="vertical"
+            )
+
+    def test_top_1_is_the_most_frequent_edge(self, paper_window_matrix, paper_registry):
+        top = mine_top_k_connected(paper_window_matrix, paper_registry, k=1)
+        assert len(top) == 1
+        items, support = top[0]
+        assert support == 5
+        assert items in (frozenset({"a"}), frozenset({"c"}))
+
+    def test_top_k_is_sorted_by_support(self, paper_window_matrix, paper_registry):
+        top = mine_top_k_connected(paper_window_matrix, paper_registry, k=6)
+        supports = [support for _items, support in top]
+        assert supports == sorted(supports, reverse=True)
+        assert len(top) == 6
+
+    def test_results_are_true_connected_frequent_patterns(
+        self, paper_window_matrix, paper_registry
+    ):
+        top = mine_top_k_connected(paper_window_matrix, paper_registry, k=10)
+        for items, support in top:
+            # Each reported support matches the ground truth of the example
+            # whenever the pattern is one of the 15 connected frequent ones.
+            if items in PAPER_CONNECTED_FREQUENT:
+                assert PAPER_CONNECTED_FREQUENT[items] == support
+
+    def test_min_size_filter(self, paper_window_matrix, paper_registry):
+        top = mine_top_k_connected(paper_window_matrix, paper_registry, k=3, min_size=2)
+        assert all(len(items) >= 2 for items, _support in top)
+        # The most frequent connected pair is {a,c} with support 4.
+        assert top[0] == (frozenset({"a", "c"}), 4)
+
+    def test_k_larger_than_available_patterns(self, paper_window_matrix, paper_registry):
+        top = mine_top_k_connected(
+            paper_window_matrix, paper_registry, k=500, min_size=4
+        )
+        # Only {a,c,d,f} has 4 edges in the window.
+        assert len(top) < 500
+        assert (frozenset({"a", "c", "d", "f"}), 2) in top
+
+    def test_threshold_choice_keeps_all_ties(self, paper_window_matrix, paper_registry):
+        # Asking for k=2 must not silently drop patterns tied with the k-th.
+        top = mine_top_k_connected(paper_window_matrix, paper_registry, k=2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]

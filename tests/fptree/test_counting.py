@@ -1,0 +1,53 @@
+"""Unit tests for repro.fptree.counting (single-tree subset counting, §3.2)."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fptree.counting import count_itemsets_by_node_traversal
+from repro.fptree.fpgrowth import fp_growth
+from repro.fptree.tree import FPTree
+from tests.helpers import brute_force_frequent_itemsets
+
+
+class TestSubsetCounting:
+    def test_invalid_minsup(self):
+        tree = FPTree.build([["a"]], minsup=1)
+        with pytest.raises(MiningError):
+            count_itemsets_by_node_traversal(tree, 0)
+
+    def test_empty_tree(self):
+        tree = FPTree.build([], minsup=1)
+        assert count_itemsets_by_node_traversal(tree, 1) == {}
+
+    def test_matches_fp_growth_on_projection(self, paper_window_matrix):
+        projected = paper_window_matrix.projected_transactions("a")
+        tree = FPTree.build(projected, minsup=2, order="canonical")
+        counted = count_itemsets_by_node_traversal(tree, 2, suffix={"a"})
+        grown = fp_growth(projected, 2, suffix={"a"})
+        assert counted == grown
+
+    def test_paper_example3_frequencies(self, paper_window_matrix):
+        # Example 3 lists the patterns found from the {a}-projected database.
+        projected = paper_window_matrix.projected_transactions("a")
+        tree = FPTree.build(projected, minsup=2, order="canonical")
+        counted = count_itemsets_by_node_traversal(tree, 2, suffix={"a"})
+        assert counted[frozenset({"a", "c"})] == 4
+        assert counted[frozenset({"a", "c", "d", "f"})] == 2
+        assert counted[frozenset({"a", "d", "f"})] == 3
+        assert counted[frozenset({"a", "f"})] == 4
+        assert frozenset({"a", "b"}) not in counted  # support 1 < minsup
+
+    def test_without_suffix_matches_brute_force(self):
+        db = [["a", "b"], ["a", "b", "c"], ["b", "c"], ["a"]]
+        tree = FPTree.build(db, minsup=1, order="canonical")
+        counted = count_itemsets_by_node_traversal(tree, 1)
+        assert counted == brute_force_frequent_itemsets(db, 1)
+
+    def test_minsup_filter_applied_after_accumulation(self):
+        # {a, c} appears once in each of two branches; only the accumulated
+        # count of 2 makes it frequent.
+        db = [["a", "b", "c"], ["a", "c", "d"]]
+        tree = FPTree.build(db, minsup=1, order="canonical")
+        counted = count_itemsets_by_node_traversal(tree, 2)
+        assert counted[frozenset({"a", "c"})] == 2
+        assert frozenset({"a", "b"}) not in counted

@@ -1,0 +1,100 @@
+"""Unit tests for repro.fptree.fpgrowth."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fptree.fpgrowth import FPGrowth, fp_growth
+from repro.fptree.tree import FPTree
+from tests.helpers import brute_force_frequent_itemsets
+
+SIMPLE_DB = [
+    ["a", "b", "c"],
+    ["a", "b"],
+    ["a", "c"],
+    ["b", "c"],
+    ["a", "b", "c", "d"],
+]
+
+
+class TestFPGrowthCorrectness:
+    def test_matches_brute_force_on_simple_db(self):
+        for minsup in (1, 2, 3, 4):
+            assert fp_growth(SIMPLE_DB, minsup) == brute_force_frequent_itemsets(
+                SIMPLE_DB, minsup
+            )
+
+    def test_frequency_order_gives_same_result(self):
+        canonical = fp_growth(SIMPLE_DB, 2, order="canonical")
+        frequency = fp_growth(SIMPLE_DB, 2, order="frequency")
+        assert canonical == frequency
+
+    def test_weighted_transactions(self):
+        weighted = [(("a", "b"), 3), (("a",), 2), (("b", "c"), 1)]
+        result = fp_growth(weighted, 2)
+        assert result[frozenset({"a"})] == 5
+        assert result[frozenset({"a", "b"})] == 3
+        assert frozenset({"c"}) not in result
+
+    def test_suffix_is_added_to_every_pattern(self):
+        result = fp_growth([["b", "c"], ["b"]], minsup=1, suffix={"a"})
+        assert frozenset({"a", "b"}) in result
+        assert frozenset({"a", "b", "c"}) in result
+        assert all("a" in pattern for pattern in result)
+
+    def test_empty_database(self):
+        assert fp_growth([], minsup=1) == {}
+
+    def test_minsup_larger_than_database(self):
+        assert fp_growth(SIMPLE_DB, minsup=10) == {}
+
+    def test_paper_projection_example(self, paper_window_matrix):
+        # Example 2/3: mining the {a}-projected database with minsup 2 yields
+        # the seven non-singleton patterns containing a.
+        projected = paper_window_matrix.projected_transactions("a")
+        result = fp_growth(projected, minsup=2, suffix={"a"})
+        expected = {
+            frozenset({"a", "c"}): 4,
+            frozenset({"a", "c", "d"}): 2,
+            frozenset({"a", "c", "d", "f"}): 2,
+            frozenset({"a", "c", "f"}): 3,
+            frozenset({"a", "d"}): 3,
+            frozenset({"a", "d", "f"}): 3,
+            frozenset({"a", "f"}): 4,
+        }
+        assert result == expected
+
+
+class TestFPGrowthInstrumentation:
+    def test_invalid_minsup(self):
+        with pytest.raises(MiningError):
+            FPGrowth(minsup=0)
+
+    def test_tree_counters_increase(self):
+        miner = FPGrowth(minsup=1)
+        miner.mine(SIMPLE_DB)
+        assert miner.trees_built >= 1
+        assert miner.max_concurrent_trees >= 1
+        assert miner.max_tree_nodes >= 1
+
+    def test_reset_stats(self):
+        miner = FPGrowth(minsup=1)
+        miner.mine(SIMPLE_DB)
+        miner.reset_stats()
+        assert miner.trees_built == 0
+        assert miner.max_concurrent_trees == 0
+
+    def test_concurrent_trees_reflect_recursion_depth(self):
+        # A chain-shaped database forces deep recursion: a,b,c,d all nested.
+        chain = [["a", "b", "c", "d"]] * 3
+        miner = FPGrowth(minsup=1)
+        miner.mine(chain)
+        assert miner.max_concurrent_trees >= 3
+
+    def test_mine_tree_entry_point(self):
+        tree = FPTree.build(SIMPLE_DB, minsup=2)
+        miner = FPGrowth(minsup=2)
+        from_tree = miner.mine_tree(tree)
+        assert from_tree == fp_growth(SIMPLE_DB, 2)
+
+    def test_minsup_property(self):
+        assert FPGrowth(minsup=3).minsup == 3

@@ -1,0 +1,60 @@
+"""Property-based tests: all itemset miners agree with brute force."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fptree.counting import count_itemsets_by_node_traversal
+from repro.fptree.fpgrowth import fp_growth
+from repro.fptree.topdown import top_down_mine
+from repro.fptree.tree import FPTree
+from tests.helpers import brute_force_frequent_itemsets
+
+ITEMS = ["a", "b", "c", "d", "e", "f"]
+
+databases = st.lists(
+    st.sets(st.sampled_from(ITEMS), min_size=0, max_size=5).map(sorted).map(tuple),
+    min_size=0,
+    max_size=10,
+)
+minsups = st.integers(min_value=1, max_value=4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(databases, minsups)
+def test_fp_growth_matches_brute_force(db, minsup):
+    assert fp_growth(db, minsup) == brute_force_frequent_itemsets(db, minsup)
+
+
+@settings(max_examples=80, deadline=None)
+@given(databases, minsups)
+def test_fp_growth_orders_agree(db, minsup):
+    assert fp_growth(db, minsup, order="canonical") == fp_growth(
+        db, minsup, order="frequency"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(databases, minsups)
+def test_subset_counting_matches_brute_force(db, minsup):
+    tree = FPTree.build(db, minsup=minsup, order="canonical")
+    assert count_itemsets_by_node_traversal(tree, minsup) == brute_force_frequent_itemsets(
+        db, minsup
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(databases, minsups)
+def test_top_down_matches_brute_force(db, minsup):
+    tree = FPTree.build(db, minsup=minsup, order="canonical")
+    assert top_down_mine(tree, minsup) == brute_force_frequent_itemsets(db, minsup)
+
+
+@settings(max_examples=60, deadline=None)
+@given(databases, minsups)
+def test_anti_monotonicity_of_fp_growth_output(db, minsup):
+    patterns = fp_growth(db, minsup)
+    for pattern, support in patterns.items():
+        for item in pattern:
+            subset = pattern - {item}
+            if subset:
+                assert subset in patterns
+                assert patterns[subset] >= support

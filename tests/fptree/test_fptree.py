@@ -1,0 +1,131 @@
+"""Unit tests for repro.fptree.tree.FPTree and repro.fptree.node.FPNode."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fptree.node import FPNode
+from repro.fptree.tree import FPTree
+
+
+@pytest.fixture
+def paper_a_tree(paper_window_matrix):
+    """The FP-tree of the {a}-projected database from Example 3."""
+    projected = paper_window_matrix.projected_transactions("a")
+    return FPTree.build(projected, minsup=1, order="canonical")
+
+
+class TestFPNode:
+    def test_root_detection(self):
+        root = FPNode(None)
+        child = FPNode("a", 1, parent=root)
+        assert root.is_root()
+        assert not child.is_root()
+
+    def test_prefix_path_and_depth(self):
+        root = FPNode(None)
+        a = FPNode("a", 1, parent=root)
+        b = FPNode("b", 1, parent=a)
+        c = FPNode("c", 1, parent=b)
+        assert c.prefix_path() == ["a", "b"]
+        assert c.depth() == 2
+        assert a.prefix_path() == []
+
+    def test_repr(self):
+        assert "item='a'" in repr(FPNode("a", 2))
+
+
+class TestBuild:
+    def test_invalid_minsup(self):
+        with pytest.raises(MiningError):
+            FPTree.build([["a"]], minsup=0)
+        with pytest.raises(MiningError):
+            FPTree(minsup=0)
+
+    def test_empty_tree(self):
+        tree = FPTree.build([], minsup=1)
+        assert tree.is_empty()
+        assert tree.items() == []
+
+    def test_counts_accumulate_along_shared_prefixes(self):
+        tree = FPTree.build([["a", "b"], ["a", "b", "c"], ["a"]], minsup=1)
+        a_nodes = tree.nodes_of("a")
+        assert len(a_nodes) == 1
+        assert a_nodes[0].count == 3
+        assert tree.support("a") == 3
+
+    def test_infrequent_items_excluded(self):
+        tree = FPTree.build([["a", "x"], ["a", "y"]], minsup=2)
+        assert tree.items() == ["a"]
+        assert tree.nodes_of("x") == []
+
+    def test_weighted_transactions(self):
+        tree = FPTree.build([(("a", "b"), 3), (("a",), 2)], minsup=1)
+        assert tree.support("a") == 5
+        assert tree.support("b") == 3
+
+    def test_frequency_order_places_frequent_items_first(self):
+        tree = FPTree.build(
+            [["a", "z"], ["b", "z"], ["c", "z"]], minsup=1, order="frequency"
+        )
+        assert tree.items()[0] == "z"
+        # Every branch starts with the most frequent item, so z has one node.
+        assert len(tree.nodes_of("z")) == 1
+
+
+class TestPaperExampleTree:
+    def test_branch_structure_of_example3(self, paper_a_tree):
+        # The {a}-projected database of Example 3 in canonical item order:
+        # {c,d,f} x2, {d,e,f}, {b,c}, {c,f}.
+        branches = {tuple(items): count for items, count in paper_a_tree.branches()}
+        assert branches == {
+            ("b", "c"): 1,
+            ("c", "d", "f"): 2,
+            ("c", "f"): 1,
+            ("d", "e", "f"): 1,
+        }
+        # Node counts along the c branch match the paper.
+        c_nodes = paper_a_tree.nodes_of("c")
+        assert sum(node.count for node in c_nodes) == 4
+
+    def test_supports_match_projection(self, paper_a_tree):
+        assert paper_a_tree.support("c") == 4
+        assert paper_a_tree.support("d") == 3
+        assert paper_a_tree.support("f") == 4
+        assert paper_a_tree.support("b") == 1
+
+    def test_items_bottom_up_reverses_order(self, paper_a_tree):
+        assert paper_a_tree.items_bottom_up() == list(reversed(paper_a_tree.items()))
+
+
+class TestFPGrowthPrimitives:
+    def test_conditional_pattern_base(self):
+        tree = FPTree.build([["a", "b", "c"], ["a", "c"], ["b", "c"]], minsup=1)
+        base = tree.conditional_pattern_base("c")
+        assert sorted(base) == [(("a",), 1), (("a", "b"), 1), (("b",), 1)]
+
+    def test_conditional_tree_filters_by_minsup(self):
+        tree = FPTree.build([["a", "b", "c"], ["a", "c"], ["b", "c"]], minsup=1)
+        conditional = tree.conditional_tree("c", minsup=2)
+        assert set(conditional.items()) == {"a", "b"}
+        assert conditional.support("a") == 2
+
+    def test_single_path_detection(self):
+        path_tree = FPTree.build([["a", "b"], ["a", "b", "c"]], minsup=1)
+        path = path_tree.single_path()
+        assert path is not None
+        assert [node.item for node in path] == ["a", "b", "c"]
+
+        branching = FPTree.build([["a", "b"], ["c"]], minsup=1)
+        assert branching.single_path() is None
+
+    def test_iter_nodes_is_preorder_and_complete(self, paper_a_tree):
+        visited = [node.item for node in paper_a_tree.iter_nodes()]
+        assert len(visited) == paper_a_tree.node_count()
+        assert visited[0] in ("b", "c", "d")  # a child of the root
+
+    def test_node_count(self):
+        tree = FPTree.build([["a", "b"], ["a", "c"]], minsup=1)
+        assert tree.node_count() == 3
+
+    def test_repr(self, paper_a_tree):
+        assert "order='canonical'" in repr(paper_a_tree)

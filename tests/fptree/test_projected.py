@@ -1,0 +1,71 @@
+"""Unit tests for repro.fptree.projected."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fptree.projected import (
+    filter_and_order_transactions,
+    normalise_weighted,
+    weighted_item_frequencies,
+)
+
+
+class TestNormaliseWeighted:
+    def test_plain_transactions_get_count_one(self):
+        assert normalise_weighted([["a", "b"], ("c",)]) == [(("a", "b"), 1), (("c",), 1)]
+
+    def test_weighted_transactions_pass_through(self):
+        assert normalise_weighted([(("a", "b"), 3)]) == [(("a", "b"), 3)]
+
+    def test_mixed_input(self):
+        result = normalise_weighted([["a"], (("b",), 2)])
+        assert result == [(("a",), 1), (("b",), 2)]
+
+    def test_string_not_mistaken_for_weighted_pair(self):
+        # A 2-item transaction of plain strings must not be parsed as (items, count).
+        assert normalise_weighted([("ab", 1)]) != [(("a", "b"), 1)]
+
+
+class TestWeightedItemFrequencies:
+    def test_counts_weighted(self):
+        counts = weighted_item_frequencies([(("a", "b"), 2), (("a",), 3)])
+        assert counts["a"] == 5
+        assert counts["b"] == 2
+
+    def test_duplicate_items_in_one_transaction_counted_once(self):
+        counts = weighted_item_frequencies([(("a", "a", "b"), 2)])
+        assert counts["a"] == 2
+
+
+class TestFilterAndOrder:
+    def test_infrequent_items_removed(self):
+        ordered, frequent = filter_and_order_transactions(
+            [(("a", "b"), 1), (("a", "c"), 1), (("a",), 1)], minsup=2
+        )
+        assert frequent == {"a": 3}
+        assert ordered == [(("a",), 1), (("a",), 1), (("a",), 1)]
+
+    def test_canonical_order(self):
+        ordered, _ = filter_and_order_transactions(
+            [(("c", "a", "b"), 1), (("b", "a"), 1)], minsup=1
+        )
+        assert ordered[0][0] == ("a", "b", "c")
+
+    def test_frequency_order_breaks_ties_lexicographically(self):
+        ordered, _ = filter_and_order_transactions(
+            [(("a", "b", "c"), 1), (("b", "c"), 1)], minsup=1, order="frequency"
+        )
+        # b and c both have frequency 2 > a's 1; ties broken alphabetically.
+        assert ordered[0][0] == ("b", "c", "a")
+
+    def test_empty_transactions_dropped(self):
+        ordered, _ = filter_and_order_transactions([(("x",), 1), ((), 1)], minsup=2)
+        assert ordered == []
+
+    def test_invalid_minsup(self):
+        with pytest.raises(MiningError):
+            filter_and_order_transactions([], minsup=0)
+
+    def test_invalid_order(self):
+        with pytest.raises(MiningError):
+            filter_and_order_transactions([], minsup=1, order="bogus")

@@ -1,0 +1,44 @@
+"""Unit tests for repro.fptree.topdown (top-down single-tree mining, §3.3)."""
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.fptree.fpgrowth import fp_growth
+from repro.fptree.topdown import top_down_mine
+from repro.fptree.tree import FPTree
+from tests.helpers import brute_force_frequent_itemsets
+
+
+class TestTopDownMine:
+    def test_invalid_minsup(self):
+        tree = FPTree.build([["a"]], minsup=1)
+        with pytest.raises(MiningError):
+            top_down_mine(tree, 0)
+
+    def test_empty_tree(self):
+        assert top_down_mine(FPTree.build([], minsup=1), 1) == {}
+
+    def test_matches_fp_growth_on_projection(self, paper_window_matrix):
+        projected = paper_window_matrix.projected_transactions("a")
+        tree = FPTree.build(projected, minsup=2, order="canonical")
+        assert top_down_mine(tree, 2, suffix={"a"}) == fp_growth(
+            projected, 2, suffix={"a"}
+        )
+
+    def test_matches_brute_force_without_suffix(self):
+        db = [["a", "b", "c"], ["b", "c"], ["a", "c"], ["c", "d"], ["a", "b"]]
+        tree = FPTree.build(db, minsup=2, order="canonical")
+        assert top_down_mine(tree, 2) == brute_force_frequent_itemsets(db, 2)
+
+    def test_supports_weighted_tree_content(self):
+        weighted = [(("a", "b"), 2), (("a", "b", "c"), 3), (("b", "c"), 1)]
+        tree = FPTree.build(weighted, minsup=2, order="canonical")
+        result = top_down_mine(tree, 2)
+        assert result[frozenset({"a", "b"})] == 5
+        assert result[frozenset({"b", "c"})] == 4
+        assert result[frozenset({"a", "b", "c"})] == 3
+
+    def test_suffix_present_in_all_patterns(self):
+        tree = FPTree.build([["x", "y"], ["x"]], minsup=1)
+        result = top_down_mine(tree, 1, suffix={"base"})
+        assert all("base" in pattern for pattern in result)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.graph.connectivity."""
+
+from repro.graph.connectivity import (
+    connected_components_of_edges,
+    is_connected_edge_set,
+    satisfies_paper_rule,
+    vertex_frequencies,
+)
+from repro.graph.edge import Edge
+
+
+def edges(*pairs):
+    return [Edge(u, v) for u, v in pairs]
+
+
+class TestVertexFrequencies:
+    def test_counts_endpoint_occurrences(self):
+        counts = vertex_frequencies(edges(("v1", "v2"), ("v2", "v3")))
+        assert counts["v2"] == 2
+        assert counts["v1"] == 1
+        assert counts["v3"] == 1
+
+    def test_empty(self):
+        assert vertex_frequencies([]) == {}
+
+
+class TestPaperRule:
+    def test_singleton_trivially_connected(self):
+        assert satisfies_paper_rule(edges(("v1", "v2")))
+        assert satisfies_paper_rule([])
+
+    def test_paper_example_connected_pair(self):
+        # {a, c} = {(v1,v2), (v1,v4)} shares v1 (Example 6).
+        assert satisfies_paper_rule(edges(("v1", "v2"), ("v1", "v4")))
+
+    def test_paper_example_disjoint_pair(self):
+        # {a, f} = {(v1,v2), (v3,v4)} is disjoint (Example 6).
+        assert not satisfies_paper_rule(edges(("v1", "v2"), ("v3", "v4")))
+
+    def test_paper_example_disjoint_cd(self):
+        # {c, d} = {(v1,v4), (v2,v3)} is disjoint (Example 6).
+        assert not satisfies_paper_rule(edges(("v1", "v4"), ("v2", "v3")))
+
+    def test_rule_accepts_two_disjoint_triangles(self):
+        # Documented divergence: the §3.5 rule is necessary but not sufficient.
+        two_triangles = edges(
+            ("a1", "a2"), ("a2", "a3"), ("a1", "a3"),
+            ("b1", "b2"), ("b2", "b3"), ("b1", "b3"),
+        )
+        assert satisfies_paper_rule(two_triangles)
+        assert not is_connected_edge_set(two_triangles)
+
+
+class TestExactConnectivity:
+    def test_empty_and_singleton_connected(self):
+        assert is_connected_edge_set([])
+        assert is_connected_edge_set(edges(("v1", "v2")))
+
+    def test_path_is_connected(self):
+        assert is_connected_edge_set(edges(("v1", "v2"), ("v2", "v3"), ("v3", "v4")))
+
+    def test_star_is_connected(self):
+        assert is_connected_edge_set(edges(("c", "x"), ("c", "y"), ("c", "z")))
+
+    def test_disjoint_pair_not_connected(self):
+        assert not is_connected_edge_set(edges(("v1", "v2"), ("v3", "v4")))
+
+    def test_bridgeless_components_not_connected(self):
+        assert not is_connected_edge_set(
+            edges(("v1", "v2"), ("v2", "v3"), ("v5", "v6"))
+        )
+
+    def test_cycle_is_connected(self):
+        assert is_connected_edge_set(
+            edges(("v1", "v2"), ("v2", "v3"), ("v3", "v4"), ("v4", "v1"))
+        )
+
+    def test_exact_implies_paper_rule(self):
+        # Exact connectivity is strictly stronger for |X| >= 2.
+        cases = [
+            edges(("v1", "v2"), ("v2", "v3")),
+            edges(("v1", "v2"), ("v2", "v3"), ("v3", "v4"), ("v1", "v4")),
+            edges(("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")),
+        ]
+        for case in cases:
+            assert is_connected_edge_set(case)
+            assert satisfies_paper_rule(case)
+
+
+class TestComponents:
+    def test_single_component(self):
+        comps = connected_components_of_edges(edges(("v1", "v2"), ("v2", "v3")))
+        assert len(comps) == 1
+        assert len(comps[0]) == 2
+
+    def test_two_components(self):
+        comps = connected_components_of_edges(
+            edges(("v1", "v2"), ("v3", "v4"), ("v4", "v5"))
+        )
+        assert len(comps) == 2
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2]
+
+    def test_empty(self):
+        assert connected_components_of_edges([]) == []
+
+    def test_components_partition_the_edges(self):
+        edge_list = edges(("v1", "v2"), ("v3", "v4"), ("v2", "v6"), ("v7", "v8"))
+        comps = connected_components_of_edges(edge_list)
+        flattened = [edge for comp in comps for edge in comp]
+        assert sorted(flattened, key=Edge.sort_key) == sorted(edge_list, key=Edge.sort_key)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.graph.edge."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.edge import Edge
+
+
+class TestEdgeConstruction:
+    def test_canonical_order_of_endpoints(self):
+        assert Edge("v2", "v1").vertices == ("v1", "v2")
+        assert Edge("v1", "v2").vertices == ("v1", "v2")
+
+    def test_equal_regardless_of_endpoint_order(self):
+        assert Edge("v1", "v2") == Edge("v2", "v1")
+        assert hash(Edge("v1", "v2")) == hash(Edge("v2", "v1"))
+
+    def test_label_distinguishes_edges(self):
+        assert Edge("a", "b", label="knows") != Edge("a", "b", label="likes")
+        assert Edge("a", "b", label="knows") != Edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Edge("v1", "v1")
+
+    def test_none_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Edge(None, "v1")
+        with pytest.raises(GraphError):
+            Edge("v1", None)
+
+    def test_integer_vertices_supported(self):
+        edge = Edge(5, 2)
+        assert edge.vertices == (2, 5)
+
+    def test_mixed_type_vertices_fall_back_to_repr_order(self):
+        edge = Edge("v1", 2)
+        assert set(edge.vertices) == {"v1", 2}
+
+    def test_repr_mentions_endpoints(self):
+        assert "v1" in repr(Edge("v1", "v2"))
+        assert "knows" in repr(Edge("v1", "v2", label="knows"))
+
+
+class TestEdgeAccessors:
+    def test_other_returns_opposite_endpoint(self):
+        edge = Edge("v1", "v2")
+        assert edge.other("v1") == "v2"
+        assert edge.other("v2") == "v1"
+
+    def test_other_raises_for_non_endpoint(self):
+        with pytest.raises(GraphError):
+            Edge("v1", "v2").other("v3")
+
+    def test_contains_endpoint(self):
+        edge = Edge("v1", "v2")
+        assert "v1" in edge
+        assert "v2" in edge
+        assert "v3" not in edge
+
+    def test_iteration_yields_both_endpoints(self):
+        assert list(Edge("v1", "v2")) == ["v1", "v2"]
+
+    def test_shares_vertex_with(self):
+        a = Edge("v1", "v2")
+        assert a.shares_vertex_with(Edge("v2", "v3"))
+        assert a.shares_vertex_with(Edge("v1", "v4"))
+        assert not a.shares_vertex_with(Edge("v3", "v4"))
+
+    def test_sort_key_is_deterministic(self):
+        edges = [Edge("v3", "v1"), Edge("v1", "v2"), Edge("v2", "v3")]
+        ordered = sorted(edges, key=Edge.sort_key)
+        assert ordered[0] == Edge("v1", "v2")
+
+    def test_ordering_operator(self):
+        assert Edge("v1", "v2") < Edge("v1", "v3")
+
+    def test_equality_with_non_edge(self):
+        assert Edge("v1", "v2") != "not an edge"

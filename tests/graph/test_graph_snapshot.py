@@ -1,0 +1,63 @@
+"""Unit tests for repro.graph.graph.GraphSnapshot."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.edge import Edge
+from repro.graph.graph import GraphSnapshot
+
+
+@pytest.fixture
+def triangle():
+    return GraphSnapshot(
+        [Edge("v1", "v2"), Edge("v2", "v3"), Edge("v1", "v3")], timestamp=1
+    )
+
+
+class TestGraphSnapshot:
+    def test_duplicate_edges_collapse(self):
+        snapshot = GraphSnapshot([Edge("v1", "v2"), Edge("v2", "v1")])
+        assert len(snapshot) == 1
+
+    def test_vertices(self, triangle):
+        assert triangle.vertices == {"v1", "v2", "v3"}
+
+    def test_degree(self, triangle):
+        assert triangle.degree("v1") == 2
+        assert triangle.degree("v9") == 0
+
+    def test_adjacency(self, triangle):
+        adjacency = triangle.adjacency()
+        assert adjacency["v1"] == {"v2", "v3"}
+        assert adjacency["v2"] == {"v1", "v3"}
+
+    def test_contains_and_iter(self, triangle):
+        assert Edge("v1", "v2") in triangle
+        assert Edge("v1", "v4") not in triangle
+        assert set(triangle) == triangle.edges
+
+    def test_sorted_edges_deterministic(self, triangle):
+        ordered = triangle.sorted_edges()
+        assert ordered == sorted(ordered, key=Edge.sort_key)
+
+    def test_timestamp(self, triangle):
+        assert triangle.timestamp == 1
+        assert GraphSnapshot([]).timestamp is None
+
+    def test_empty_snapshot_allowed(self):
+        snapshot = GraphSnapshot([])
+        assert len(snapshot) == 0
+        assert snapshot.vertices == set()
+
+    def test_non_edge_rejected(self):
+        with pytest.raises(GraphError):
+            GraphSnapshot(["not-an-edge"])
+
+    def test_equality_ignores_timestamp(self):
+        a = GraphSnapshot([Edge("v1", "v2")], timestamp=1)
+        b = GraphSnapshot([Edge("v1", "v2")], timestamp=7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_contains_edge_count(self, triangle):
+        assert "3 edges" in repr(triangle)

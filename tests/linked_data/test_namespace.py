@@ -1,0 +1,39 @@
+"""Unit tests for repro.linked_data.namespace."""
+
+import pytest
+
+from repro.exceptions import LinkedDataError
+from repro.linked_data.namespace import DCTERMS, FOAF, RDF, RDFS, Namespace
+from repro.linked_data.triple import IRI
+
+
+class TestNamespace:
+    def test_term_building(self):
+        ex = Namespace("http://example.org/")
+        assert ex.term("alice") == IRI("http://example.org/alice")
+        assert ex["knows"] == IRI("http://example.org/knows")
+        assert ex.alice == IRI("http://example.org/alice")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(LinkedDataError):
+            Namespace("")
+
+    def test_contains(self):
+        ex = Namespace("http://example.org/")
+        assert ex.alice in ex
+        assert IRI("http://other.org/x") not in ex
+        assert "not an IRI" not in ex
+
+    def test_underscore_attributes_not_treated_as_terms(self):
+        ex = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            _ = ex._private
+
+    def test_well_known_namespaces(self):
+        assert RDF.type.value.endswith("#type")
+        assert RDFS.label.value.endswith("#label")
+        assert FOAF.knows.value.endswith("knows")
+        assert DCTERMS.creator.value.endswith("creator")
+
+    def test_repr(self):
+        assert "example.org" in repr(Namespace("http://example.org/"))

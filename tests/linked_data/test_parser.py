@@ -1,0 +1,92 @@
+"""Unit tests for the N-Triples parser and serialiser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.linked_data.parser import (
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+)
+from repro.linked_data.triple import IRI, BlankNode, Literal, Triple
+
+DOCUMENT = """
+# people
+<http://x/alice> <http://x/knows> <http://x/bob> .
+<http://x/alice> <http://x/name> "Alice" .
+_:doc1 <http://x/mentions> <http://x/bob> .
+<http://x/bob> <http://x/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/bob> <http://x/label> "Bob le bricoleur"@fr .
+"""
+
+
+class TestParsing:
+    def test_parse_document(self):
+        triples = list(parse_ntriples(DOCUMENT))
+        assert len(triples) == 5
+        assert triples[0].subject == IRI("http://x/alice")
+        assert triples[0].object == IRI("http://x/bob")
+
+    def test_comments_and_blank_lines_skipped(self):
+        assert list(parse_ntriples("# nothing\n\n")) == []
+
+    def test_blank_node_subject(self):
+        triples = list(parse_ntriples(DOCUMENT))
+        assert triples[2].subject == BlankNode("doc1")
+
+    def test_typed_literal(self):
+        triples = list(parse_ntriples(DOCUMENT))
+        assert triples[3].object == Literal(
+            "42", datatype=IRI("http://www.w3.org/2001/XMLSchema#integer")
+        )
+
+    def test_language_literal(self):
+        triples = list(parse_ntriples(DOCUMENT))
+        assert triples[4].object == Literal("Bob le bricoleur", language="fr")
+
+    def test_escaped_quotes_and_newlines(self):
+        line = '<http://x/s> <http://x/p> "he said \\"hi\\"\\n" .'
+        triple = parse_ntriples_line(line)
+        assert triple.object == Literal('he said "hi"\n')
+
+    def test_unicode_escape(self):
+        triple = parse_ntriples_line('<http://x/s> <http://x/p> "caf\\u00e9" .')
+        assert triple.object == Literal("café")
+
+    def test_iterable_of_lines(self):
+        lines = ["<http://x/s> <http://x/p> <http://x/o> ."]
+        assert len(list(parse_ntriples(lines))) == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<http://x/s> <http://x/p> <http://x/o>",            # missing dot
+            "<http://x/s> <http://x/p> .",                        # missing object
+            '"literal" <http://x/p> <http://x/o> .',              # literal subject
+            "<http://x/s> _:b <http://x/o> .",                    # blank predicate
+            "<http://x/s> <http://x/p> <http://x/o> . extra",     # trailing junk
+            "<http://x/s> <http://x/p> <http://x/o .",            # unterminated IRI
+            '<http://x/s> <http://x/p> "unterminated .',          # unterminated literal
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(line)
+
+    def test_dangling_escape(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line('<http://x/s> <http://x/p> "bad\\" escape\\ .')
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        triples = list(parse_ntriples(DOCUMENT))
+        text = serialize_ntriples(triples)
+        reparsed = list(parse_ntriples(text))
+        assert reparsed == triples
+
+    def test_serialise_single(self):
+        triple = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("v"))
+        assert serialize_ntriples([triple]).strip() == '<http://x/s> <http://x/p> "v" .'

@@ -1,0 +1,108 @@
+"""Unit tests for repro.linked_data.triple."""
+
+import pytest
+
+from repro.exceptions import LinkedDataError
+from repro.linked_data.triple import IRI, BlankNode, Literal, Triple
+
+
+class TestIRI:
+    def test_value_and_n3(self):
+        iri = IRI("http://example.org/alice")
+        assert iri.value == "http://example.org/alice"
+        assert iri.n3() == "<http://example.org/alice>"
+
+    def test_invalid_iri(self):
+        with pytest.raises(LinkedDataError):
+            IRI("")
+        with pytest.raises(LinkedDataError):
+            IRI("http://bad<chars>")
+
+    def test_local_name(self):
+        assert IRI("http://example.org/people#alice").local_name() == "alice"
+        assert IRI("http://example.org/people/alice").local_name() == "alice"
+        assert IRI("urn:isbn:123").local_name() == "urn:isbn:123"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x/a") == IRI("http://x/a")
+        assert hash(IRI("http://x/a")) == hash(IRI("http://x/a"))
+        assert IRI("http://x/a") != IRI("http://x/b")
+        assert IRI("http://x/a") != "http://x/a"
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        literal = Literal("hello")
+        assert literal.value == "hello"
+        assert literal.n3() == '"hello"'
+
+    def test_language_literal(self):
+        assert Literal("bonjour", language="fr").n3() == '"bonjour"@fr'
+
+    def test_typed_literal(self):
+        datatype = IRI("http://www.w3.org/2001/XMLSchema#integer")
+        assert Literal("42", datatype=datatype).n3().endswith("#integer>")
+
+    def test_datatype_and_language_mutually_exclusive(self):
+        with pytest.raises(LinkedDataError):
+            Literal("x", datatype=IRI("http://x/t"), language="en")
+
+    def test_escaping(self):
+        literal = Literal('say "hi"\nplease')
+        assert "\\n" in literal.n3()
+        assert '\\"' in literal.n3()
+
+    def test_equality(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a", language="en") != Literal("a")
+
+
+class TestBlankNode:
+    def test_label_and_n3(self):
+        node = BlankNode("b0")
+        assert node.label == "b0"
+        assert node.n3() == "_:b0"
+
+    def test_invalid_label(self):
+        with pytest.raises(LinkedDataError):
+            BlankNode("")
+        with pytest.raises(LinkedDataError):
+            BlankNode("has space")
+
+    def test_equality(self):
+        assert BlankNode("x") == BlankNode("x")
+        assert BlankNode("x") != BlankNode("y")
+
+
+class TestTriple:
+    def make(self):
+        return Triple(
+            IRI("http://x/alice"), IRI("http://x/knows"), IRI("http://x/bob")
+        )
+
+    def test_accessors(self):
+        triple = self.make()
+        assert triple.subject.value.endswith("alice")
+        assert triple.predicate.value.endswith("knows")
+        assert triple.object.value.endswith("bob")
+        assert triple.as_tuple() == (triple.subject, triple.predicate, triple.object)
+
+    def test_invalid_terms(self):
+        with pytest.raises(LinkedDataError):
+            Triple(Literal("x"), IRI("http://x/p"), IRI("http://x/o"))
+        with pytest.raises(LinkedDataError):
+            Triple(IRI("http://x/s"), BlankNode("b"), IRI("http://x/o"))
+        with pytest.raises(LinkedDataError):
+            Triple(IRI("http://x/s"), IRI("http://x/p"), "bare string")
+
+    def test_links_resources(self):
+        assert self.make().links_resources()
+        attribute = Triple(IRI("http://x/s"), IRI("http://x/age"), Literal("30"))
+        assert not attribute.links_resources()
+
+    def test_n3_round_trippable_format(self):
+        assert self.make().n3().endswith(" .")
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())

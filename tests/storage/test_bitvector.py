@@ -1,0 +1,152 @@
+"""Unit tests for repro.storage.bitvector.BitVector."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.bitvector import BitVector
+
+
+class TestConstruction:
+    def test_zeros_and_ones(self):
+        assert BitVector.zeros(5).count() == 0
+        assert BitVector.ones(5).count() == 5
+        assert BitVector.ones(0).count() == 0
+
+    def test_from_positions(self):
+        vector = BitVector.from_positions(6, [0, 2, 5])
+        assert vector.positions() == [0, 2, 5]
+        assert vector.count() == 3
+
+    def test_from_positions_out_of_range(self):
+        with pytest.raises(StorageError):
+            BitVector.from_positions(3, [3])
+        with pytest.raises(StorageError):
+            BitVector.from_positions(3, [-1])
+
+    def test_from_bools(self):
+        vector = BitVector.from_bools([True, False, True])
+        assert vector.length == 3
+        assert vector.positions() == [0, 2]
+
+    def test_bits_must_fit_length(self):
+        with pytest.raises(StorageError):
+            BitVector(2, 0b100)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(StorageError):
+            BitVector(-1)
+
+    def test_bitstring_round_trip(self):
+        vector = BitVector.from_bitstring("101110")
+        assert vector.to_bitstring() == "101110"
+        assert vector.count() == 4
+
+    def test_bitstring_with_separators(self):
+        # The paper writes rows as "1 1 1; 1 1 0".
+        vector = BitVector.from_bitstring("1 1 1; 1 1 0")
+        assert vector.length == 6
+        assert vector.count() == 5
+
+    def test_invalid_bitstring(self):
+        with pytest.raises(StorageError):
+            BitVector.from_bitstring("10a")
+
+
+class TestAccessors:
+    def test_get_and_bounds(self):
+        vector = BitVector.from_positions(4, [1])
+        assert vector.get(1)
+        assert not vector.get(0)
+        with pytest.raises(StorageError):
+            vector.get(4)
+
+    def test_is_empty(self):
+        assert BitVector.zeros(3).is_empty()
+        assert not BitVector.from_positions(3, [0]).is_empty()
+
+    def test_iter_and_len(self):
+        vector = BitVector.from_bools([True, False])
+        assert list(vector) == [True, False]
+        assert len(vector) == 2
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_positions(4, [1, 3])
+        b = BitVector.from_positions(4, [1, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitVector.from_positions(5, [1, 3])
+
+
+class TestOperations:
+    def test_intersect_matches_paper_example(self):
+        # Example 5: row a = 111110, row c = 101111 -> intersection 101110 (count 4).
+        row_a = BitVector.from_bitstring("111110")
+        row_c = BitVector.from_bitstring("101111")
+        intersection = row_a & row_c
+        assert intersection.to_bitstring() == "101110"
+        assert intersection.count() == 4
+
+    def test_union_and_difference(self):
+        a = BitVector.from_positions(4, [0, 1])
+        b = BitVector.from_positions(4, [1, 2])
+        assert (a | b).positions() == [0, 1, 2]
+        assert a.difference(b).positions() == [0]
+
+    def test_intersection_count_shortcut(self):
+        a = BitVector.from_positions(6, [0, 2, 4])
+        b = BitVector.from_positions(6, [2, 4, 5])
+        assert a.intersection_count(b) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            BitVector.zeros(3).intersect(BitVector.zeros(4))
+
+    def test_non_bitvector_operand_rejected(self):
+        with pytest.raises(StorageError):
+            BitVector.zeros(3).intersect("110")  # type: ignore[arg-type]
+
+    def test_with_bit(self):
+        vector = BitVector.zeros(4).with_bit(2)
+        assert vector.positions() == [2]
+        cleared = vector.with_bit(2, False)
+        assert cleared.is_empty()
+
+    def test_extended(self):
+        vector = BitVector.from_positions(3, [2]).extended(2)
+        assert vector.length == 5
+        assert vector.positions() == [2]
+        with pytest.raises(StorageError):
+            vector.extended(-1)
+
+    def test_dropped_prefix_shifts_positions(self):
+        vector = BitVector.from_positions(6, [0, 3, 5]).dropped_prefix(3)
+        assert vector.length == 3
+        assert vector.positions() == [0, 2]
+
+    def test_dropped_prefix_bounds(self):
+        with pytest.raises(StorageError):
+            BitVector.zeros(3).dropped_prefix(4)
+        with pytest.raises(StorageError):
+            BitVector.zeros(3).dropped_prefix(-1)
+
+    def test_sliced(self):
+        vector = BitVector.from_bitstring("110101")
+        assert vector.sliced(2, 5).to_bitstring() == "010"
+        with pytest.raises(StorageError):
+            vector.sliced(4, 2)
+
+
+class TestSerialisation:
+    def test_bytes_round_trip(self):
+        vector = BitVector.from_positions(19, [0, 7, 18])
+        restored = BitVector.from_bytes(vector.to_bytes(), 19)
+        assert restored == vector
+
+    def test_bytes_mask_extra_bits(self):
+        restored = BitVector.from_bytes(b"\xff", 4)
+        assert restored.count() == 4
+
+    def test_repr_small_and_large(self):
+        assert "10" in repr(BitVector.from_bitstring("10"))
+        big = BitVector.ones(64)
+        assert "64 set" in repr(big)

@@ -1,0 +1,79 @@
+"""Property-based tests for BitVector (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.storage.bitvector import BitVector
+
+
+def bitvectors(max_length=64):
+    return st.integers(min_value=0, max_value=max_length).flatmap(
+        lambda n: st.builds(
+            BitVector.from_positions,
+            st.just(n),
+            st.lists(st.integers(min_value=0, max_value=max(n - 1, 0)), max_size=n)
+            if n
+            else st.just([]),
+        )
+    )
+
+
+@given(st.lists(st.booleans(), max_size=80))
+def test_from_bools_round_trip(flags):
+    vector = BitVector.from_bools(flags)
+    assert list(vector) == list(flags)
+    assert vector.count() == sum(flags)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=80))
+def test_bitstring_round_trip(flags):
+    vector = BitVector.from_bools(flags)
+    assert BitVector.from_bitstring(vector.to_bitstring()) == vector
+
+
+@given(st.lists(st.booleans(), max_size=80))
+def test_bytes_round_trip(flags):
+    vector = BitVector.from_bools(flags)
+    assert BitVector.from_bytes(vector.to_bytes(), vector.length) == vector
+
+
+@given(st.data(), st.integers(min_value=0, max_value=64))
+def test_intersection_behaves_like_set_intersection(data, length):
+    positions_a = data.draw(
+        st.sets(st.integers(min_value=0, max_value=max(length - 1, 0)))
+        if length
+        else st.just(set())
+    )
+    positions_b = data.draw(
+        st.sets(st.integers(min_value=0, max_value=max(length - 1, 0)))
+        if length
+        else st.just(set())
+    )
+    a = BitVector.from_positions(length, positions_a)
+    b = BitVector.from_positions(length, positions_b)
+    assert set((a & b).positions()) == positions_a & positions_b
+    assert set((a | b).positions()) == positions_a | positions_b
+    assert set(a.difference(b).positions()) == positions_a - positions_b
+    assert a.intersection_count(b) == len(positions_a & positions_b)
+
+
+@given(st.data(), st.integers(min_value=0, max_value=64))
+def test_drop_prefix_matches_position_shift(data, length):
+    positions = data.draw(
+        st.sets(st.integers(min_value=0, max_value=max(length - 1, 0)))
+        if length
+        else st.just(set())
+    )
+    drop = data.draw(st.integers(min_value=0, max_value=length))
+    vector = BitVector.from_positions(length, positions)
+    dropped = vector.dropped_prefix(drop)
+    expected = sorted(p - drop for p in positions if p >= drop)
+    assert dropped.positions() == expected
+    assert dropped.length == length - drop
+
+
+@given(st.data(), st.integers(min_value=1, max_value=64))
+def test_count_equals_number_of_positions(data, length):
+    positions = data.draw(st.sets(st.integers(min_value=0, max_value=length - 1)))
+    vector = BitVector.from_positions(length, positions)
+    assert vector.count() == len(positions)
+    assert vector.positions() == sorted(positions)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.storage.dstable.DSTable."""
+
+import pytest
+
+from repro.exceptions import DSTableError
+from repro.storage.dstable import DSTable
+from repro.stream.batch import Batch
+
+
+class TestConstruction:
+    def test_invalid_window_size(self):
+        with pytest.raises(DSTableError):
+            DSTable(window_size=0)
+
+    def test_transactions_round_trip_single_batch(self):
+        table = DSTable(window_size=2)
+        table.append_batch(Batch([["a", "c"], ["b"], []]))
+        assert list(table.transactions()) == [("a", "c"), ("b",), ()]
+
+    def test_items_canonical_order(self):
+        table = DSTable(window_size=1)
+        table.append_batch(Batch([["c", "a"], ["b"]]))
+        assert table.items() == ["a", "b", "c"]
+
+    def test_pointer_count_equals_total_item_occurrences(self, paper_batches):
+        table = DSTable(window_size=3)
+        for batch in paper_batches:
+            table.append_batch(batch)
+        expected = sum(len(t) for b in paper_batches for t in b)
+        assert table.pointer_count() == expected
+
+
+class TestPaperExample:
+    def test_window_content_after_slide(self, paper_batches):
+        table = DSTable(window_size=2)
+        for batch in paper_batches:
+            table.append_batch(batch)
+        assert table.num_transactions == 6
+        assert list(table.transactions()) == [
+            ("a", "c", "d", "f"),
+            ("a", "d", "e", "f"),
+            ("a", "b", "c"),
+            ("a", "c", "f"),
+            ("a", "c", "d", "f"),
+            ("b", "c", "d"),
+        ]
+
+    def test_item_frequencies_match_dsmatrix(self, paper_batches, paper_window_matrix):
+        table = DSTable(window_size=2)
+        for batch in paper_batches:
+            table.append_batch(batch)
+        assert table.item_frequencies() == paper_window_matrix.item_frequencies()
+
+    def test_row_boundaries_have_one_value_per_batch(self, paper_batches):
+        table = DSTable(window_size=2)
+        for batch in paper_batches[:2]:
+            table.append_batch(batch)
+        for item in table.items():
+            assert len(table.row_boundaries(item)) == 2
+
+    def test_projected_transactions_match_dsmatrix(
+        self, paper_batches, paper_window_matrix
+    ):
+        table = DSTable(window_size=2)
+        for batch in paper_batches:
+            table.append_batch(batch)
+        assert (
+            table.projected_transactions("a")
+            == paper_window_matrix.projected_transactions("a")
+        )
+
+
+class TestSliding:
+    def test_slide_removes_items_that_disappear(self):
+        table = DSTable(window_size=1)
+        table.append_batch(Batch([["x", "y"]]))
+        table.append_batch(Batch([["z"]]))
+        assert list(table.transactions()) == [("z",)]
+        assert table.item_frequencies() == {"z": 1}
+
+    def test_multiple_slides_keep_chains_consistent(self):
+        table = DSTable(window_size=2)
+        for index in range(6):
+            table.append_batch(Batch([[f"i{index}", f"j{index % 2}"], [f"j{index % 2}"]]))
+        transactions = list(table.transactions())
+        assert len(transactions) == 4
+        assert all(len(t) in (1, 2) for t in transactions)
+
+    def test_unknown_item_boundaries(self):
+        table = DSTable(window_size=1)
+        with pytest.raises(DSTableError):
+            table.row_boundaries("missing")
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, paper_batches, tmp_path):
+        table = DSTable(window_size=2)
+        for batch in paper_batches:
+            table.append_batch(batch)
+        target = tmp_path / "window.dst"
+        table.save(target)
+        restored = DSTable.load(target)
+        assert list(restored.transactions()) == list(table.transactions())
+        assert restored.window_size == 2
+
+    def test_automatic_flush_with_path(self, paper_batches, tmp_path):
+        target = tmp_path / "auto.dst"
+        table = DSTable(window_size=2, path=target)
+        table.append_batch(paper_batches[0])
+        assert target.exists()
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(DSTableError):
+            DSTable(window_size=1).save()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DSTableError):
+            DSTable.load(tmp_path / "absent.dst")
+
+    def test_load_corrupt_file(self, tmp_path):
+        broken = tmp_path / "broken.dst"
+        broken.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DSTableError):
+            DSTable.load(broken)
+
+
+class TestHelpers:
+    def test_from_batches(self, paper_batches):
+        table = DSTable.from_batches(paper_batches, window_size=2)
+        assert table.num_transactions == 6
+        assert table.num_batches == 2
+
+    def test_repr(self, paper_batches):
+        table = DSTable.from_batches(paper_batches[:1])
+        assert "transactions=3" in repr(table)

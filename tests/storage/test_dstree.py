@@ -1,0 +1,113 @@
+"""Unit tests for repro.storage.dstree.DSTree."""
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import DSTreeError
+from repro.storage.dstree import DSTree
+from repro.stream.batch import Batch
+
+
+class TestConstruction:
+    def test_invalid_window_size(self):
+        with pytest.raises(DSTreeError):
+            DSTree(window_size=0)
+
+    def test_single_batch_counts(self):
+        tree = DSTree(window_size=2)
+        tree.append_batch(Batch([["a", "b"], ["a"], ["b"]]))
+        assert tree.item_frequency("a") == 2
+        assert tree.item_frequency("b") == 2
+        assert tree.item_frequency("missing") == 0
+
+    def test_prefix_sharing_reduces_nodes(self):
+        tree = DSTree(window_size=1)
+        tree.append_batch(Batch([["a", "b", "c"], ["a", "b", "d"], ["a", "b", "c"]]))
+        # Shared prefix a-b, then c and d leaves: 4 nodes, not 9.
+        assert tree.node_count() == 4
+
+    def test_items_sorted(self):
+        tree = DSTree(window_size=1)
+        tree.append_batch(Batch([["c", "a"], ["b"]]))
+        assert tree.items() == ["a", "b", "c"]
+
+
+class TestInvariant:
+    def test_parent_count_at_least_children_sum(self, paper_batches):
+        tree = DSTree.from_batches(paper_batches, window_size=3)
+        assert tree.check_count_invariant()
+
+    def test_invariant_holds_after_slides(self, paper_batches):
+        tree = DSTree(window_size=2)
+        for batch in paper_batches:
+            tree.append_batch(batch)
+        assert tree.check_count_invariant()
+
+
+class TestSliding:
+    def test_window_frequencies_after_slide(self, paper_batches):
+        tree = DSTree(window_size=2)
+        for batch in paper_batches:
+            tree.append_batch(batch)
+        assert tree.item_frequencies() == Counter(
+            {"a": 5, "c": 5, "d": 4, "f": 4, "b": 2, "e": 1}
+        )
+
+    def test_items_with_zero_total_are_pruned(self):
+        tree = DSTree(window_size=1)
+        tree.append_batch(Batch([["x", "y"]]))
+        tree.append_batch(Batch([["z"]]))
+        assert tree.item_frequency("x") == 0
+        assert "x" not in tree.items()
+        assert tree.node_count() == 1
+
+    def test_num_batches_capped_at_window(self):
+        tree = DSTree(window_size=2)
+        for index in range(5):
+            tree.append_batch(Batch([[f"i{index}"]]))
+        assert tree.num_batches == 2
+
+
+class TestMiningSupport:
+    def test_weighted_transactions_reconstruct_window(self, paper_batches):
+        tree = DSTree(window_size=2)
+        for batch in paper_batches:
+            tree.append_batch(batch)
+        reconstructed = Counter()
+        for itemset, count in tree.weighted_transactions():
+            reconstructed[itemset] += count
+        expected = Counter()
+        for batch in paper_batches[1:]:
+            expected.update(batch.transactions)
+        assert reconstructed == expected
+
+    def test_transactions_expand_multiplicities(self):
+        tree = DSTree(window_size=1)
+        tree.append_batch(Batch([["a", "b"], ["a", "b"], ["a"]]))
+        transactions = tree.transactions()
+        assert sorted(transactions) == [("a",), ("a", "b"), ("a", "b")]
+
+    def test_projected_database_prefix_paths(self):
+        tree = DSTree(window_size=1)
+        tree.append_batch(Batch([["a", "b", "c"], ["b", "c"], ["a", "c"]]))
+        projected = dict()
+        for prefix, count in tree.projected_database("c"):
+            projected[prefix] = projected.get(prefix, 0) + count
+        assert projected == {("a", "b"): 1, ("b",): 1, ("a",): 1}
+
+    def test_projected_database_for_absent_item(self):
+        tree = DSTree(window_size=1)
+        tree.append_batch(Batch([["a"]]))
+        assert tree.projected_database("zz") == []
+
+
+class TestHelpers:
+    def test_from_batches_default_window(self, paper_batches):
+        tree = DSTree.from_batches(paper_batches)
+        assert tree.num_batches == 3
+        assert tree.item_frequency("a") == 7
+
+    def test_repr(self, paper_batches):
+        tree = DSTree.from_batches(paper_batches[:1])
+        assert "batches=1" in repr(tree)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.stream.batch.Batch."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.stream.batch import Batch
+
+
+class TestBatch:
+    def test_transactions_are_normalised(self):
+        batch = Batch([["b", "a", "a"], ("c",)])
+        assert batch.transactions == (("a", "b"), ("c",))
+
+    def test_len_and_indexing(self):
+        batch = Batch([["a"], ["b", "c"]])
+        assert len(batch) == 2
+        assert batch[1] == ("b", "c")
+
+    def test_iteration(self):
+        batch = Batch([["a"], ["b"]])
+        assert list(batch) == [("a",), ("b",)]
+
+    def test_empty_transaction_allowed(self):
+        batch = Batch([[]])
+        assert batch.transactions == ((),)
+
+    def test_item_frequencies(self):
+        batch = Batch([["a", "b"], ["a", "c"], ["a"]])
+        counts = batch.item_frequencies()
+        assert counts["a"] == 3
+        assert counts["b"] == 1
+
+    def test_items_sorted(self):
+        batch = Batch([["c", "a"], ["b"]])
+        assert batch.items() == ["a", "b", "c"]
+
+    def test_batch_id_and_with_id(self):
+        batch = Batch([["a"]], batch_id=3)
+        assert batch.batch_id == 3
+        renamed = batch.with_id(9)
+        assert renamed.batch_id == 9
+        assert renamed.transactions == batch.transactions
+
+    def test_equality_and_hash_ignore_id(self):
+        assert Batch([["a"]], batch_id=1) == Batch([["a"]], batch_id=2)
+        assert hash(Batch([["a"]])) == hash(Batch([["a"]], batch_id=5))
+
+    def test_merge(self):
+        merged = Batch.merge([Batch([["a"]]), Batch([["b"], ["c"]])])
+        assert merged.transactions == (("a",), ("b",), ("c",))
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(StreamError):
+            Batch.merge([])
+
+    def test_repr(self):
+        assert "2 transactions" in repr(Batch([["a"], ["b"]], batch_id=0))

@@ -1,0 +1,82 @@
+"""Unit tests for repro.stream.stream (TransactionStream and GraphStream)."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+from repro.stream.stream import GraphStream, TransactionStream
+
+
+class TestTransactionStream:
+    def test_batches_have_sequential_ids(self):
+        stream = TransactionStream([["a"], ["b"], ["c"], ["d"]], batch_size=2)
+        batches = list(stream.batches())
+        assert [b.batch_id for b in batches] == [0, 1]
+        assert [len(b) for b in batches] == [2, 2]
+
+    def test_trailing_partial_batch_kept_by_default(self):
+        stream = TransactionStream([["a"], ["b"], ["c"]], batch_size=2)
+        batches = list(stream)
+        assert [len(b) for b in batches] == [2, 1]
+
+    def test_trailing_partial_batch_dropped_when_requested(self):
+        stream = TransactionStream([["a"], ["b"], ["c"]], batch_size=2, drop_last=True)
+        assert [len(b) for b in stream] == [2]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(StreamError):
+            TransactionStream([], batch_size=0)
+
+    def test_generator_input_consumed_lazily(self):
+        def generate():
+            for index in range(5):
+                yield [f"i{index}"]
+
+        stream = TransactionStream(generate(), batch_size=2)
+        assert sum(len(b) for b in stream) == 5
+
+
+class TestGraphStream:
+    def make_snapshots(self):
+        return [
+            GraphSnapshot([Edge("v1", "v2"), Edge("v2", "v3")]),
+            GraphSnapshot([Edge("v1", "v2")]),
+            GraphSnapshot([Edge("v3", "v4")]),
+        ]
+
+    def test_encodes_snapshots_with_registry(self):
+        stream = GraphStream(self.make_snapshots(), batch_size=2)
+        transactions = list(stream.transactions())
+        assert transactions[0] == ("a", "b")
+        assert transactions[1] == ("a",)
+
+    def test_creates_registry_when_missing(self):
+        stream = GraphStream(self.make_snapshots(), batch_size=2)
+        list(stream.batches())
+        assert len(stream.registry) == 3
+
+    def test_uses_supplied_registry(self):
+        registry = EdgeRegistry()
+        registry.register(Edge("v1", "v2"), "x")
+        stream = GraphStream(self.make_snapshots(), registry=registry, batch_size=2)
+        transactions = list(stream.transactions())
+        assert "x" in transactions[0]
+
+    def test_rejects_unknown_edges_when_registration_disabled(self):
+        registry = EdgeRegistry().freeze()
+        stream = GraphStream(
+            self.make_snapshots(), registry=registry, batch_size=2, register_new_edges=False
+        )
+        with pytest.raises(Exception):
+            list(stream.transactions())
+
+    def test_batching(self):
+        stream = GraphStream(self.make_snapshots(), batch_size=2)
+        batches = list(stream)
+        assert [len(b) for b in batches] == [2, 1]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(StreamError):
+            GraphStream([], batch_size=-1)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.stream.window.SlidingWindow."""
+
+import pytest
+
+from repro.exceptions import WindowError
+from repro.stream.batch import Batch
+from repro.stream.window import SlidingWindow
+
+
+class TestSlidingWindow:
+    def test_invalid_size_rejected(self):
+        with pytest.raises(WindowError):
+            SlidingWindow(0)
+        with pytest.raises(WindowError):
+            SlidingWindow(-3)
+
+    def test_push_returns_none_while_filling(self):
+        window = SlidingWindow(2)
+        assert window.push(Batch([["a"]])) is None
+        assert window.push(Batch([["b"]])) is None
+        assert window.is_full
+
+    def test_push_evicts_oldest_when_full(self):
+        window = SlidingWindow(2)
+        first = Batch([["a"]], batch_id=0)
+        window.push(first)
+        window.push(Batch([["b"]], batch_id=1))
+        evicted = window.push(Batch([["c"]], batch_id=2))
+        assert evicted is first
+        assert [b.batch_id for b in window.batches] == [1, 2]
+
+    def test_transactions_in_window_order(self):
+        window = SlidingWindow(3)
+        window.push(Batch([["a"], ["b"]]))
+        window.push(Batch([["c"]]))
+        assert window.transactions() == [("a",), ("b",), ("c",)]
+
+    def test_boundaries_match_paper_example(self, paper_batches):
+        window = SlidingWindow(2)
+        for batch in paper_batches:
+            window.push(batch)
+        assert window.boundaries() == [3, 6]
+
+    def test_transaction_count(self):
+        window = SlidingWindow(2)
+        window.push(Batch([["a"], ["b"]]))
+        window.push(Batch([["c"]]))
+        assert window.transaction_count() == 3
+
+    def test_item_frequencies_across_batches(self):
+        window = SlidingWindow(2)
+        window.push(Batch([["a", "b"]]))
+        window.push(Batch([["a"]]))
+        counts = window.item_frequencies()
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+
+    def test_items_sorted(self):
+        window = SlidingWindow(2)
+        window.push(Batch([["c", "a"]]))
+        assert window.items() == ["a", "c"]
+
+    def test_len_and_iter(self):
+        window = SlidingWindow(5)
+        window.push(Batch([["a"]]))
+        assert len(window) == 1
+        assert list(window)[0].transactions == (("a",),)
+
+    def test_repr(self):
+        window = SlidingWindow(2)
+        assert "size=2" in repr(window)

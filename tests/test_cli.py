@@ -1,0 +1,126 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.fimi import read_fimi
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--algorithm", "bogus"])
+
+
+class TestDemo:
+    def test_demo_prints_15_connected_subgraphs(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "15 frequent connected subgraphs" in output
+        assert "{a,c}" in output
+
+    @pytest.mark.parametrize("algorithm", ["vertical", "fptree_multi"])
+    def test_demo_with_other_algorithms(self, algorithm, capsys):
+        assert main(["demo", "--algorithm", algorithm]) == 0
+        assert "15 frequent connected subgraphs" in capsys.readouterr().out
+
+    def test_demo_with_higher_minsup(self, capsys):
+        assert main(["demo", "--minsup", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "minsup=4" in output
+
+
+class TestGenerateAndMine:
+    def test_generate_graph_dataset(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        assert main(["generate", str(target), "--kind", "graph", "--count", "50"]) == 0
+        assert target.exists()
+        assert len(read_fimi(target)) == 50
+
+    def test_generate_ibm_dataset(self, tmp_path):
+        target = tmp_path / "ibm.fimi"
+        assert main(["generate", str(target), "--kind", "ibm", "--count", "30"]) == 0
+        assert len(read_fimi(target)) == 30
+
+    def test_generate_connect4_dataset(self, tmp_path):
+        target = tmp_path / "c4.fimi"
+        assert main(["generate", str(target), "--kind", "connect4", "--count", "10"]) == 0
+        transactions = read_fimi(target)
+        assert all(len(t) == 43 for t in transactions)
+
+    def test_mine_generated_dataset(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "mine",
+                    str(target),
+                    "--batch-size",
+                    "20",
+                    "--window",
+                    "2",
+                    "--minsup",
+                    "4",
+                    "--top",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "frequent patterns" in output
+        assert "support=" in output
+
+
+class TestBench:
+    def test_bench_e1_table(self, capsys):
+        assert main(["bench", "e1", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "E1-accuracy" in output
+        assert "all_collections_identical: True" in output
+
+    def test_bench_json_output(self, capsys):
+        assert main(["bench", "e4", "--scale", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "E4-minsup-sweep"
+        assert payload["rows"]
+
+
+class TestMineOutputFormats:
+    def _generate(self, tmp_path):
+        source = tmp_path / "graph.fimi"
+        main(["generate", str(source), "--kind", "graph", "--count", "60", "--seed", "5"])
+        return source
+
+    def test_json_format(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        capsys.readouterr()
+        assert main(["mine", str(source), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert all("support" in record for record in payload)
+
+    def test_csv_format_to_file(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        target = tmp_path / "patterns.csv"
+        capsys.readouterr()
+        assert main(["mine", str(source), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4", "--format", "csv", "--output", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = target.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0].startswith("items,")
+        assert len(lines) > 1

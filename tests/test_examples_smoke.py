@@ -1,0 +1,56 @@
+"""Smoke tests: the bundled examples stay runnable.
+
+Only the fast examples are executed here (the heavier ones exercise the same
+API paths covered by the bench/harness tests).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} is missing"
+    argv_backup = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv_backup
+    return capsys.readouterr().out
+
+
+def test_quickstart_reproduces_the_paper_numbers(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "15 frequent connected subgraphs" in output
+    assert "support=4" in output
+    # The two pruned disjoint collections are reported explicitly.
+    assert "('a', 'f')" in output
+    assert "('c', 'd')" in output
+
+
+def test_semantic_web_example_finds_the_hot_cluster(capsys):
+    output = run_example("semantic_web_stream.py", capsys)
+    assert "frequent connected link structures" in output
+    assert "largest recurring connected structure" in output
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "semantic_web_stream.py",
+        "social_network_stream.py",
+        "limited_memory_disk_mining.py",
+        "topk_and_time_fading.py",
+    ],
+)
+def test_every_example_exists_and_has_a_main(name):
+    source = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+    assert "def main()" in source
+    assert '__main__' in source

@@ -1,0 +1,35 @@
+"""The exception hierarchy allows catching everything via ReproError."""
+
+import pytest
+
+from repro import exceptions
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for name in dir(exceptions):
+        obj = getattr(exceptions, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, exceptions.ReproError), name
+
+
+@pytest.mark.parametrize(
+    "child, parent",
+    [
+        (exceptions.EdgeRegistryError, exceptions.GraphError),
+        (exceptions.WindowError, exceptions.StreamError),
+        (exceptions.DSMatrixError, exceptions.StorageError),
+        (exceptions.DSTableError, exceptions.StorageError),
+        (exceptions.DSTreeError, exceptions.StorageError),
+        (exceptions.InvalidSupportError, exceptions.MiningError),
+        (exceptions.ParseError, exceptions.LinkedDataError),
+    ],
+)
+def test_specific_hierarchy(child, parent):
+    assert issubclass(child, parent)
+
+
+def test_catching_base_class_works():
+    from repro.graph.edge import Edge
+
+    with pytest.raises(exceptions.ReproError):
+        Edge("v1", "v1")
