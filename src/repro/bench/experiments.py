@@ -12,6 +12,8 @@ all share the same code path.  A ``scale`` preset controls the workload size:
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import (
@@ -23,8 +25,10 @@ from repro.bench.harness import (
     run_baseline_miner,
     run_dsmatrix_algorithm,
 )
+from repro.bench.metrics import Timer
 from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import DatasetError
+from repro.storage.backend import DiskWindowStore
 
 #: DSMatrix algorithms that mine *all* collections of frequent edges (§3).
 POSTPROCESSED_ALGORITHMS = ("fptree_multi", "fptree_single", "fptree_topdown", "vertical")
@@ -319,8 +323,6 @@ def experiment_scalability(
             seed=seed,
         )
         support = _default_minsup(workload)
-        from repro.bench.metrics import Timer  # local import to keep module load cheap
-
         for name in algorithms:
             with Timer() as timer:
                 matrix = prepare_window(workload)
@@ -339,6 +341,82 @@ def experiment_scalability(
     }
 
 
+# ---------------------------------------------------------------------- #
+# E6 — storage-backend ablation
+# ---------------------------------------------------------------------- #
+def experiment_storage_backends(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    algorithms: Sequence[str] = ("vertical", DIRECT_ALGORITHM),
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Ablation over the window storage engine (see DESIGN.md §3).
+
+    The same stream is ingested through the in-memory backend, the segmented
+    disk backend (one file per batch plus a manifest) and the legacy
+    single-file mirror; each row reports the ingestion time, the bytes
+    persisted by the *last* append (the steady-state per-batch I/O), the
+    number of full-matrix rewrites and the mining runtime.  The segmented
+    backend must report zero full rewrites — that is the point of the
+    refactor — and every backend must return identical patterns.
+    """
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+    rows: List[Dict[str, object]] = []
+    pattern_sets: Dict[str, Dict] = {}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-storage-") as tmp:
+        targets = {
+            "memory": (None, None),
+            "disk": ("disk", Path(tmp) / "segments"),
+            "single": ("single", Path(tmp) / "window.dsm"),
+        }
+        for backend, (storage, path) in targets.items():
+            with Timer() as ingest_timer:
+                matrix = prepare_window(workload, path=path, storage=storage)
+            store = matrix.store
+            io_stats = (
+                store.io_stats.as_dict()
+                if isinstance(store, DiskWindowStore)
+                else {}
+            )
+            for name in algorithms:
+                connected = name == DIRECT_ALGORITHM
+                result = run_dsmatrix_algorithm(
+                    name, matrix, workload, support,
+                    connected=connected, keep_patterns=True,
+                )
+                pattern_sets.setdefault(name, {})[backend] = result.patterns or {}
+                rows.append(
+                    {
+                        "backend": backend,
+                        "algorithm": name,
+                        "ingest_s": round(ingest_timer.elapsed, 4),
+                        "bytes_last_append": io_stats.get("bytes_last_append", 0),
+                        "full_rewrites": io_stats.get("full_rewrites", 0),
+                        "disk_kb": round(matrix.disk_size_bytes() / 1024.0, 1),
+                        "mine_runtime_s": round(result.runtime_seconds, 4),
+                        "patterns": result.pattern_count,
+                    }
+                )
+
+    backends_agree = all(
+        len(set(map(_freeze_patterns, per_backend.values()))) == 1
+        for per_backend in pattern_sets.values()
+    )
+    return {
+        "experiment": "E6-storage-backends",
+        "workload": workload.name,
+        "minsup": support,
+        "rows": rows,
+        "backends_identical": backends_agree,
+    }
+
+
+def _freeze_patterns(patterns: Dict) -> frozenset:
+    return frozenset(patterns.items())
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -346,4 +424,5 @@ EXPERIMENTS = {
     "e3": experiment_runtime_fig2,
     "e4": experiment_minsup_sweep,
     "e5": experiment_scalability,
+    "e6": experiment_storage_backends,
 }

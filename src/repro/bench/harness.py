@@ -160,13 +160,18 @@ def build_itemset_workload(
 # ---------------------------------------------------------------------- #
 # window preparation and measured runs
 # ---------------------------------------------------------------------- #
-def prepare_window(workload: WorkloadSpec, path=None) -> DSMatrix:
+def prepare_window(
+    workload: WorkloadSpec, path=None, storage: Optional[str] = None
+) -> DSMatrix:
     """Stream every batch of the workload through a DSMatrix.
 
     The returned matrix holds the last ``window_size`` batches, exactly as it
-    would after the stream has flowed through.
+    would after the stream has flowed through.  ``storage`` selects the
+    window backend (``memory``/``disk``/``single``, see
+    :class:`~repro.storage.dsmatrix.DSMatrix`); the default follows the
+    facade's path-based inference.
     """
-    matrix = DSMatrix(window_size=workload.window_size, path=path)
+    matrix = DSMatrix(window_size=workload.window_size, path=path, storage=storage)
     for batch in workload.batches():
         matrix.append_batch(batch)
     return matrix

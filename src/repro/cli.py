@@ -35,6 +35,7 @@ from repro.datasets.fimi import read_fimi, write_fimi
 from repro.datasets.paper_example import paper_example_batches, paper_example_registry
 from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
 from repro.datasets.synthetic import IBMSyntheticGenerator
+from repro.storage.backend import STORE_BACKENDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALGORITHMS),
         default="vertical",
         help="mining algorithm to use",
+    )
+    mine.add_argument(
+        "--storage",
+        choices=STORE_BACKENDS,
+        default=None,
+        help=(
+            "window storage backend: in-memory (memory, the default), "
+            "segmented per-batch files (disk), or the legacy whole-file "
+            "mirror (single, the default when only --storage-path is given)"
+        ),
+    )
+    mine.add_argument(
+        "--storage-path",
+        default=None,
+        help=(
+            "persistent location for --storage disk/single: a directory for "
+            "the segmented layout, a file for the legacy single-file layout"
+        ),
     )
     mine.add_argument("--top", type=int, default=20, help="number of patterns to print")
     mine.add_argument(
@@ -149,8 +168,25 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     transactions = read_fimi(args.input)
+    if args.storage in ("disk", "single") and args.storage_path is None:
+        print(
+            f"error: --storage {args.storage} requires --storage-path",
+            file=sys.stderr,
+        )
+        return 2
+    if args.storage == "memory" and args.storage_path is not None:
+        print(
+            "error: --storage memory does not persist anything; drop "
+            "--storage-path or pick --storage disk/single",
+            file=sys.stderr,
+        )
+        return 2
     miner = StreamSubgraphMiner(
-        window_size=args.window, batch_size=args.batch_size, algorithm=args.algorithm
+        window_size=args.window,
+        batch_size=args.batch_size,
+        algorithm=args.algorithm,
+        storage=args.storage,
+        storage_path=args.storage_path,
     )
     miner.add_transactions(transactions)
     minsup = args.minsup if args.minsup < 1 else int(args.minsup)

@@ -4,14 +4,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, Union
 
 from repro.exceptions import InvalidSupportError
 from repro.graph.edge_registry import EdgeRegistry
+from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
 
 Items = FrozenSet[str]
 PatternCounts = Dict[Items, int]
+#: What the algorithms mine from: the DSMatrix facade or a bare window store.
+MatrixLike = Union[DSMatrix, WindowStore]
 
 
 @dataclass
@@ -88,16 +91,17 @@ class MiningAlgorithm(ABC):
     @abstractmethod
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:
-        """Mine frequent edge collections from the DSMatrix.
+        """Mine frequent edge collections from the window matrix.
 
         Parameters
         ----------
         matrix:
-            The DSMatrix holding the current window.
+            The DSMatrix (or any :class:`~repro.storage.backend.WindowStore`)
+            holding the current window.
         minsup:
             Absolute minimum support (use :func:`resolve_minsup` to convert
             relative thresholds).

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.fptree.fpgrowth import FPGrowth
 from repro.graph.edge_registry import EdgeRegistry
-from repro.storage.dsmatrix import DSMatrix
 
 
 class MultipleFPTreeMiner(MiningAlgorithm):
@@ -27,7 +26,7 @@ class MultipleFPTreeMiner(MiningAlgorithm):
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:

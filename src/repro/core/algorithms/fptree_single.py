@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.fptree.counting import count_itemsets_by_node_traversal
 from repro.fptree.tree import FPTree
 from repro.graph.edge_registry import EdgeRegistry
-from repro.storage.dsmatrix import DSMatrix
 
 
 class SingleFPTreeCountingMiner(MiningAlgorithm):
@@ -26,7 +25,7 @@ class SingleFPTreeCountingMiner(MiningAlgorithm):
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.fptree.topdown import top_down_mine
 from repro.fptree.tree import FPTree
 from repro.graph.edge_registry import EdgeRegistry
-from repro.storage.dsmatrix import DSMatrix
 
 
 class TopDownFPTreeMiner(MiningAlgorithm):
@@ -25,7 +24,7 @@ class TopDownFPTreeMiner(MiningAlgorithm):
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.graph.edge_registry import EdgeRegistry
 from repro.storage.bitvector import BitVector
-from repro.storage.dsmatrix import DSMatrix
 
 
 class VerticalMiner(MiningAlgorithm):
@@ -28,7 +27,7 @@ class VerticalMiner(MiningAlgorithm):
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:

@@ -17,11 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.exceptions import MiningError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.storage.bitvector import BitVector
-from repro.storage.dsmatrix import DSMatrix
 
 Items = FrozenSet[str]
 
@@ -34,7 +33,7 @@ class VerticalDirectMiner(MiningAlgorithm):
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:

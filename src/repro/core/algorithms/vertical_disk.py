@@ -3,35 +3,36 @@
 The paper's motivation for the DSMatrix is that the window may be too big for
 main memory: the matrix lives on disk and only the pieces needed at any moment
 are brought into RAM.  :class:`VerticalDiskMiner` takes that literally — it is
-the vertical miner of §3.4 except that **item rows are read from the persisted
-DSMatrix file on demand** (via :meth:`repro.storage.dsmatrix.DSMatrix.row_from_disk`)
+the vertical miner of §3.4 except that **item rows are read from persistent
+storage on demand** (via the window store's ``row_persisted``, which reads the
+legacy single file or the per-batch segment files depending on the backend)
 instead of being loaded up front.  At any moment the resident set is one bit
 vector per level of the depth-first search plus the row currently being
 intersected.
 
-When the matrix has no on-disk file the miner transparently falls back to
-reading rows from the in-memory structure, still one row at a time.
+When the window has no persistent storage (or its files vanished) the miner
+transparently falls back to reading rows from the in-memory structure, still
+one row at a time.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.core.algorithms.base import MiningAlgorithm, PatternCounts
+from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.graph.edge_registry import EdgeRegistry
 from repro.storage.bitvector import BitVector
-from repro.storage.dsmatrix import DSMatrix
 
 
 class VerticalDiskMiner(MiningAlgorithm):
-    """Vertical (Eclat-style) mining that streams rows from the on-disk matrix."""
+    """Vertical (Eclat-style) mining that streams rows from persistent storage."""
 
     name = "vertical_disk"
     produces_connected_only = False
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         minsup: int,
         registry: Optional[EdgeRegistry] = None,
     ) -> PatternCounts:
@@ -67,16 +68,17 @@ class VerticalDiskMiner(MiningAlgorithm):
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _load_row(self, matrix: DSMatrix, item: str) -> BitVector:
-        """Read one item row, preferring the persisted file when available."""
-        if matrix.path is not None and matrix.path.exists():
+    def _load_row(self, matrix: MatrixLike, item: str) -> BitVector:
+        """Read one item row, preferring persistent storage when available."""
+        persisted = matrix.row_persisted(item)
+        if persisted is not None:
             self.stats.extra["rows_read_from_disk"] += 1
-            return DSMatrix.row_from_disk(matrix.path, item)
+            return persisted
         return matrix.row(item)
 
     def _extend(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         prefix: Tuple[str, ...],
         prefix_vector: BitVector,
         start: int,

@@ -28,6 +28,7 @@ from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import MiningError, StreamError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.graph.graph import GraphSnapshot
+from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
 from repro.stream.batch import Batch
 from repro.stream.stream import GraphStream
@@ -55,6 +56,12 @@ class StreamSubgraphMiner:
     storage_path:
         Optional path; when given the DSMatrix persists itself there after
         every batch (the paper's on-disk behaviour).
+    storage:
+        Storage backend for the window: ``"memory"`` (default without a
+        path), ``"disk"`` (segmented per-batch files under ``storage_path``,
+        O(batch) I/O per append), ``"single"`` (legacy whole-file mirror at
+        ``storage_path``, the default when only a path is given) or a
+        pre-built :class:`~repro.storage.backend.WindowStore`.
     """
 
     def __init__(
@@ -65,12 +72,16 @@ class StreamSubgraphMiner:
         registry: Optional[EdgeRegistry] = None,
         item_universe: Optional[Sequence[str]] = None,
         storage_path: Optional[Union[str, Path]] = None,
+        storage: Optional[Union[str, WindowStore]] = None,
     ) -> None:
         if batch_size <= 0:
             raise StreamError(f"batch_size must be positive, got {batch_size}")
         self._registry = registry if registry is not None else EdgeRegistry()
         self._matrix = DSMatrix(
-            window_size=window_size, items=item_universe, path=storage_path
+            window_size=window_size,
+            items=item_universe,
+            path=storage_path,
+            storage=storage,
         )
         self._batch_size = batch_size
         self._pending: list = []
@@ -121,14 +132,32 @@ class StreamSubgraphMiner:
 
     @property
     def transaction_count(self) -> int:
-        """Transactions currently in the window."""
+        """Transactions currently in the window.
+
+        This counts only transactions already flushed into the window
+        matrix; transactions buffered by :meth:`add_transactions` /
+        :meth:`add_snapshots` that have not yet filled a batch are reported
+        by :attr:`pending_transaction_count` and join the window at the next
+        flush (``mine`` flushes automatically).
+        """
         return self._matrix.num_columns
+
+    @property
+    def pending_transaction_count(self) -> int:
+        """Buffered transactions not yet flushed into a batch."""
+        return len(self._pending)
 
     # ------------------------------------------------------------------ #
     # feeding the stream
     # ------------------------------------------------------------------ #
     def add_batch(self, batch: Batch) -> None:
-        """Append one ready-made batch of transactions to the window."""
+        """Append one ready-made batch of transactions to the window.
+
+        Any transactions buffered by :meth:`add_transactions` are flushed
+        first, so interleaving the two feeding styles preserves stream
+        order.
+        """
+        self.flush_pending()
         self._matrix.append_batch(batch)
         self._batches_consumed += 1
 
@@ -149,8 +178,9 @@ class StreamSubgraphMiner:
         """Force the buffered snapshots/transactions into a (possibly small) batch."""
         if not self._pending:
             return
-        self.add_batch(Batch(self._pending, batch_id=self._batches_consumed))
+        pending = self._pending
         self._pending = []
+        self.add_batch(Batch(pending, batch_id=self._batches_consumed))
 
     def consume(self, stream: Union[GraphStream, Iterable[Batch]]) -> None:
         """Consume an entire stream of batches (or a GraphStream)."""

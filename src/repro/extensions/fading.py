@@ -24,11 +24,10 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.algorithms.base import MiningStats
+from repro.core.algorithms.base import MatrixLike, MiningStats
 from repro.exceptions import MiningError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.storage.bitvector import BitVector
-from repro.storage.dsmatrix import DSMatrix
 from repro.stream.batch import Batch
 
 Items = FrozenSet[str]
@@ -103,7 +102,7 @@ class TimeFadingVerticalMiner:
 
     def mine(
         self,
-        matrix: DSMatrix,
+        matrix: MatrixLike,
         min_weight: float,
         registry: Optional[EdgeRegistry] = None,
     ) -> FadedPatternWeights:

@@ -13,15 +13,15 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.algorithms import get_algorithm
+from repro.core.algorithms.base import MatrixLike
 from repro.exceptions import MiningError
 from repro.graph.edge_registry import EdgeRegistry
-from repro.storage.dsmatrix import DSMatrix
 
 Items = FrozenSet[str]
 
 
 def mine_top_k_connected(
-    matrix: DSMatrix,
+    matrix: MatrixLike,
     registry: EdgeRegistry,
     k: int,
     min_size: int = 1,
@@ -32,7 +32,7 @@ def mine_top_k_connected(
     Parameters
     ----------
     matrix:
-        The DSMatrix holding the window.
+        The DSMatrix (or any window store backend) holding the window.
     registry:
         Edge registry (needed for neighborhood / connectivity information).
     k:

@@ -1,32 +1,46 @@
-"""DSMatrix — the paper's disk-backed binary matrix over the sliding window.
+"""DSMatrix — facade over the segmented window storage engine.
 
 The DSMatrix (§2.3) captures the transactions of all batches in the current
 sliding window as a binary matrix: one row per domain item (edge label), one
 column per transaction, entry ``1`` when the item occurs in the transaction.
 Each row is a bit vector, so vertical mining reduces to bitwise AND plus
-popcounts.  The matrix keeps one *global* boundary per batch (cumulative column
-counts) so the window slide simply drops the oldest batch's columns and appends
-the new batch's columns.
+popcounts.
 
-The structure is designed to live on disk: :meth:`save`/:meth:`load` persist a
-compact binary file (magic + JSON header + bit-packed rows) and
-:meth:`row_from_disk` reads a single row without loading the whole matrix,
-which is what "limited memory" mining relies on.
+Since the storage-engine refactor (DESIGN.md §3) the matrix itself is a thin
+facade over a :class:`~repro.storage.backend.WindowStore`: the window lives
+as batch-aligned :class:`~repro.storage.segments.Segment` objects, so the
+window slide is an O(1) deque pop, per-item support counters are maintained
+incrementally, and full-window rows are materialised lazily.  Three backends
+are available through the ``storage`` parameter:
+
+* ``"memory"`` — no persistence (the default without a ``path``);
+* ``"disk"`` — the segmented on-disk layout: one segment file per batch plus
+  a manifest in a directory, so each append persists O(batch) bytes;
+* ``"single"`` — the legacy behaviour (the default with a ``path``): the
+  whole matrix is mirrored into one ``DSMX`` file after every append.
+
+:meth:`save`/:meth:`load`/:meth:`row_from_disk` interoperate across
+backends: every backend exports the legacy single-file format, and both the
+legacy file and the segmented directory can be loaded or row-read directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from collections import Counter, deque
+from collections import Counter
 from pathlib import Path
-from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import DSMatrixError
+from repro.storage.backend import (
+    STORE_BACKENDS,
+    WindowStore,
+    create_store,
+    load_store,
+    read_persisted_row,
+)
 from repro.storage.bitvector import BitVector
+from repro.storage.segments import Segment
 from repro.stream.batch import Batch, Transaction
-
-_MAGIC = b"DSMX"
 
 
 class DSMatrix:
@@ -41,25 +55,54 @@ class DSMatrix:
         order of the symbols).  Items outside the universe raise.  When
         omitted, the universe grows as new items appear.
     path:
-        Optional file path.  When given, the matrix is flushed to this file
-        after every batch append, mirroring the paper's "kept up-to-date on
-        the disk" behaviour.
+        Optional persistent location: the mirror file of the ``"single"``
+        backend or the directory of the ``"disk"`` backend.  Supplying a
+        ``path`` without a ``storage`` kind selects the legacy single-file
+        mirror, which flushes the whole matrix after every batch append.
+    storage:
+        Backend kind (``"memory"``, ``"disk"`` or ``"single"``) or an
+        already-constructed :class:`~repro.storage.backend.WindowStore`.
+        Defaults to ``"memory"`` without a ``path`` and ``"single"`` with
+        one.
     """
 
     def __init__(
         self,
-        window_size: int,
+        window_size: Optional[int] = None,
         items: Optional[Sequence[str]] = None,
         path: Optional[Union[str, Path]] = None,
+        storage: Optional[Union[str, WindowStore]] = None,
     ) -> None:
-        if window_size <= 0:
-            raise DSMatrixError(f"window size must be positive, got {window_size}")
-        self._window_size = window_size
-        self._fixed_universe = items is not None
-        self._rows: Dict[str, int] = {item: 0 for item in items} if items else {}
-        self._batch_sizes: Deque[int] = deque()
-        self._num_columns = 0
-        self._path = Path(path) if path is not None else None
+        if isinstance(storage, WindowStore):
+            if window_size is not None and window_size != storage.window_size:
+                raise DSMatrixError(
+                    f"window_size {window_size} conflicts with the supplied "
+                    f"store's window size {storage.window_size}"
+                )
+            if items is not None:
+                raise DSMatrixError(
+                    "items cannot be combined with a pre-built store; "
+                    "fix the universe when constructing the store instead"
+                )
+            if path is not None:
+                raise DSMatrixError(
+                    "path cannot be combined with a pre-built store; "
+                    "configure persistence on the store instead"
+                )
+            self._store = storage
+            return
+        if storage is None:
+            storage = "single" if path is not None else "memory"
+        if storage not in STORE_BACKENDS:
+            raise DSMatrixError(
+                f"unknown storage backend {storage!r}; "
+                f"expected one of {STORE_BACKENDS}"
+            )
+        if storage != "memory" and path is None:
+            raise DSMatrixError(f"storage={storage!r} requires a path")
+        if window_size is None:
+            raise DSMatrixError("window_size is required")
+        self._store = create_store(storage, window_size, items=items, path=path)
 
     # ------------------------------------------------------------------ #
     # window maintenance
@@ -69,232 +112,130 @@ class DSMatrix:
 
         Returns the number of columns evicted (0 while the window is filling).
         """
-        evicted = 0
-        if len(self._batch_sizes) == self._window_size:
-            evicted = self._slide()
-        start = self._num_columns
-        added = len(batch)
-        self._num_columns += added
-        for offset, transaction in enumerate(batch.transactions):
-            column = start + offset
-            for item in transaction:
-                if item not in self._rows:
-                    if self._fixed_universe:
-                        raise DSMatrixError(
-                            f"item {item!r} is outside the fixed item universe"
-                        )
-                    self._rows[item] = 0
-                self._rows[item] |= 1 << column
-        self._batch_sizes.append(added)
-        if self._path is not None:
-            self.save(self._path)
-        return evicted
-
-    def _slide(self) -> int:
-        """Drop the oldest batch's columns, shifting the remaining ones left."""
-        dropped = self._batch_sizes.popleft()
-        if dropped:
-            for item in self._rows:
-                self._rows[item] >>= dropped
-            self._num_columns -= dropped
-        return dropped
+        return self._store.append_batch(batch)
 
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #
     @property
+    def store(self) -> WindowStore:
+        """The storage backend holding the window."""
+        return self._store
+
+    @property
     def window_size(self) -> int:
         """The configured window size ``w``."""
-        return self._window_size
+        return self._store.window_size
 
     @property
     def num_columns(self) -> int:
         """Number of transaction columns currently stored (``|T|``)."""
-        return self._num_columns
+        return self._store.num_columns
 
     @property
     def num_batches(self) -> int:
         """Number of batches currently in the window."""
-        return len(self._batch_sizes)
+        return self._store.num_batches
 
     @property
     def path(self) -> Optional[Path]:
         """The on-disk location, when persistence is enabled."""
-        return self._path
+        return self._store.path
+
+    def segments(self) -> Tuple[Segment, ...]:
+        """The window's batch-aligned segments, oldest first."""
+        return self._store.segments()
 
     def items(self) -> List[str]:
         """Domain items in canonical (sorted) order."""
-        return sorted(self._rows)
+        return self._store.items()
 
     def boundaries(self) -> List[int]:
         """Cumulative batch boundaries (e.g. ``[3, 6]`` in the running example)."""
-        bounds: List[int] = []
-        total = 0
-        for size in self._batch_sizes:
-            total += size
-            bounds.append(total)
-        return bounds
+        return self._store.boundaries()
 
     def row(self, item: str) -> BitVector:
         """The bit vector of ``item`` over the window's columns."""
-        try:
-            bits = self._rows[item]
-        except KeyError:
-            raise DSMatrixError(f"unknown item {item!r}") from None
-        return BitVector(self._num_columns, bits)
+        return self._store.row(item)
 
     def rows(self) -> Dict[str, BitVector]:
         """All rows keyed by item (canonical iteration order)."""
-        return {item: self.row(item) for item in self.items()}
+        return self._store.rows()
+
+    def row_persisted(self, item: str) -> Optional[BitVector]:
+        """Read one row from persistent storage (``None`` without persistence)."""
+        return self._store.row_persisted(item)
 
     def item_frequency(self, item: str) -> int:
         """Window-wide frequency (row sum) of one item."""
-        return self.row(item).count()
+        return self._store.item_frequency(item)
 
     def item_frequencies(self) -> Counter:
         """Window-wide frequencies of every item."""
-        return Counter({item: self.item_frequency(item) for item in self.items()})
+        return self._store.item_frequencies()
 
     def frequent_items(self, minsup: int) -> List[str]:
         """Items whose window frequency is at least ``minsup`` (canonical order)."""
-        return [item for item in self.items() if self.item_frequency(item) >= minsup]
+        return self._store.frequent_items(minsup)
 
     def transaction(self, column: int) -> Transaction:
         """Reconstruct the transaction stored in ``column``."""
-        if column < 0 or column >= self._num_columns:
-            raise DSMatrixError(
-                f"column {column} out of range ({self._num_columns} columns)"
-            )
-        mask = 1 << column
-        return tuple(sorted(item for item, bits in self._rows.items() if bits & mask))
+        return self._store.transaction(column)
 
     def transactions(self) -> Iterator[Transaction]:
         """Reconstruct every transaction in the window, oldest column first."""
-        for column in range(self._num_columns):
-            yield self.transaction(column)
+        return self._store.transactions()
 
     def columns_containing(self, item: str) -> List[int]:
         """Columns in which ``item`` occurs (the {item}-projection columns)."""
-        return self.row(item).positions()
+        return self._store.columns_containing(item)
 
     def projected_transactions(
         self, item: str, below_only: bool = True
     ) -> List[Transaction]:
-        """The {``item``}-projected database as described in §3.1.
-
-        For every column where ``item`` occurs, extract the other items of that
-        column.  With ``below_only`` (the paper's "extract downwards"), only
-        items that come *after* ``item`` in canonical order are kept, which is
-        what makes the recursive FP-tree construction enumerate each itemset
-        exactly once.
-        """
-        projected: List[Transaction] = []
-        ordered_items = self.items()
-        try:
-            start_index = ordered_items.index(item)
-        except ValueError:
-            raise DSMatrixError(f"unknown item {item!r}") from None
-        candidates = ordered_items[start_index + 1 :] if below_only else [
-            other for other in ordered_items if other != item
-        ]
-        for column in self.columns_containing(item):
-            mask = 1 << column
-            projected.append(
-                tuple(other for other in candidates if self._rows[other] & mask)
-            )
-        return projected
+        """The {``item``}-projected database as described in §3.1."""
+        return self._store.projected_transactions(item, below_only=below_only)
 
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Write the matrix to disk and return the path written."""
-        target = Path(path) if path is not None else self._path
-        if target is None:
-            raise DSMatrixError("no path configured for DSMatrix.save()")
-        stride = (self._num_columns + 7) // 8
-        header = {
-            "window_size": self._window_size,
-            "batch_sizes": list(self._batch_sizes),
-            "num_columns": self._num_columns,
-            "items": self.items(),
-            "stride": stride,
-            "fixed_universe": self._fixed_universe,
-        }
-        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with open(target, "wb") as handle:
-            handle.write(_MAGIC)
-            handle.write(len(header_bytes).to_bytes(4, "little"))
-            handle.write(header_bytes)
-            for item in header["items"]:
-                handle.write(self._rows[item].to_bytes(stride, "little"))
-        return target
+        """Write the matrix to disk and return the path written.
+
+        With an explicit ``path`` the legacy single-file format is exported
+        (readable by :meth:`load` regardless of backend); without one, the
+        backend flushes to its configured location.
+        """
+        return self._store.save(path)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "DSMatrix":
-        """Read a matrix previously written by :meth:`save`."""
-        source = Path(path)
-        header, offset, stride = cls._read_header(source)
-        matrix = cls(
-            window_size=header["window_size"],
-            items=header["items"] if header["fixed_universe"] else None,
-            path=None,
-        )
-        matrix._num_columns = header["num_columns"]
-        matrix._batch_sizes = deque(header["batch_sizes"])
-        with open(source, "rb") as handle:
-            handle.seek(offset)
-            for item in header["items"]:
-                data = handle.read(stride)
-                matrix._rows[item] = int.from_bytes(data, "little")
-        matrix._path = source
-        return matrix
+        """Read a matrix persisted by any backend.
+
+        Accepts both the legacy single-file format (the store keeps
+        mirroring to that file, matching the historical behaviour) and a
+        segmented backend directory.
+        """
+        return cls(storage=load_store(path))
 
     @classmethod
     def row_from_disk(cls, path: Union[str, Path], item: str) -> BitVector:
-        """Read one row directly from a saved matrix without loading the rest.
+        """Read one row directly from persisted storage without the rest.
 
         This is the access pattern of the limited-memory miners: the matrix
-        stays on disk and only the row (bit vector) being processed is brought
-        into memory.
+        stays on disk and only the row (bit vector) being processed is
+        brought into memory.  Works on legacy files and segmented
+        directories alike.
         """
-        source = Path(path)
-        header, offset, stride = cls._read_header(source)
-        try:
-            index = header["items"].index(item)
-        except ValueError:
-            raise DSMatrixError(f"unknown item {item!r} in {source}") from None
-        with open(source, "rb") as handle:
-            handle.seek(offset + index * stride)
-            data = handle.read(stride)
-        return BitVector.from_bytes(data, header["num_columns"])
-
-    @staticmethod
-    def _read_header(source: Path) -> Tuple[dict, int, int]:
-        if not source.exists():
-            raise DSMatrixError(f"DSMatrix file not found: {source}")
-        with open(source, "rb") as handle:
-            magic = handle.read(4)
-            if magic != _MAGIC:
-                raise DSMatrixError(f"{source} is not a DSMatrix file (bad magic)")
-            header_len = int.from_bytes(handle.read(4), "little")
-            try:
-                header = json.loads(handle.read(header_len).decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise DSMatrixError(f"corrupt DSMatrix header in {source}") from exc
-            offset = handle.tell()
-        return header, offset, header["stride"]
+        return read_persisted_row(path, item)
 
     def disk_size_bytes(self) -> int:
-        """Size of the on-disk file, or 0 when persistence is disabled."""
-        if self._path is None or not self._path.exists():
-            return 0
-        return os.path.getsize(self._path)
+        """Size of the on-disk data, or 0 when persistence is disabled."""
+        return self._store.disk_size_bytes()
 
     def memory_bits(self) -> int:
         """The paper's accounting: ``m * |T|`` bits for the full matrix."""
-        return len(self._rows) * self._num_columns
+        return self._store.memory_bits()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -306,6 +247,7 @@ class DSMatrix:
         window_size: Optional[int] = None,
         items: Optional[Sequence[str]] = None,
         path: Optional[Union[str, Path]] = None,
+        storage: Optional[Union[str, WindowStore]] = None,
     ) -> "DSMatrix":
         """Build a matrix by appending ``batches`` in order.
 
@@ -313,13 +255,13 @@ class DSMatrix:
         resulting matrix holds all of them.
         """
         size = window_size if window_size is not None else max(len(batches), 1)
-        matrix = cls(window_size=size, items=items, path=path)
+        matrix = cls(window_size=size, items=items, path=path, storage=storage)
         for batch in batches:
             matrix.append_batch(batch)
         return matrix
 
     def __repr__(self) -> str:
         return (
-            f"DSMatrix(items={len(self._rows)}, columns={self._num_columns}, "
-            f"batches={len(self._batch_sizes)}/{self._window_size})"
+            f"DSMatrix(items={len(self.items())}, columns={self.num_columns}, "
+            f"batches={self.num_batches}/{self.window_size})"
         )

@@ -1,0 +1,279 @@
+"""Batch-aligned segments of the sliding-window matrix (see DESIGN.md §3).
+
+A :class:`Segment` is the DSMatrix restricted to the columns of one batch: a
+per-item bit pattern whose bit ``i`` is set when the item occurs in the
+``i``-th transaction *of that batch*.  Segments are the unit of window
+maintenance — sliding the window is a deque pop of the oldest segment and a
+push of the newest, with no bit shifting of the surviving columns — and the
+unit of persistence: the disk backend writes one segment file per batch and
+deletes one per eviction, so per-batch I/O is proportional to the batch, not
+to the window.
+
+A segment is immutable once built.  Its per-item occurrence counts are
+precomputed at construction so the window store can maintain window-wide
+support counters incrementally (add the appended segment's counts, subtract
+the evicted segment's).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import (
+    BinaryIO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import DSMatrixError
+from repro.storage.bitvector import _popcount
+from repro.stream.batch import Batch, Transaction
+
+#: Magic prefix of a serialised segment file.
+SEGMENT_MAGIC = b"DSEG"
+
+
+class Segment:
+    """The columns of one batch as per-item bit patterns.
+
+    Parameters
+    ----------
+    segment_id:
+        Monotonic identifier assigned by the window store (survives
+        persistence round trips).
+    num_columns:
+        Number of transaction columns in the segment (the batch size).
+    rows:
+        Mapping of item symbol to its local bit pattern; bit 0 is the first
+        transaction of the batch.  Items with an all-zero pattern may be
+        omitted.
+    """
+
+    __slots__ = ("_segment_id", "_num_columns", "_rows", "_counts")
+
+    def __init__(
+        self, segment_id: int, num_columns: int, rows: Mapping[str, int]
+    ) -> None:
+        if num_columns < 0:
+            raise DSMatrixError(
+                f"segment column count must be non-negative, got {num_columns}"
+            )
+        cleaned: Dict[str, int] = {}
+        for item, bits in rows.items():
+            if bits < 0 or bits >> num_columns:
+                raise DSMatrixError(
+                    f"bit pattern of item {item!r} does not fit in "
+                    f"{num_columns} columns"
+                )
+            if bits:
+                cleaned[item] = bits
+        self._segment_id = segment_id
+        self._num_columns = num_columns
+        self._rows = cleaned
+        self._counts: Dict[str, int] = {
+            item: _popcount(bits) for item, bits in cleaned.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_batch(cls, batch: Batch, segment_id: int) -> "Segment":
+        """Encode one batch into a segment."""
+        rows: Dict[str, int] = {}
+        for offset, transaction in enumerate(batch.transactions):
+            bit = 1 << offset
+            for item in transaction:
+                rows[item] = rows.get(item, 0) | bit
+        return cls(segment_id, len(batch), rows)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def segment_id(self) -> int:
+        """The store-assigned identifier of this segment."""
+        return self._segment_id
+
+    @property
+    def num_columns(self) -> int:
+        """Number of transaction columns (the batch size)."""
+        return self._num_columns
+
+    def items(self) -> List[str]:
+        """Items occurring in this segment, in canonical (sorted) order."""
+        return sorted(self._rows)
+
+    def row_bits(self, item: str) -> int:
+        """Local bit pattern of ``item`` (0 when the item does not occur)."""
+        return self._rows.get(item, 0)
+
+    def item_counts(self) -> Dict[str, int]:
+        """Occurrences of every present item within this segment."""
+        return dict(self._counts)
+
+    def column_items(self) -> List[List[str]]:
+        """Items of every column, one sorted list per transaction.
+
+        Built in a single column-major pass: each item's set-bit positions are
+        walked once, and because items are visited in canonical order every
+        per-column list comes out sorted without a final sort.
+        """
+        columns: List[List[str]] = [[] for _ in range(self._num_columns)]
+        for item in sorted(self._rows):
+            bits = self._rows[item]
+            while bits:
+                low = bits & -bits
+                columns[low.bit_length() - 1].append(item)
+                bits ^= low
+        return columns
+
+    def transactions(self) -> Iterator[Transaction]:
+        """The segment's transactions, first column first."""
+        for column in self.column_items():
+            yield tuple(column)
+
+    def memory_bits(self) -> int:
+        """Matrix-cell accounting of this segment: present items × columns."""
+        return len(self._rows) * self._num_columns
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialise to the segment file format.
+
+        Layout: ``DSEG`` magic, 4-byte little-endian header length, JSON
+        header (``segment_id``, ``num_columns``, ``items``, ``stride``), then
+        one ``stride``-byte little-endian bit pattern per item in header
+        order.  The fixed-stride row block allows :func:`read_segment_row` to
+        seek to a single row without reading the rest.
+        """
+        items = self.items()
+        stride = (self._num_columns + 7) // 8
+        header = {
+            "segment_id": self._segment_id,
+            "num_columns": self._num_columns,
+            "items": items,
+            "stride": stride,
+        }
+        return build_envelope(
+            SEGMENT_MAGIC, header, (self._rows[item] for item in items), stride
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Segment":
+        """Inverse of :meth:`to_bytes`."""
+        header, offset, stride = _parse_segment_header(data, source="<bytes>")
+        rows: Dict[str, int] = {}
+        for index, item in enumerate(header["items"]):
+            start = offset + index * stride
+            rows[item] = int.from_bytes(data[start : start + stride], "little")
+        return cls(header["segment_id"], header["num_columns"], rows)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the serialised segment to ``path`` and return it."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(self.to_bytes())
+        return target
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "Segment":
+        """Read a segment previously written by :meth:`write`."""
+        source = Path(path)
+        if not source.exists():
+            raise DSMatrixError(f"segment file not found: {source}")
+        return cls.from_bytes(source.read_bytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment(id={self._segment_id}, columns={self._num_columns}, "
+            f"items={len(self._rows)})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# low-level segment file access
+# ---------------------------------------------------------------------- #
+def build_envelope(
+    magic: bytes, header: dict, rows: Iterable[int], stride: int
+) -> bytes:
+    """Serialise the shared file envelope: magic, length, header, row block.
+
+    Both the segment format and the legacy single-file matrix format are
+    this envelope with different magics and header fields; ``rows`` are the
+    bit-pattern integers in header item order.
+    """
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [magic, len(header_bytes).to_bytes(4, "little"), header_bytes]
+    parts.extend(bits.to_bytes(stride, "little") for bits in rows)
+    return b"".join(parts)
+
+
+def read_envelope_row(
+    path: Union[str, Path], magic: bytes, kind: str, item: str
+) -> Tuple[Optional[int], dict]:
+    """Seek one item's bit pattern out of an envelope file.
+
+    Returns ``(bits, header)``; ``bits`` is ``None`` when the item is not
+    listed in the header.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DSMatrixError(f"{kind} file not found: {source}")
+    with open(source, "rb") as handle:
+        header, offset, stride = read_envelope_header(
+            handle, magic, kind, str(source)
+        )
+        try:
+            index = header["items"].index(item)
+        except ValueError:
+            return None, header
+        handle.seek(offset + index * stride)
+        data = handle.read(stride)
+    return int.from_bytes(data, "little"), header
+
+
+def read_envelope_header(
+    handle: BinaryIO, magic: bytes, kind: str, source: str
+) -> Tuple[dict, int, int]:
+    """Parse the shared file envelope: magic, 4-byte length, JSON header.
+
+    Both the segment format and the legacy single-file matrix format use
+    this envelope (with different magics); returns
+    ``(header, payload_offset, stride)``.
+    """
+    if handle.read(4) != magic:
+        raise DSMatrixError(f"{source} is not a {kind} file (bad magic)")
+    header_len = int.from_bytes(handle.read(4), "little")
+    try:
+        header = json.loads(handle.read(header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DSMatrixError(f"corrupt {kind} header in {source}") from exc
+    return header, 8 + header_len, header["stride"]
+
+
+def _parse_segment_header(data: bytes, source: str) -> Tuple[dict, int, int]:
+    """Validate magic and decode the JSON header of a serialised segment."""
+    return read_envelope_header(io.BytesIO(data), SEGMENT_MAGIC, "segment", source)
+
+
+def read_segment_row(
+    path: Union[str, Path], item: str
+) -> Tuple[Optional[int], int]:
+    """Read one item's local bit pattern from a segment file without loading it.
+
+    Returns ``(bits, num_columns)``; ``bits`` is ``None`` when the item does
+    not occur in the segment (callers treat that as an all-zero pattern while
+    still learning the segment's width).
+    """
+    bits, header = read_envelope_row(path, SEGMENT_MAGIC, "segment", item)
+    return bits, header["num_columns"]

@@ -29,6 +29,11 @@ class SlidingWindow:
             raise WindowError(f"window size must be positive, got {size}")
         self._size = size
         self._batches: Deque[Batch] = deque()
+        # Incrementally-maintained window aggregates (mirroring the storage
+        # backends): updated on push/evict so the frequency accessors never
+        # rescan the retained batches.
+        self._item_counts: Counter = Counter()
+        self._transaction_count = 0
 
     @property
     def size(self) -> int:
@@ -50,7 +55,11 @@ class SlidingWindow:
         evicted: Optional[Batch] = None
         if len(self._batches) == self._size:
             evicted = self._batches.popleft()
+            self._item_counts -= evicted.item_frequencies()
+            self._transaction_count -= len(evicted)
         self._batches.append(batch)
+        self._item_counts.update(batch.item_frequencies())
+        self._transaction_count += len(batch)
         return evicted
 
     def transactions(self) -> List[Transaction]:
@@ -75,14 +84,11 @@ class SlidingWindow:
 
     def transaction_count(self) -> int:
         """Total number of transactions in the window (``|T|``)."""
-        return sum(len(batch) for batch in self._batches)
+        return self._transaction_count
 
     def item_frequencies(self) -> Counter:
-        """Window-wide item frequencies."""
-        counts: Counter = Counter()
-        for batch in self._batches:
-            counts.update(batch.item_frequencies())
-        return counts
+        """Window-wide item frequencies (maintained incrementally on push)."""
+        return Counter(self._item_counts)
 
     def items(self) -> List[str]:
         """Distinct items in the window in canonical order."""

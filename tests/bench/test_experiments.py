@@ -9,6 +9,7 @@ from repro.bench.experiments import (
     experiment_minsup_sweep,
     experiment_runtime_fig2,
     experiment_scalability,
+    experiment_storage_backends,
     scale_parameters,
 )
 from repro.exceptions import DatasetError
@@ -26,7 +27,7 @@ class TestScaleParameters:
             scale_parameters("huge")
 
     def test_registry_contains_all_experiments(self):
-        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5"}
+        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5", "e6"}
 
 
 class TestExperimentDrivers:
@@ -69,3 +70,13 @@ class TestExperimentDrivers:
         )
         assert len(outcome["rows"]) == 2
         assert all(row["total_runtime_s"] >= 0 for row in outcome["rows"])
+
+    def test_e6_storage_backends(self):
+        outcome = experiment_storage_backends(
+            scale="tiny", algorithms=("vertical",), seed=11
+        )
+        assert outcome["backends_identical"] is True
+        by_backend = {row["backend"]: row for row in outcome["rows"]}
+        assert set(by_backend) == {"memory", "disk", "single"}
+        assert by_backend["disk"]["full_rewrites"] == 0
+        assert by_backend["single"]["full_rewrites"] > 0

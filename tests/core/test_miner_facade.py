@@ -12,6 +12,7 @@ from repro.datasets.paper_example import (
 from repro.exceptions import MiningError, StreamError
 from repro.graph.edge import Edge
 from repro.graph.graph import GraphSnapshot
+from repro.stream.batch import Batch
 from repro.stream.stream import GraphStream
 
 
@@ -160,3 +161,57 @@ class TestMining:
     def test_repr(self, paper_registry, paper_batches):
         miner = self.make_paper_miner(paper_registry, paper_batches)
         assert "window=2" in repr(miner)
+
+
+class TestStreamOrdering:
+    def test_add_batch_flushes_pending_first(self):
+        """Interleaving add_transactions with add_batch keeps stream order."""
+        miner = StreamSubgraphMiner(window_size=10, batch_size=100)
+        miner.add_transactions([["a"], ["b"]])
+        miner.add_batch(Batch([["c"]]))
+        assert list(miner.matrix.transactions()) == [("a",), ("b",), ("c",)]
+        assert miner.batches_consumed == 2
+
+    def test_pending_transaction_count(self):
+        miner = StreamSubgraphMiner(window_size=2, batch_size=4)
+        miner.add_transactions([["a"], ["b"], ["c"]])
+        assert miner.pending_transaction_count == 3
+        assert miner.transaction_count == 0
+        miner.flush_pending()
+        assert miner.pending_transaction_count == 0
+        assert miner.transaction_count == 3
+
+
+class TestStorageBackends:
+    def test_disk_storage_persists_segments(self, paper_registry, paper_batches, tmp_path):
+        directory = tmp_path / "segments"
+        miner = StreamSubgraphMiner(
+            window_size=2,
+            registry=paper_registry,
+            storage="disk",
+            storage_path=directory,
+        )
+        for batch in paper_batches:
+            miner.add_batch(batch)
+        assert (directory / "manifest.json").exists()
+        assert len(list(directory.glob("seg-*.dsg"))) == 2
+
+    def test_disk_storage_mining_matches_memory(self, paper_registry, paper_batches, tmp_path):
+        results = {}
+        for storage, path in (
+            (None, None),
+            ("disk", tmp_path / "segments"),
+            ("single", tmp_path / "window.dsm"),
+        ):
+            miner = StreamSubgraphMiner(
+                window_size=2,
+                registry=paper_registry,
+                storage=storage,
+                storage_path=path,
+            )
+            for batch in paper_batches:
+                miner.add_batch(batch)
+            results[storage] = miner.mine(minsup=2).to_dict()
+        assert results[None] == PAPER_CONNECTED_FREQUENT
+        assert results["disk"] == results[None]
+        assert results["single"] == results[None]

@@ -1,0 +1,333 @@
+"""Tests for the window storage backends (repro.storage.backend).
+
+Covers the contract of DESIGN.md §3: incremental support counters, O(1)
+window slides, segment-level persistence (per-batch I/O, no full-matrix
+rewrites), cross-format save/load round trips and the edge cases around
+empty batches and slid windows.
+"""
+
+import pytest
+
+from repro.exceptions import DSMatrixError
+from repro.storage.backend import (
+    DiskWindowStore,
+    MemoryWindowStore,
+    create_store,
+    load_store,
+)
+from repro.storage.dsmatrix import DSMatrix
+from repro.stream.batch import Batch
+
+
+def batches_for(count, items_per_batch=3, start=0):
+    """Synthetic batches with overlapping item sets."""
+    result = []
+    for index in range(start, start + count):
+        transactions = [
+            [f"i{(index + offset) % 7}", f"i{(index + offset + 1) % 7}"]
+            for offset in range(items_per_batch)
+        ]
+        result.append(Batch(transactions, batch_id=index))
+    return result
+
+
+@pytest.fixture(params=["memory", "disk", "single"])
+def any_store(request, tmp_path):
+    """One store per backend kind, window size 3."""
+    if request.param == "memory":
+        return create_store("memory", window_size=3)
+    if request.param == "disk":
+        return create_store("disk", window_size=3, path=tmp_path / "segments")
+    return create_store("single", window_size=3, path=tmp_path / "window.dsm")
+
+
+class TestSharedSemantics:
+    def test_incremental_counters_match_recounted_rows(self, any_store):
+        for batch in batches_for(8):
+            any_store.append_batch(batch)
+        for item in any_store.items():
+            assert any_store.item_frequency(item) == any_store.row(item).count()
+
+    def test_slide_is_a_segment_pop(self, any_store):
+        for batch in batches_for(5):
+            any_store.append_batch(batch)
+        assert any_store.num_batches == 3
+        assert [s.segment_id for s in any_store.segments()] == [2, 3, 4]
+
+    def test_row_cache_invalidated_on_append(self, any_store):
+        any_store.append_batch(Batch([["a", "b"], ["a"]]))
+        before = any_store.row("a")
+        assert before.count() == 2
+        any_store.append_batch(Batch([["a"]]))
+        after = any_store.row("a")
+        assert after.length == 3
+        assert after.count() == 3
+
+    def test_evicted_item_keeps_zero_row(self, any_store):
+        any_store.append_batch(Batch([["x", "y"]]))
+        for batch in batches_for(3):
+            any_store.append_batch(batch)
+        assert any_store.item_frequency("x") == 0
+        assert any_store.row("x").is_empty()
+
+    def test_unknown_item_raises(self, any_store):
+        any_store.append_batch(Batch([["a"]]))
+        with pytest.raises(DSMatrixError):
+            any_store.row("zz")
+        with pytest.raises(DSMatrixError):
+            any_store.item_frequency("zz")
+
+    def test_empty_batch_appends_and_evicts(self, any_store):
+        any_store.append_batch(Batch([]))
+        any_store.append_batch(Batch([["a"], ["b"]]))
+        assert any_store.num_columns == 2
+        assert any_store.boundaries() == [0, 2]
+        assert list(any_store.transactions()) == [("a",), ("b",)]
+        # Slide the empty batch out again.
+        evicted = [any_store.append_batch(b) for b in batches_for(2)]
+        assert evicted == [0, 0]  # first append fills, second evicts 0 columns
+        assert any_store.num_batches == 3
+
+    def test_fixed_universe_rejected_before_mutation(self, tmp_path):
+        store = MemoryWindowStore(2, items=["a", "b"])
+        store.append_batch(Batch([["a"]]))
+        with pytest.raises(DSMatrixError):
+            store.append_batch(Batch([["a", "z"]]))
+        # The failed append must not have half-applied.
+        assert store.num_batches == 1
+        assert store.item_frequency("a") == 1
+
+
+class TestSegmentedPersistence:
+    def test_slide_past_capacity_keeps_window_size_files(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=8, path=directory)
+        for batch in batches_for(50):
+            store.append_batch(batch)
+        segment_files = sorted(directory.glob("seg-*.dsg"))
+        assert len(segment_files) == 8
+        assert store.io_stats.segment_files_deleted == 42
+
+    def test_no_full_rewrites_and_per_batch_io(self, tmp_path):
+        """Acceptance: 50 batches through a window of 8 with persistence on
+        performs no full-matrix rewrites; steady-state appends persist
+        O(batch) bytes (segment + manifest), not the whole window."""
+        store = create_store("disk", window_size=8, path=tmp_path / "segments")
+        per_append = []
+        for batch in batches_for(50, items_per_batch=20):
+            store.append_batch(batch)
+            per_append.append(store.io_stats.bytes_last_append)
+        assert store.io_stats.full_rewrites == 0
+        # Steady state (window full): every append writes about the same
+        # number of bytes, and far less than the persisted window.
+        steady = per_append[10:]
+        assert max(steady) < store.disk_size_bytes()
+        assert max(steady) <= min(steady) * 2
+
+    def test_old_segment_files_untouched_by_later_appends(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=4, path=directory)
+        for batch in batches_for(3):
+            store.append_batch(batch)
+        snapshot = {
+            path.name: path.read_bytes() for path in directory.glob("seg-*.dsg")
+        }
+        store.append_batch(batches_for(1, start=3)[0])
+        for name, content in snapshot.items():
+            assert (directory / name).read_bytes() == content
+
+    def test_reopen_round_trip(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=3, path=directory)
+        for batch in batches_for(5):
+            store.append_batch(batch)
+        reopened = DiskWindowStore.open(directory)
+        assert reopened.window_size == 3
+        assert reopened.boundaries() == store.boundaries()
+        assert reopened.items() == store.items()
+        for item in store.items():
+            assert reopened.row(item) == store.row(item)
+        # Appends continue with fresh segment ids after the resume.
+        reopened.append_batch(batches_for(1, start=5)[0])
+        assert reopened.segments()[-1].segment_id == 5
+
+    def test_reopen_with_mismatched_window_size(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=3, path=directory)
+        store.append_batch(Batch([["a"]]))
+        with pytest.raises(DSMatrixError):
+            DiskWindowStore(window_size=5, path=directory)
+
+    def test_row_persisted_reads_segment_files(self, tmp_path):
+        store = create_store("disk", window_size=2, path=tmp_path / "segments")
+        store.append_batch(Batch([["a", "b"], ["a"]]))
+        store.append_batch(Batch([["b"]]))
+        store.append_batch(Batch([["a"], ["c"]]))  # slides the window
+        for item in ("a", "b", "c"):
+            assert store.row_persisted(item) == store.row(item)
+
+    def test_row_persisted_falls_back_when_segment_file_vanishes(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=2, path=directory)
+        store.append_batch(Batch([["a"]]))
+        next(directory.glob("seg-*.dsg")).unlink()
+        assert store.row_persisted("a") is None  # caller falls back to row()
+        assert store.row("a").count() == 1
+
+    def test_append_keeps_manifest_consistent_before_deleting(self, tmp_path):
+        """Crash-safety ordering: at no point does the manifest reference a
+        deleted segment file, so the store is reopenable after every append."""
+        import json
+
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=2, path=directory)
+        for batch in batches_for(5):
+            store.append_batch(batch)
+            manifest = json.loads((directory / "manifest.json").read_text())
+            for entry in manifest["segments"]:
+                assert (directory / entry["file"]).exists()
+            reopened = DiskWindowStore.open(directory)
+            assert reopened.boundaries() == store.boundaries()
+
+    def test_reopen_rejects_conflicting_item_universe(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=2, path=directory)
+        store.append_batch(Batch([["x", "y"]]))
+        with pytest.raises(DSMatrixError):
+            DiskWindowStore(window_size=2, items=["a"], path=directory)
+
+
+class TestCrossFormatRoundTrips:
+    def test_legacy_load_of_segmented_save(self, tmp_path):
+        """A matrix persisted by the segmented backend exports a legacy file
+        that the single-file loader reads back identically."""
+        store = create_store("disk", window_size=3, path=tmp_path / "segments")
+        for batch in batches_for(5):
+            store.append_batch(batch)
+        exported = store.save(tmp_path / "export.dsm")
+        restored = DSMatrix.load(exported)
+        assert restored.items() == store.items()
+        assert restored.boundaries() == store.boundaries()
+        for item in store.items():
+            assert restored.row(item) == store.row(item)
+
+    def test_memory_store_save_matches_disk_store_save(self, tmp_path):
+        memory = create_store("memory", window_size=3)
+        disk = create_store("disk", window_size=3, path=tmp_path / "segments")
+        for batch in batches_for(5):
+            memory.append_batch(batch)
+            disk.append_batch(batch)
+        memory_file = memory.save(tmp_path / "memory.dsm")
+        disk_file = disk.save(tmp_path / "disk.dsm")
+        assert memory_file.read_bytes() == disk_file.read_bytes()
+
+    def test_load_store_dispatches_on_path_kind(self, tmp_path):
+        directory = tmp_path / "segments"
+        store = create_store("disk", window_size=2, path=directory)
+        store.append_batch(Batch([["a", "b"]]))
+        from_dir = load_store(directory)
+        assert isinstance(from_dir, DiskWindowStore)
+        assert from_dir.layout == "segmented"
+        legacy = store.save(tmp_path / "legacy.dsm")
+        from_file = load_store(legacy)
+        assert from_file.layout == "single"
+        assert from_file.row("a") == store.row("a")
+
+    def test_memory_store_from_legacy_file(self, tmp_path):
+        original = create_store("memory", window_size=3)
+        for batch in batches_for(4):
+            original.append_batch(batch)
+        target = original.save(tmp_path / "window.dsm")
+        restored = MemoryWindowStore.from_legacy_file(target)
+        assert restored.boundaries() == original.boundaries()
+        assert restored.item_frequencies() == original.item_frequencies()
+
+    def test_save_without_target_on_memory_store_raises(self):
+        store = create_store("memory", window_size=2)
+        with pytest.raises(DSMatrixError):
+            store.save()
+
+
+class TestFacadeDiskMode:
+    def test_dsmatrix_disk_storage_round_trip(self, tmp_path):
+        directory = tmp_path / "segments"
+        matrix = DSMatrix(window_size=2, path=directory, storage="disk")
+        matrix.append_batch(Batch([["a", "b"], ["b"]]))
+        matrix.append_batch(Batch([["a"]]))
+        matrix.append_batch(Batch([["c"]]))  # slides
+        restored = DSMatrix.load(directory)
+        assert restored.boundaries() == matrix.boundaries()
+        for item in matrix.items():
+            assert restored.row(item) == matrix.row(item)
+
+    def test_row_from_disk_on_segment_directory_after_slide(self, tmp_path):
+        directory = tmp_path / "segments"
+        matrix = DSMatrix(window_size=2, path=directory, storage="disk")
+        for batch in batches_for(5):
+            matrix.append_batch(batch)
+        for item in matrix.items():
+            assert DSMatrix.row_from_disk(directory, item) == matrix.row(item)
+
+    def test_row_from_disk_after_slide_legacy(self, tmp_path):
+        target = tmp_path / "window.dsm"
+        matrix = DSMatrix(window_size=2, path=target)
+        for batch in batches_for(5):
+            matrix.append_batch(batch)
+        for item in matrix.items():
+            assert DSMatrix.row_from_disk(target, item) == matrix.row(item)
+
+    def test_row_from_disk_unknown_item_on_directory(self, tmp_path):
+        directory = tmp_path / "segments"
+        matrix = DSMatrix(window_size=2, path=directory, storage="disk")
+        matrix.append_batch(Batch([["a"]]))
+        with pytest.raises(DSMatrixError):
+            DSMatrix.row_from_disk(directory, "zz")
+
+    def test_storage_requires_path(self):
+        with pytest.raises(DSMatrixError):
+            DSMatrix(window_size=2, storage="disk")
+
+    def test_unknown_storage_kind(self):
+        with pytest.raises(DSMatrixError):
+            DSMatrix(window_size=2, storage="quantum", path="x")
+
+    def test_store_instance_passthrough(self):
+        store = MemoryWindowStore(4)
+        matrix = DSMatrix(storage=store)
+        assert matrix.store is store
+        assert matrix.window_size == 4
+        with pytest.raises(DSMatrixError):
+            DSMatrix(window_size=3, storage=store)
+
+    def test_store_instance_rejects_conflicting_arguments(self, tmp_path):
+        with pytest.raises(DSMatrixError):
+            DSMatrix(storage=MemoryWindowStore(2), items=["a"])
+        with pytest.raises(DSMatrixError):
+            DSMatrix(storage=MemoryWindowStore(2), path=tmp_path / "x")
+
+    def test_segmented_layout_rejects_file_path(self, tmp_path):
+        target = tmp_path / "window.dsm"
+        target.write_bytes(b"not a directory")
+        with pytest.raises(DSMatrixError):
+            DSMatrix(window_size=2, path=target, storage="disk")
+
+    def test_row_persisted_unknown_item_is_none_on_all_backends(self, tmp_path):
+        disk = DSMatrix(window_size=2, path=tmp_path / "segs", storage="disk")
+        single = DSMatrix(window_size=2, path=tmp_path / "win.dsm")
+        memory = DSMatrix(window_size=2)
+        for matrix in (disk, single, memory):
+            matrix.append_batch(Batch([["a"]]))
+            assert matrix.row_persisted("zz") is None
+
+    def test_manifest_known_items_only_lists_zero_support_items(self, tmp_path):
+        import json
+
+        directory = tmp_path / "segs"
+        store = create_store("disk", window_size=1, path=directory)
+        store.append_batch(Batch([["x"]]))
+        store.append_batch(Batch([["y"]]))  # evicts x -> zero support
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["known_items"] == ["x"]
+        reopened = DiskWindowStore.open(directory)
+        assert reopened.item_frequency("x") == 0
+        assert reopened.row("x").is_empty()

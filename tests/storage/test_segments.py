@@ -1,0 +1,106 @@
+"""Unit tests for repro.storage.segments."""
+
+import pytest
+
+from repro.exceptions import DSMatrixError
+from repro.storage.segments import Segment, read_segment_row
+from repro.stream.batch import Batch
+
+
+@pytest.fixture
+def abc_segment():
+    batch = Batch([["a", "c"], ["b"], ["a", "b", "c"]])
+    return Segment.from_batch(batch, segment_id=7)
+
+
+class TestConstruction:
+    def test_from_batch_encodes_local_bit_patterns(self, abc_segment):
+        assert abc_segment.segment_id == 7
+        assert abc_segment.num_columns == 3
+        assert abc_segment.row_bits("a") == 0b101
+        assert abc_segment.row_bits("b") == 0b110
+        assert abc_segment.row_bits("c") == 0b101
+
+    def test_absent_item_has_zero_bits(self, abc_segment):
+        assert abc_segment.row_bits("zz") == 0
+
+    def test_item_counts_precomputed(self, abc_segment):
+        assert abc_segment.item_counts() == {"a": 2, "b": 2, "c": 2}
+
+    def test_all_zero_rows_are_dropped(self):
+        segment = Segment(0, 2, {"a": 0b01, "b": 0})
+        assert segment.items() == ["a"]
+
+    def test_empty_batch(self):
+        segment = Segment.from_batch(Batch([]), segment_id=0)
+        assert segment.num_columns == 0
+        assert segment.items() == []
+        assert list(segment.transactions()) == []
+
+    def test_rejects_overflowing_bits(self):
+        with pytest.raises(DSMatrixError):
+            Segment(0, 2, {"a": 0b100})
+
+    def test_rejects_negative_columns(self):
+        with pytest.raises(DSMatrixError):
+            Segment(0, -1, {})
+
+
+class TestReconstruction:
+    def test_column_items_single_pass_is_sorted(self, abc_segment):
+        assert abc_segment.column_items() == [["a", "c"], ["b"], ["a", "b", "c"]]
+
+    def test_transactions(self, abc_segment):
+        assert list(abc_segment.transactions()) == [
+            ("a", "c"),
+            ("b",),
+            ("a", "b", "c"),
+        ]
+
+    def test_memory_bits(self, abc_segment):
+        assert abc_segment.memory_bits() == 3 * 3
+
+
+class TestSerialisation:
+    def test_bytes_round_trip(self, abc_segment):
+        restored = Segment.from_bytes(abc_segment.to_bytes())
+        assert restored.segment_id == abc_segment.segment_id
+        assert restored.num_columns == abc_segment.num_columns
+        for item in abc_segment.items():
+            assert restored.row_bits(item) == abc_segment.row_bits(item)
+
+    def test_file_round_trip(self, abc_segment, tmp_path):
+        target = abc_segment.write(tmp_path / "seg.dsg")
+        restored = Segment.read(target)
+        assert restored.item_counts() == abc_segment.item_counts()
+
+    def test_empty_segment_round_trip(self, tmp_path):
+        segment = Segment.from_batch(Batch([]), segment_id=3)
+        restored = Segment.read(segment.write(tmp_path / "empty.dsg"))
+        assert restored.num_columns == 0
+        assert restored.segment_id == 3
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(DSMatrixError):
+            Segment.read(tmp_path / "absent.dsg")
+
+    def test_bad_magic(self):
+        with pytest.raises(DSMatrixError):
+            Segment.from_bytes(b"NOPE" + b"\x00" * 16)
+
+
+class TestRowSeek:
+    def test_read_segment_row_seeks_one_row(self, abc_segment, tmp_path):
+        target = abc_segment.write(tmp_path / "seg.dsg")
+        bits, width = read_segment_row(target, "b")
+        assert (bits, width) == (0b110, 3)
+
+    def test_read_segment_row_unknown_item(self, abc_segment, tmp_path):
+        target = abc_segment.write(tmp_path / "seg.dsg")
+        bits, width = read_segment_row(target, "zz")
+        assert bits is None
+        assert width == 3
+
+    def test_read_segment_row_missing_file(self, tmp_path):
+        with pytest.raises(DSMatrixError):
+            read_segment_row(tmp_path / "absent.dsg", "a")

@@ -84,6 +84,50 @@ class TestGenerateAndMine:
         assert "frequent patterns" in output
         assert "support=" in output
 
+    def test_mine_with_disk_storage(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        storage_dir = tmp_path / "segments"
+        assert (
+            main(
+                [
+                    "mine",
+                    str(target),
+                    "--batch-size",
+                    "20",
+                    "--window",
+                    "2",
+                    "--minsup",
+                    "4",
+                    "--storage",
+                    "disk",
+                    "--storage-path",
+                    str(storage_dir),
+                ]
+            )
+            == 0
+        )
+        assert "frequent patterns" in capsys.readouterr().out
+        assert (storage_dir / "manifest.json").exists()
+
+    def test_mine_disk_storage_requires_path(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "20", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["mine", str(target), "--storage", "disk"]) == 2
+        assert "requires --storage-path" in capsys.readouterr().err
+
+    def test_mine_memory_storage_rejects_path(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "20", "--seed", "5"])
+        capsys.readouterr()
+        code = main(
+            ["mine", str(target), "--storage", "memory", "--storage-path", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "does not persist" in capsys.readouterr().err
+
 
 class TestBench:
     def test_bench_e1_table(self, capsys):
