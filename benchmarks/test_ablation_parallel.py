@@ -1,0 +1,50 @@
+"""Ablation: strong scaling of sharded parallel mining (experiment E7).
+
+The parallel subsystem shards the mining search space by item ownership and
+fans the shards out to worker processes (DESIGN.md §4).  This ablation runs
+the E7 driver end-to-end, asserts the determinism guarantee (every worker
+count yields the identical pattern set) and measures the per-worker-count
+mining wall-clock; absolute speedups depend on the host's core count, so
+only the structural properties are asserted here.
+"""
+
+import json
+
+from repro.bench.experiments import experiment_strong_scaling
+from repro.parallel import mine_window_parallel
+
+
+def test_e7_driver_parity_and_report(tmp_path, scale):
+    output = tmp_path / "BENCH_e7.json"
+    outcome = experiment_strong_scaling(
+        scale=scale,
+        worker_counts=(1, 2),
+        output_path=output,
+    )
+    assert outcome["parallel_identical"] is True
+    assert outcome["experiment"] == "E7-strong-scaling"
+    # One row per (algorithm, workers) pair including the workers=0 reference.
+    assert len(outcome["rows"]) == 2 * 3
+    assert {row["workers"] for row in outcome["rows"]} == {0, 1, 2}
+    assert all(row["runtime_s"] >= 0 for row in outcome["rows"])
+    # The driver archives its outcome for the CI artifact upload.
+    archived = json.loads(output.read_text(encoding="utf-8"))
+    assert archived["rows"] == outcome["rows"]
+
+
+def test_parallel_mining_runtime(benchmark, edge_window, edge_workload, default_minsup):
+    """Wall-clock of a 2-worker sharded run over the prepared window."""
+
+    def run():
+        patterns, _ = mine_window_parallel(
+            edge_window,
+            "vertical",
+            default_minsup,
+            workers=2,
+            registry=edge_workload.registry,
+        )
+        return patterns
+
+    patterns = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["patterns"] = len(patterns)
+    benchmark.extra_info["workers"] = 2

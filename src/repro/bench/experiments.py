@@ -1,4 +1,4 @@
-"""Experiment drivers reproducing §5 of the paper (see DESIGN.md §4).
+"""Experiment drivers reproducing §5 of the paper (see DESIGN.md §5).
 
 Every driver returns a dictionary with at least a ``rows`` list (one dict per
 table row / figure point) so the pytest benchmarks, the CLI and EXPERIMENTS.md
@@ -12,9 +12,10 @@ all share the same code path.  A ``scale`` preset controls the workload size:
 
 from __future__ import annotations
 
+import json
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.harness import (
     RunResult,
@@ -28,6 +29,7 @@ from repro.bench.harness import (
 from repro.bench.metrics import Timer
 from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import DatasetError
+from repro.parallel.api import mine_window_parallel
 from repro.storage.backend import DiskWindowStore
 
 #: DSMatrix algorithms that mine *all* collections of frequent edges (§3).
@@ -417,6 +419,85 @@ def _freeze_patterns(patterns: Dict) -> frozenset:
     return frozenset(patterns.items())
 
 
+# ---------------------------------------------------------------------- #
+# E7 — strong scaling of sharded parallel mining
+# ---------------------------------------------------------------------- #
+def experiment_strong_scaling(
+    scale: str = "small",
+    minsup: Optional[int] = None,
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    algorithms: Sequence[str] = ("vertical", DIRECT_ALGORITHM),
+    seed: int = 42,
+    output_path: Optional[Union[str, Path]] = "BENCH_e7.json",
+) -> Dict[str, object]:
+    """Strong-scaling ablation of the parallel subsystem (DESIGN.md §4).
+
+    The same prepared window is mined with the sharded executor at each
+    worker count (plus the ``workers=0`` in-process reference); each row
+    reports the mining wall-clock and the speedup over one worker.  Every
+    run must return the identical pattern set — ``parallel_identical``
+    asserts the determinism guarantee alongside the timings.
+
+    The outcome is also written to ``output_path`` (``BENCH_e7.json`` by
+    default, pass ``None`` to skip) so CI can archive the per-commit
+    scaling trajectory as an artifact.
+    """
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+    matrix = prepare_window(workload)
+
+    rows: List[Dict[str, object]] = []
+    all_identical = True
+    for name in algorithms:
+        reference: Optional[Dict] = None
+        baseline_runtime: Optional[float] = None
+        for workers in (0, *worker_counts):
+            with Timer() as timer:
+                patterns, _stats = mine_window_parallel(
+                    matrix,
+                    name,
+                    support,
+                    workers=workers,
+                    registry=workload.registry,
+                )
+            if reference is None:
+                reference = patterns
+            elif patterns != reference:
+                all_identical = False
+            if workers == 1:
+                baseline_runtime = timer.elapsed
+            speedup = (
+                round(baseline_runtime / timer.elapsed, 2)
+                if baseline_runtime and timer.elapsed > 0
+                else None
+            )
+            rows.append(
+                {
+                    "algorithm": name,
+                    "workers": workers,
+                    "runtime_s": round(timer.elapsed, 4),
+                    "speedup_vs_1": speedup,
+                    "patterns": len(patterns),
+                }
+            )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E7-strong-scaling",
+        "workload": workload.name,
+        "minsup": support,
+        "worker_counts": list(worker_counts),
+        "rows": rows,
+        "parallel_identical": all_identical,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -425,4 +506,5 @@ EXPERIMENTS = {
     "e4": experiment_minsup_sweep,
     "e5": experiment_scalability,
     "e6": experiment_storage_backends,
+    "e7": experiment_strong_scaling,
 }

@@ -13,7 +13,7 @@ The harness separates the two phases the paper also separates:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bench.metrics import MemoryMeter, Timer, deep_sizeof
 from repro.core.algorithms import get_algorithm

@@ -10,9 +10,9 @@ Subcommands
     connect4-like) and write it as a FIMI transaction file.
 ``mine``
     Mine a FIMI transaction file with a sliding window and one of the five
-    algorithms.
+    algorithms, optionally sharded over worker processes (``--workers``).
 ``bench``
-    Run one of the paper's experiments (e1-e5) and print its table.
+    Run one of the paper's experiments (e1-e7) and print its table.
 
 Run ``python -m repro --help`` for the full option reference.
 """
@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import __version__
 from repro.bench.experiments import EXPERIMENTS
@@ -35,7 +35,13 @@ from repro.datasets.fimi import read_fimi, write_fimi
 from repro.datasets.paper_example import paper_example_batches, paper_example_registry
 from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
 from repro.datasets.synthetic import IBMSyntheticGenerator
+from repro.exceptions import DatasetError
 from repro.storage.backend import STORE_BACKENDS
+
+#: Exit code for usage errors detected by the subcommands (bad flag combos).
+EXIT_USAGE_ERROR = 2
+#: Stable exit code for missing/corrupt input files (asserted by the tests).
+EXIT_INPUT_ERROR = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "persistent location for --storage disk/single: a directory for "
             "the segmented layout, a file for the legacy single-file layout"
+        ),
+    )
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for sharded mining (0 = sequential in-process, "
+            "the default; N >= 1 partitions the search space over N processes "
+            "and merges the shards into the identical pattern set)"
         ),
     )
     mine.add_argument("--top", type=int, default=20, help="number of patterns to print")
@@ -167,20 +183,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    transactions = read_fimi(args.input)
+    try:
+        transactions = read_fimi(args.input)
+    except (DatasetError, OSError, UnicodeDecodeError) as exc:
+        print(f"error: cannot read input file: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
     if args.storage in ("disk", "single") and args.storage_path is None:
         print(
             f"error: --storage {args.storage} requires --storage-path",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE_ERROR
     if args.storage == "memory" and args.storage_path is not None:
         print(
             "error: --storage memory does not persist anything; drop "
             "--storage-path or pick --storage disk/single",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE_ERROR
+    if args.workers < 0:
+        print(
+            f"error: --workers must be non-negative, got {args.workers}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
     miner = StreamSubgraphMiner(
         window_size=args.window,
         batch_size=args.batch_size,
@@ -196,7 +222,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         # default to reporting all collections unless the direct algorithm
         # (which requires a registry anyway) was requested.
         connected = False
-    result = miner.mine(minsup, connected_only=connected)
+    result = miner.mine(minsup, connected_only=connected, workers=args.workers)
     if args.format == "json":
         rendered = result_to_json(result, miner.registry)
     elif args.format == "csv":

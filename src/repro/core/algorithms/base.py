@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Union
 
 from repro.exceptions import InvalidSupportError
 from repro.graph.edge_registry import EdgeRegistry
@@ -109,6 +109,38 @@ class MiningAlgorithm(ABC):
             Edge registry; required by algorithms that need neighborhood
             information (the direct algorithm), optional otherwise.
         """
+
+    def mine_shard(
+        self,
+        matrix: MatrixLike,
+        minsup: int,
+        owned_items: Iterable[str],
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        """Mine only the patterns *owned* by ``owned_items`` (DESIGN.md §4).
+
+        Ownership is by canonical minimum item: every pattern has exactly
+        one owner, so mining each shard of an item partition and taking the
+        union of the results reproduces :meth:`mine` exactly.  This is the
+        entry point the parallel workers call.
+
+        The base implementation runs the full sequential :meth:`mine` and
+        filters — always correct, never faster; the single-tree algorithms
+        keep it, and the parallel executor runs such algorithms as a
+        single shard rather than fanning out duplicate full runs.
+        Algorithms whose search space naturally splits by start item (the
+        vertical family and the multi-tree miner) override it with a real
+        search-space restriction.
+        """
+        owned = set(owned_items)
+        patterns = self.mine(matrix, minsup, registry=registry)
+        shard = {
+            items: support
+            for items, support in patterns.items()
+            if min(items) in owned
+        }
+        self.stats.patterns_found = len(shard)
+        return shard
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -8,7 +8,7 @@ two-step protocol as the facade: feed batches, then mine.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
 from repro.core.algorithms.base import MiningStats, PatternCounts
 from repro.exceptions import MiningError

@@ -11,7 +11,7 @@ algorithms.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.fptree.fpgrowth import FPGrowth
@@ -37,18 +37,49 @@ class MultipleFPTreeMiner(MiningAlgorithm):
             patterns[frozenset({item})] = matrix.item_frequency(item)
 
         for item in frequent_singletons:
-            projected = matrix.projected_transactions(item, below_only=True)
-            if not projected:
-                continue
-            miner = FPGrowth(minsup=minsup, order="canonical")
-            found = miner.mine(projected, suffix={item})
-            patterns.update(found)
-            self.stats.fptrees_built += miner.trees_built
-            self.stats.max_concurrent_fptrees = max(
-                self.stats.max_concurrent_fptrees, miner.max_concurrent_trees
-            )
-            self.stats.max_fptree_nodes = max(
-                self.stats.max_fptree_nodes, miner.max_tree_nodes
-            )
+            self._mine_projection(matrix, item, minsup, patterns)
         self.stats.patterns_found = len(patterns)
         return patterns
+
+    def mine_shard(
+        self,
+        matrix: MatrixLike,
+        minsup: int,
+        owned_items: Iterable[str],
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        """Build projected FP-trees only for owned items.
+
+        Every pattern mined from the {x}-projection has ``x`` as its
+        canonical minimum item, so the per-item projections are exactly the
+        ownership partition — each shard builds its own trees and no
+        pattern appears in two shards.
+        """
+        self.reset_stats()
+        owned = set(owned_items)
+        patterns: PatternCounts = {}
+        for item in matrix.frequent_items(minsup):
+            if item not in owned:
+                continue
+            patterns[frozenset({item})] = matrix.item_frequency(item)
+            self._mine_projection(matrix, item, minsup, patterns)
+        self.stats.patterns_found = len(patterns)
+        return patterns
+
+    def _mine_projection(
+        self, matrix: MatrixLike, item: str, minsup: int, patterns: PatternCounts
+    ) -> None:
+        """Mine the {item}-projected database into ``patterns``."""
+        projected = matrix.projected_transactions(item, below_only=True)
+        if not projected:
+            return
+        miner = FPGrowth(minsup=minsup, order="canonical")
+        found = miner.mine(projected, suffix={item})
+        patterns.update(found)
+        self.stats.fptrees_built += miner.trees_built
+        self.stats.max_concurrent_fptrees = max(
+            self.stats.max_concurrent_fptrees, miner.max_concurrent_trees
+        )
+        self.stats.max_fptree_nodes = max(
+            self.stats.max_fptree_nodes, miner.max_tree_nodes
+        )

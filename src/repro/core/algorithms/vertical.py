@@ -12,7 +12,7 @@ memory-frugal of the five.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.graph.edge_registry import EdgeRegistry
@@ -41,6 +41,41 @@ class VerticalMiner(MiningAlgorithm):
 
         ordered: List[str] = list(frequent_items)  # canonical order
         for index, item in enumerate(ordered):
+            self._extend(
+                prefix=(item,),
+                prefix_vector=rows[item],
+                start=index + 1,
+                ordered=ordered,
+                rows=rows,
+                minsup=minsup,
+                patterns=patterns,
+            )
+        self.stats.patterns_found = len(patterns)
+        return patterns
+
+    def mine_shard(
+        self,
+        matrix: MatrixLike,
+        minsup: int,
+        owned_items: Iterable[str],
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        """Depth-first search restricted to prefixes starting at owned items.
+
+        Every itemset's canonical minimum item is its owner, so only the
+        owned start items are expanded — the shard does ``1/num_shards`` of
+        the enumeration work instead of filtering a full run.
+        """
+        self.reset_stats()
+        owned = set(owned_items)
+        patterns: PatternCounts = {}
+        frequent_items = matrix.frequent_items(minsup)
+        rows: Dict[str, BitVector] = {item: matrix.row(item) for item in frequent_items}
+        ordered: List[str] = list(frequent_items)
+        for index, item in enumerate(ordered):
+            if item not in owned:
+                continue
+            patterns[frozenset({item})] = rows[item].count()
             self._extend(
                 prefix=(item,),
                 prefix_vector=rows[item],

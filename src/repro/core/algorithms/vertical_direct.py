@@ -7,7 +7,7 @@ Eq. (1)-(2)), so every enumerated pattern is a connected subgraph by
 construction.  Support is computed with the same bit-vector intersections as
 algorithm 4.
 
-Enumeration strategy (DESIGN.md §5.4): each connected frequent edge set is
+Enumeration strategy (DESIGN.md §6.4): each connected frequent edge set is
 generated exactly once by growing from its minimum edge in canonical order and
 only adding larger edges; a per-start ``seen`` set suppresses the duplicates
 that different growth orders of the same set would otherwise produce.
@@ -15,7 +15,7 @@ that different growth orders of the same set would otherwise produce.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.exceptions import MiningError
@@ -52,6 +52,46 @@ class VerticalDirectMiner(MiningAlgorithm):
             patterns[frozenset({item})] = rows[item].count()
 
         for start in frequent_items:
+            self._grow_from(
+                start=start,
+                rows=rows,
+                frequent_set=frequent_set,
+                neighbor_table=neighbor_table,
+                registry=registry,
+                minsup=minsup,
+                patterns=patterns,
+            )
+        self.stats.patterns_found = len(patterns)
+        return patterns
+
+    def mine_shard(
+        self,
+        matrix: MatrixLike,
+        minsup: int,
+        owned_items: Iterable[str],
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        """Grow only from owned start edges.
+
+        The enumeration strategy already generates each connected frequent
+        edge set exactly once from its minimum edge, so a partition of the
+        start edges is a partition of the output — shards never collide.
+        """
+        if registry is None:
+            raise MiningError(
+                "the direct algorithm needs an EdgeRegistry for neighborhood lookups"
+            )
+        self.reset_stats()
+        owned = set(owned_items)
+        patterns: PatternCounts = {}
+        frequent_items = matrix.frequent_items(minsup)
+        frequent_set = set(frequent_items)
+        rows: Dict[str, BitVector] = {item: matrix.row(item) for item in frequent_items}
+        neighbor_table = {item: registry.neighbors_of(item) for item in frequent_items}
+        for start in frequent_items:
+            if start not in owned:
+                continue
+            patterns[frozenset({start})] = rows[start].count()
             self._grow_from(
                 start=start,
                 rows=rows,

@@ -17,7 +17,7 @@ one row at a time.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.algorithms.base import MatrixLike, MiningAlgorithm, PatternCounts
 from repro.graph.edge_registry import EdgeRegistry
@@ -52,6 +52,48 @@ class VerticalDiskMiner(MiningAlgorithm):
         # Depth-first extension in canonical order; only the prefix vectors of
         # the current search path are resident.
         for index, item in enumerate(frequent_items):
+            prefix_vector = self._load_row(matrix, item)
+            self._extend(
+                matrix=matrix,
+                prefix=(item,),
+                prefix_vector=prefix_vector,
+                start=index + 1,
+                ordered=frequent_items,
+                minsup=minsup,
+                patterns=patterns,
+            )
+        self.stats.patterns_found = len(patterns)
+        return patterns
+
+    def mine_shard(
+        self,
+        matrix: MatrixLike,
+        minsup: int,
+        owned_items: Iterable[str],
+        registry: Optional[EdgeRegistry] = None,
+    ) -> PatternCounts:
+        """Disk-streaming variant of the vertical shard search.
+
+        The singleton pass still scans every item (each shard needs the
+        full frequent-item order for its extensions), but only owned start
+        items are expanded, keeping the shard's resident set at one prefix
+        vector per search level.
+        """
+        self.reset_stats()
+        self.stats.extra["rows_read_from_disk"] = 0
+        owned = set(owned_items)
+        patterns: PatternCounts = {}
+        frequent_items: List[str] = []
+        for item in matrix.items():
+            row = self._load_row(matrix, item)
+            support = row.count()
+            if support >= minsup:
+                frequent_items.append(item)
+                if item in owned:
+                    patterns[frozenset({item})] = support
+        for index, item in enumerate(frequent_items):
+            if item not in owned:
+                continue
             prefix_vector = self._load_row(matrix, item)
             self._extend(
                 matrix=matrix,

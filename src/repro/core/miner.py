@@ -27,6 +27,7 @@ from repro.core.patterns import MiningResult
 from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import MiningError, StreamError
 from repro.graph.edge_registry import EdgeRegistry
+from repro.parallel.api import mine_window_parallel
 from repro.graph.graph import GraphSnapshot
 from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
@@ -207,6 +208,7 @@ class StreamSubgraphMiner:
         connected_only: bool = True,
         rule: str = "exact",
         algorithm: Optional[Union[str, MiningAlgorithm]] = None,
+        workers: int = 0,
     ) -> MiningResult:
         """Mine the current window.
 
@@ -224,11 +226,26 @@ class StreamSubgraphMiner:
             ``"paper"`` (see DESIGN.md).
         algorithm:
             Optional per-call algorithm override.
+        workers:
+            Number of worker processes for sharded mining (DESIGN.md §4).
+            ``0`` (the default) mines sequentially in this process;
+            ``n >= 1`` partitions the search space over ``n`` processes and
+            merges the shards back into the identical pattern set.
         """
         self.flush_pending()
         miner = self._algorithm if algorithm is None else self._resolve_algorithm(algorithm)
         absolute = resolve_minsup(minsup, self._matrix.num_columns)
-        counts = miner.mine(self._matrix, absolute, registry=self._registry)
+        if workers and workers > 0:
+            counts, stats = mine_window_parallel(
+                self._matrix,
+                miner,
+                absolute,
+                workers=workers,
+                registry=self._registry,
+            )
+            miner.stats = stats  # aggregated shard instrumentation
+        else:
+            counts = miner.mine(self._matrix, absolute, registry=self._registry)
         if connected_only:
             if not miner.produces_connected_only:
                 counts = filter_connected_patterns(counts, self._registry, rule=rule)
@@ -243,10 +260,11 @@ class StreamSubgraphMiner:
         self,
         minsup: float,
         algorithm: Optional[Union[str, MiningAlgorithm]] = None,
+        workers: int = 0,
     ) -> MiningResult:
         """Mine every collection of frequent edges (connected or disjoint)."""
         return self.mine(
-            minsup, connected_only=False, algorithm=algorithm
+            minsup, connected_only=False, algorithm=algorithm, workers=workers
         )
 
     def available_algorithms(self) -> Sequence[str]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.exceptions import DatasetError
 from repro.graph.edge import Edge

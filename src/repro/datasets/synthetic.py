@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.exceptions import DatasetError
 

@@ -52,6 +52,10 @@ class InvalidSupportError(MiningError):
     """Raised when a minimum-support threshold is not a positive value."""
 
 
+class ParallelMiningError(MiningError):
+    """Raised when sharded mining produces inconsistent or unmergeable results."""
+
+
 class DatasetError(ReproError):
     """Raised by dataset generators and file readers."""
 

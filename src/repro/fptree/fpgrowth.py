@@ -9,7 +9,7 @@ when comparing the multi-FP-tree algorithm with the single-tree ones.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Union
 
 from repro.exceptions import MiningError
 from repro.fptree.projected import WeightedTransaction

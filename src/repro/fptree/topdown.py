@@ -9,7 +9,7 @@ order, so no additional FP-trees are materialised — the projections are plain
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from repro.exceptions import MiningError
 from repro.fptree.projected import WeightedTransaction, weighted_item_frequencies

@@ -7,7 +7,7 @@ escapes, comment lines starting with ``#`` and blank lines.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import Iterable, Iterator, List, Union
 
 from repro.exceptions import ParseError
 from repro.linked_data.triple import IRI, BlankNode, Literal, Triple

@@ -16,7 +16,7 @@ data arrives as RDF triples.  This module provides:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 from repro.exceptions import LinkedDataError
 from repro.graph.edge import Edge

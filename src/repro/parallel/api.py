@@ -1,0 +1,198 @@
+"""High-level entry points: parallel mining and parallel support counting.
+
+These functions tie the planner, the worker pool and the merge layer
+together (DESIGN.md §4).  ``workers=0`` executes the identical shard plan
+in the calling process, so the two modes return byte-identical results —
+the property the parity suite pins down.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Collection, Dict, FrozenSet, List, Optional, Tuple, Type, Union
+
+from repro.core.algorithms import ALGORITHMS
+from repro.core.algorithms.base import MiningAlgorithm, MiningStats
+from repro.exceptions import ParallelMiningError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.parallel.merge import (
+    merge_pattern_counts,
+    merge_stats,
+    merge_support_counts,
+)
+from repro.parallel.planner import ShardPlanner
+from repro.parallel.pool import WorkerPool
+from repro.parallel.worker import (
+    MiningShardTask,
+    WindowTask,
+    clear_mining_worker,
+    count_segment_shard,
+    initialize_mining_worker,
+    run_mining_shard,
+)
+from repro.storage.backend import DiskWindowStore, WindowStore
+from repro.storage.dsmatrix import DSMatrix
+
+Items = FrozenSet[str]
+PatternCounts = Dict[Items, int]
+MatrixLike = Union[DSMatrix, WindowStore]
+
+
+def _store_of(matrix: MatrixLike) -> WindowStore:
+    return matrix.store if isinstance(matrix, DSMatrix) else matrix
+
+
+def _shard_count(workers: int, num_shards: Optional[int]) -> int:
+    if num_shards is not None:
+        return num_shards
+    return max(1, workers)
+
+
+def _resolve_algorithm_class(
+    algorithm: Union[str, MiningAlgorithm],
+) -> Type[MiningAlgorithm]:
+    """Validate that workers will reconstruct exactly this algorithm.
+
+    Only the registry *name* crosses the process boundary, so a custom
+    instance whose class is not the registered implementation would be
+    silently swapped for the stock one in every worker — reject that
+    upfront instead.
+    """
+    name = algorithm if isinstance(algorithm, str) else algorithm.name
+    registered = ALGORITHMS.get(name)
+    if registered is None:
+        raise ParallelMiningError(
+            f"unknown algorithm {name!r} for parallel mining; "
+            f"available: {sorted(ALGORITHMS)}"
+        )
+    if not isinstance(algorithm, str) and type(algorithm) is not registered:
+        raise ParallelMiningError(
+            f"parallel mining reconstructs algorithms by registry name, but "
+            f"{type(algorithm).__name__} is not the implementation registered "
+            f"as {name!r}; mine sequentially (workers=0) or register the class"
+        )
+    return registered
+
+
+def mine_window_parallel(
+    matrix: MatrixLike,
+    algorithm: Union[str, MiningAlgorithm],
+    minsup: int,
+    workers: int,
+    registry: Optional[EdgeRegistry] = None,
+    num_shards: Optional[int] = None,
+) -> Tuple[PatternCounts, MiningStats]:
+    """Mine the window by fanning item shards out to worker processes.
+
+    The window travels as segment handles (paths or payload bytes, never a
+    live store), each worker runs the algorithm's shard-aware entry point
+    over its owned items, and the merge layer unions the disjoint shard
+    results into exactly the sequential pattern set.
+
+    Parameters
+    ----------
+    matrix:
+        The DSMatrix (or bare window store) holding the current window.
+    algorithm:
+        Algorithm registry name or instance; only the name crosses the
+        process boundary.
+    minsup:
+        Absolute minimum support.
+    workers:
+        ``0`` for the deterministic in-process reference mode, ``n >= 1``
+        for a process pool of ``n`` workers.
+    registry:
+        Edge registry, required by the direct algorithm.
+    num_shards:
+        Shard-count override; defaults to ``max(1, workers)``.
+
+    Returns
+    -------
+    (patterns, stats):
+        The merged pattern -> support mapping and the aggregated
+        instrumentation of all shards.
+    """
+    store = _store_of(matrix)
+    name = algorithm if isinstance(algorithm, str) else algorithm.name
+    algorithm_cls = _resolve_algorithm_class(algorithm)
+    # Algorithms without a true search-space split (the base mine_shard
+    # filters a full sequential run) execute as ONE shard: fanning them out
+    # would run the full mine once per shard for the same answer.
+    shard_capable = algorithm_cls.mine_shard is not MiningAlgorithm.mine_shard
+    planner = ShardPlanner(
+        _shard_count(workers, num_shards) if shard_capable else 1
+    )
+    store_path = (
+        str(store.path)
+        if isinstance(store, DiskWindowStore) and store.layout == "segmented"
+        else None
+    )
+    window = WindowTask(
+        window_size=store.window_size,
+        handles=tuple(store.segment_handles()),
+        known_items=tuple(store.items()),
+        store_path=store_path,
+    )
+    context = uuid.uuid4().hex
+    tasks = [
+        MiningShardTask(
+            shard_id=shard.shard_id,
+            algorithm=name,
+            minsup=minsup,
+            owned_items=shard.items,
+            context=context,
+        )
+        for shard in planner.plan_items(store.items())
+    ]
+    try:
+        # The window and registry ship once per worker via the pool
+        # initializer, not once per shard task.
+        outcomes = WorkerPool(workers).map(
+            run_mining_shard,
+            tasks,
+            initializer=initialize_mining_worker,
+            initargs=(context, window, registry),
+        )
+    finally:
+        # In-process runs installed the window in *this* process; drop it.
+        clear_mining_worker(context)
+    patterns = merge_pattern_counts(outcome.patterns for outcome in outcomes)
+    stats = merge_stats(outcome.stats for outcome in outcomes)
+    stats.patterns_found = len(patterns)
+    return patterns, stats
+
+
+def count_supports_parallel(
+    matrix: MatrixLike,
+    workers: int,
+    num_shards: Optional[int] = None,
+) -> Dict[str, int]:
+    """Compute window-wide per-item supports from segment-aligned shards.
+
+    Each worker counts one contiguous run of segments; the merged counter
+    equals ``matrix.item_frequencies()`` restricted to items that occur in
+    the window (zero-support items of a grow-only universe never appear in
+    any segment).
+    """
+    store = _store_of(matrix)
+    planner = ShardPlanner(_shard_count(workers, num_shards))
+    shards = planner.plan_segments(store.segment_handles())
+    counters = WorkerPool(workers).map(count_segment_shard, shards)
+    return dict(merge_support_counts(counters))
+
+
+def frequent_items_parallel(
+    matrix: MatrixLike,
+    minsup: int,
+    workers: int,
+    num_shards: Optional[int] = None,
+    universe: Optional[Collection[str]] = None,
+) -> List[str]:
+    """Canonically ordered items with window support >= ``minsup``.
+
+    A convenience built on :func:`count_supports_parallel`, mirroring
+    ``WindowStore.frequent_items``.
+    """
+    counts = count_supports_parallel(matrix, workers, num_shards=num_shards)
+    items = counts.keys() if universe is None else universe
+    return sorted(item for item in items if counts.get(item, 0) >= minsup)

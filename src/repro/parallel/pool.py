@@ -1,0 +1,131 @@
+"""The worker-pool executor with a deterministic in-process fallback.
+
+``WorkerPool(0)`` runs every task in the calling process, in task order —
+the reference execution mode: because shard plans are deterministic and
+shard results are merged in shard order, a pool run is byte-identical to
+the in-process run, which is what the parity suite asserts.
+
+``WorkerPool(n)`` for ``n >= 1`` executes tasks on a
+:class:`concurrent.futures.ProcessPoolExecutor`.  ``Executor.map`` returns
+results in submission order, so the merge order (and therefore the merged
+result) does not depend on worker scheduling.  Environments where process
+pools cannot work at all (restricted sandboxes, missing ``/dev/shm``) are
+detected once with a cheap probe and degrade to in-process execution;
+exceptions raised by the *tasks* themselves always propagate unchanged —
+they never trigger a fallback re-run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.exceptions import ParallelMiningError
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+#: Cached result of the one-time pool-viability probe (None = not probed).
+_POOLS_AVAILABLE: Optional[bool] = None
+
+
+def _probe(value: int) -> int:
+    """Trivial picklable task used to probe pool viability."""
+    return value
+
+
+def process_pools_available() -> bool:
+    """Whether this interpreter can run a working process pool.
+
+    Probed once per process with a single round-trip task: semaphore or
+    queue creation failures (the way restricted sandboxes typically break
+    multiprocessing) surface here instead of mid-mining.
+    """
+    global _POOLS_AVAILABLE
+    if _POOLS_AVAILABLE is None:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as executor:
+                _POOLS_AVAILABLE = executor.submit(_probe, 1).result(timeout=60) == 1
+        except Exception:  # noqa: BLE001 - any failure means "no pools here"
+            _POOLS_AVAILABLE = False
+    return _POOLS_AVAILABLE
+
+
+class WorkerPool:
+    """Map picklable tasks over worker processes (or in-process for 0).
+
+    Parameters
+    ----------
+    workers:
+        ``0`` — run tasks sequentially in this process (deterministic
+        reference mode); ``n >= 1`` — use a process pool with ``n``
+        workers.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 0:
+            raise ParallelMiningError(
+                f"workers must be non-negative, got {workers}"
+            )
+        self._workers = workers
+        #: How the last :meth:`map` call actually executed (``"in-process"``
+        #: or ``"pool"``); useful for tests and diagnostics.
+        self.last_execution_mode: str = "in-process"
+
+    @property
+    def workers(self) -> int:
+        """The configured worker count (0 = in-process)."""
+        return self._workers
+
+    def map(
+        self,
+        fn: Callable[[Task], Result],
+        tasks: Iterable[Task],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+    ) -> List[Result]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        ``initializer``/``initargs`` run once per worker process before any
+        task (and once in this process for the in-process mode) — the hook
+        the mining API uses to ship the window a single time per worker
+        instead of once per shard task.
+
+        ``workers >= 1`` always uses a real pool (even for one task), so a
+        one-worker run honestly measures pool spawn and transfer overhead —
+        it is the baseline of the strong-scaling experiment.
+        """
+        materialised = list(tasks)
+        if (
+            self._workers == 0
+            or not materialised
+            or not process_pools_available()
+        ):
+            return self._run_in_process(fn, materialised, initializer, initargs)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self._workers, len(materialised)),
+                initializer=initializer,
+                initargs=initargs,
+            ) as executor:
+                results = list(executor.map(fn, materialised))
+            self.last_execution_mode = "pool"
+            return results
+        except BrokenProcessPool:
+            # Pool infrastructure died mid-run (e.g. an OOM-killed worker).
+            # Task exceptions are NOT caught here — they propagate from
+            # executor.map as themselves.
+            return self._run_in_process(fn, materialised, initializer, initargs)
+
+    def _run_in_process(
+        self,
+        fn: Callable[[Task], Result],
+        tasks: List[Task],
+        initializer: Optional[Callable[..., None]],
+        initargs: Tuple,
+    ) -> List[Result]:
+        self.last_execution_mode = "in-process"
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(task) for task in tasks]

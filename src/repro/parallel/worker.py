@@ -1,0 +1,164 @@
+"""What runs inside a worker process.
+
+Workers never receive a live window store: the window travels as a
+:class:`WindowTask` — a tuple of
+:class:`~repro.storage.segments.SegmentHandle` objects (file paths for the
+disk backend, serialised segment bytes for the in-memory backend) plus the
+scalar window parameters — and is shipped **once per worker process**
+through the pool's initializer, not once per shard task.  A worker backed
+by a segmented disk store reopens that store from its directory, so the
+limited-memory miners keep streaming rows from disk; otherwise the window
+is rebuilt in memory from the handles.  Everything in this module is
+picklable and importable at module level, so the tasks work under every
+multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.algorithms import get_algorithm
+from repro.exceptions import DSMatrixError, ParallelMiningError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.parallel.planner import SegmentShard
+from repro.storage.backend import (
+    MANIFEST_NAME,
+    DiskWindowStore,
+    MemoryWindowStore,
+    WindowStore,
+)
+from repro.storage.segments import SegmentHandle
+
+Items = FrozenSet[str]
+PatternCounts = Dict[Items, int]
+
+# Per-worker-process state, installed by initialize_mining_worker (which the
+# pool runs once per worker) and read by run_mining_shard for every task.
+# Keyed by the run's context token so concurrent in-process runs (two miners
+# mined from two threads) cannot clobber each other's window.
+_WORKER_WINDOWS: Dict[str, Tuple[WindowStore, Optional[EdgeRegistry]]] = {}
+
+
+@dataclass(frozen=True)
+class WindowTask:
+    """Everything a worker needs to rebuild the current window.
+
+    ``known_items`` carries the full item universe (including zero-support
+    items) so the rebuilt window reports the same canonical item order as
+    the original store.  ``store_path`` is set when the window came from a
+    segmented disk store; workers then reopen that store read-only so
+    ``row_persisted`` keeps working (the limited-memory miners retain
+    their stream-rows-from-disk behaviour).
+    """
+
+    window_size: int
+    handles: Tuple[SegmentHandle, ...]
+    known_items: Tuple[str, ...] = ()
+    store_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MiningShardTask:
+    """One unit of parallel mining work: an algorithm run over owned items.
+
+    ``context`` names the per-process window installed by
+    :func:`initialize_mining_worker`.  ``window``/``registry`` are usually
+    ``None`` — the installed state is used — but may be set for direct
+    single-task invocation (tests, ad-hoc tools).
+    """
+
+    shard_id: int
+    algorithm: str
+    minsup: int
+    owned_items: Tuple[str, ...]
+    context: str = ""
+    window: Optional[WindowTask] = None
+    registry: Optional[EdgeRegistry] = None
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What a mining worker sends back: the shard's patterns and stats."""
+
+    shard_id: int
+    patterns: PatternCounts
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def rebuild_window(task: WindowTask) -> WindowStore:
+    """Materialise the window described by a :class:`WindowTask`.
+
+    A task carrying the directory of a segmented disk store reopens that
+    store (row reads keep hitting the segment files); any failure — or a
+    payload-backed task — falls back to an in-memory rebuild from the
+    handles.
+    """
+    if task.store_path is not None:
+        directory = Path(task.store_path)
+        if (directory / MANIFEST_NAME).exists():
+            try:
+                return DiskWindowStore.open(directory)
+            except DSMatrixError:
+                pass  # store vanished mid-flight; the handles still work
+    segments = [handle.load() for handle in task.handles]
+    return MemoryWindowStore.from_segments(
+        task.window_size, segments, known_items=task.known_items
+    )
+
+
+def initialize_mining_worker(
+    context: str, window: WindowTask, registry: Optional[EdgeRegistry] = None
+) -> None:
+    """Pool initializer: rebuild the window once for this worker process.
+
+    The window is registered under the run's ``context`` token, which the
+    run's shard tasks carry; concurrent in-process runs therefore keep
+    separate windows instead of overwriting a shared slot.
+    """
+    _WORKER_WINDOWS[context] = (rebuild_window(window), registry)
+
+
+def clear_mining_worker(context: str) -> None:
+    """Release one run's per-process window (used after in-process runs)."""
+    _WORKER_WINDOWS.pop(context, None)
+
+
+def run_mining_shard(task: MiningShardTask) -> ShardOutcome:
+    """Worker entry point: mine the patterns owned by the task's items."""
+    if task.window is not None:
+        store: Optional[WindowStore] = rebuild_window(task.window)
+        registry = task.registry
+    else:
+        store, registry = _WORKER_WINDOWS.get(task.context, (None, None))
+        if task.registry is not None:
+            registry = task.registry
+    if store is None:
+        raise ParallelMiningError(
+            "no window available: run initialize_mining_worker with this "
+            "task's context first, or attach a WindowTask to the task"
+        )
+    algorithm = get_algorithm(task.algorithm)
+    patterns = algorithm.mine_shard(
+        store, task.minsup, task.owned_items, registry=registry
+    )
+    return ShardOutcome(
+        shard_id=task.shard_id,
+        patterns=patterns,
+        stats=algorithm.stats.as_dict(),
+    )
+
+
+def count_segment_shard(shard: SegmentShard) -> Dict[str, int]:
+    """Worker entry point: per-item support counts of one column range.
+
+    Supports are additive over disjoint column ranges, so summing the
+    returned counters across all shards of a segment plan reproduces the
+    window-wide ``item_frequencies`` exactly.
+    """
+    counts: Counter = Counter()
+    for handle in shard.handles:
+        counts.update(handle.load().item_counts())
+    return dict(counts)

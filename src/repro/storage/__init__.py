@@ -26,11 +26,12 @@ from repro.storage.bitvector import BitVector
 from repro.storage.dsmatrix import DSMatrix
 from repro.storage.dstable import DSTable
 from repro.storage.dstree import DSTree
-from repro.storage.segments import Segment
+from repro.storage.segments import Segment, SegmentHandle
 
 __all__ = [
     "BitVector",
     "Segment",
+    "SegmentHandle",
     "WindowStore",
     "MemoryWindowStore",
     "DiskWindowStore",

@@ -49,6 +49,7 @@ from repro.storage.bitvector import BitVector
 from repro.storage.segments import (
     SEGMENT_MAGIC,
     Segment,
+    SegmentHandle,
     build_envelope,
     read_envelope_header,
     read_envelope_row,
@@ -223,6 +224,17 @@ class WindowStore(ABC):
     def segments(self) -> Tuple[Segment, ...]:
         """The window's segments, oldest first."""
         return tuple(self._segments)
+
+    def segment_handles(self) -> List[SegmentHandle]:
+        """Cheap picklable references to the window's segments, oldest first.
+
+        Handles are the unit the parallel mining subsystem ships to worker
+        processes (DESIGN.md §4): the window store itself is never pickled.
+        The base implementation serialises each segment into a payload
+        handle; the segmented disk backend overrides this with path handles
+        so workers open the already-persisted files independently.
+        """
+        return [SegmentHandle.from_segment(segment) for segment in self._segments]
 
     def batch_sizes(self) -> List[int]:
         """Column count of every retained batch, oldest first."""
@@ -434,6 +446,23 @@ class MemoryWindowStore(WindowStore):
 
     def _persist(self, appended: Segment, evicted: Optional[Segment]) -> None:
         pass
+
+    @classmethod
+    def from_segments(
+        cls,
+        window_size: int,
+        segments: Sequence[Segment],
+        known_items: Sequence[str] = (),
+    ) -> "MemoryWindowStore":
+        """Rebuild an in-memory window from pre-built segments.
+
+        This is how parallel mining workers reconstitute the window from
+        the :class:`~repro.storage.segments.SegmentHandle` objects they
+        received: cheap, no appends, no persistence.
+        """
+        store = cls(window_size)
+        store._adopt_segments(list(segments), known_items=known_items)
+        return store
 
     @classmethod
     def from_legacy_file(cls, path: Union[str, Path]) -> "MemoryWindowStore":
@@ -727,6 +756,26 @@ class DiskWindowStore(WindowStore):
             )
             self._header_cache[segment_id] = cached
         return cached
+
+    def segment_handles(self) -> List[SegmentHandle]:
+        """Path handles into the segmented layout (payload fallback otherwise).
+
+        Workers given a path handle open the segment file themselves, so an
+        arbitrarily large window costs only a list of file names to ship
+        across the process boundary.  The single-file layout (and any
+        segment whose file is not on disk yet) falls back to payload
+        handles.
+        """
+        if self._layout != "segmented":
+            return super().segment_handles()
+        handles: List[SegmentHandle] = []
+        for segment in self._segments:
+            segment_file = self._segment_file(segment.segment_id)
+            if segment_file.exists():
+                handles.append(SegmentHandle.from_path(segment, segment_file))
+            else:
+                handles.append(SegmentHandle.from_segment(segment))
+        return handles
 
     def disk_size_bytes(self) -> int:
         if self._layout == "single":

@@ -39,7 +39,7 @@ from repro.storage.backend import (
     read_persisted_row,
 )
 from repro.storage.bitvector import BitVector
-from repro.storage.segments import Segment
+from repro.storage.segments import Segment, SegmentHandle
 from repro.stream.batch import Batch, Transaction
 
 
@@ -145,6 +145,10 @@ class DSMatrix:
     def segments(self) -> Tuple[Segment, ...]:
         """The window's batch-aligned segments, oldest first."""
         return self._store.segments()
+
+    def segment_handles(self) -> List[SegmentHandle]:
+        """Picklable per-segment references for parallel workers (DESIGN.md §4)."""
+        return self._store.segment_handles()
 
     def items(self) -> List[str]:
         """Domain items in canonical (sorted) order."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import io
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     BinaryIO,
@@ -277,3 +278,57 @@ def read_segment_row(
     """
     bits, header = read_envelope_row(path, SEGMENT_MAGIC, "segment", item)
     return bits, header["num_columns"]
+
+
+# ---------------------------------------------------------------------- #
+# cheap cross-process references to segments
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SegmentHandle:
+    """A cheap, picklable reference to one window segment.
+
+    Handles are what the parallel mining subsystem ships to worker
+    processes instead of the window store itself: a path-based handle
+    (disk backend) costs a file name to transfer and the worker reads the
+    segment file independently; a payload-based handle (in-memory backend)
+    carries the segment's serialised bytes, which is still O(batch) and
+    free of any live object graph.
+
+    Exactly one of ``path`` and ``payload`` is set.
+    """
+
+    segment_id: int
+    num_columns: int
+    path: Optional[str] = None
+    payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if (self.path is None) == (self.payload is None):
+            raise DSMatrixError(
+                "a SegmentHandle needs exactly one of path= or payload="
+            )
+
+    @classmethod
+    def from_segment(cls, segment: Segment) -> "SegmentHandle":
+        """A payload-based handle carrying the segment's serialised bytes."""
+        return cls(
+            segment_id=segment.segment_id,
+            num_columns=segment.num_columns,
+            payload=segment.to_bytes(),
+        )
+
+    @classmethod
+    def from_path(cls, segment: Segment, path: Union[str, Path]) -> "SegmentHandle":
+        """A path-based handle pointing at the segment's on-disk file."""
+        return cls(
+            segment_id=segment.segment_id,
+            num_columns=segment.num_columns,
+            path=str(path),
+        )
+
+    def load(self) -> Segment:
+        """Materialise the referenced segment (file read or byte decode)."""
+        if self.path is not None:
+            return Segment.read(self.path)
+        assert self.payload is not None  # enforced by __post_init__
+        return Segment.from_bytes(self.payload)

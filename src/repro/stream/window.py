@@ -9,7 +9,7 @@ append the new batch's columns — exactly the DSMatrix behaviour of §3).
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Deque, Iterator, List, Optional, Tuple
+from typing import Deque, Iterator, List, Optional
 
 from repro.exceptions import WindowError
 from repro.stream.batch import Batch, Transaction

@@ -1,0 +1,99 @@
+"""Unit tests for the merge layer (shard counter and pattern combination)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.algorithms.base import MiningStats
+from repro.exceptions import ParallelMiningError
+from repro.parallel import (
+    ShardPlanner,
+    count_segment_shard,
+    merge_pattern_counts,
+    merge_stats,
+    merge_support_counts,
+)
+from repro.storage.backend import MemoryWindowStore
+from repro.stream.batch import Batch
+
+
+def build_store(num_batches=6, window_size=6):
+    store = MemoryWindowStore(window_size)
+    for index in range(num_batches):
+        store.append_batch(
+            Batch(
+                [("a", "b"), ("b", "c"), ("a", f"x{index}")],
+                batch_id=index,
+            )
+        )
+    return store
+
+
+class TestSupportCounterMerge:
+    def test_shard_counters_sum_to_window_counters(self):
+        store = build_store()
+        shards = ShardPlanner(3).plan_segments(store.segment_handles())
+        assert len(shards) == 3
+        merged = merge_support_counts(count_segment_shard(s) for s in shards)
+        expected = {i: c for i, c in store.item_frequencies().items() if c}
+        assert dict(merged) == expected
+
+    def test_merge_is_additive_not_overwriting(self):
+        merged = merge_support_counts([{"a": 2, "b": 1}, {"a": 3}, {"c": 4}])
+        assert merged == Counter({"a": 5, "b": 1, "c": 4})
+
+    def test_single_shard_plan_covers_whole_window(self):
+        store = build_store()
+        (shard,) = ShardPlanner(1).plan_segments(store.segment_handles())
+        assert shard.num_columns == store.num_columns
+        assert shard.column_offset == 0
+
+
+class TestPatternMerge:
+    def test_disjoint_union(self):
+        left = {frozenset({"a"}): 3, frozenset({"a", "b"}): 2}
+        right = {frozenset({"b"}): 4}
+        merged = merge_pattern_counts([left, right])
+        assert merged == {**left, **right}
+
+    def test_identical_duplicates_are_tolerated(self):
+        part = {frozenset({"a"}): 3}
+        assert merge_pattern_counts([part, dict(part)]) == part
+
+    def test_conflicting_support_raises(self):
+        with pytest.raises(ParallelMiningError):
+            merge_pattern_counts(
+                [{frozenset({"a"}): 3}, {frozenset({"a"}): 4}]
+            )
+
+
+class TestStatsMerge:
+    def test_counters_add_and_high_water_marks_max(self):
+        merged = merge_stats(
+            [
+                {
+                    "fptrees_built": 2,
+                    "max_fptree_nodes": 10,
+                    "bitvector_intersections": 5,
+                    "patterns_found": 3,
+                    "rows_read_from_disk": 7,
+                },
+                {
+                    "fptrees_built": 1,
+                    "max_fptree_nodes": 25,
+                    "bitvector_intersections": 2,
+                    "patterns_found": 4,
+                    "rows_read_from_disk": 1,
+                },
+            ]
+        )
+        assert isinstance(merged, MiningStats)
+        assert merged.fptrees_built == 3
+        assert merged.max_fptree_nodes == 25
+        assert merged.bitvector_intersections == 7
+        assert merged.patterns_found == 7
+        assert merged.extra["rows_read_from_disk"] == 8
+
+    def test_empty_merge(self):
+        merged = merge_stats([])
+        assert merged.as_dict()["patterns_found"] == 0

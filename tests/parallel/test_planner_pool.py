@@ -1,0 +1,136 @@
+"""Unit tests for the shard planner and the worker pool executor."""
+
+import pytest
+
+from repro.exceptions import ParallelMiningError
+from repro.parallel import ShardPlanner, WorkerPool
+from repro.parallel.worker import WindowTask, rebuild_window
+from repro.storage.backend import MemoryWindowStore
+from repro.storage.segments import SegmentHandle
+from repro.stream.batch import Batch
+
+
+def _raise_oserror(value):
+    raise OSError(f"task {value} failed")
+
+
+def build_store(batch_sizes, window_size=None):
+    store = MemoryWindowStore(window_size or len(batch_sizes))
+    for index, size in enumerate(batch_sizes):
+        transactions = [
+            (f"i{index}", f"j{column % 3}") for column in range(size)
+        ]
+        store.append_batch(Batch(transactions, batch_id=index))
+    return store
+
+
+class TestShardPlanner:
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(ParallelMiningError):
+            ShardPlanner(0)
+
+    def test_empty_plans(self):
+        planner = ShardPlanner(4)
+        assert planner.plan_segments([]) == []
+        assert planner.plan_items([]) == []
+
+    def test_segment_shards_cover_window_contiguously(self):
+        store = build_store([5, 3, 8, 2, 6, 1])
+        shards = ShardPlanner(3).plan_segments(store.segment_handles())
+        assert 1 <= len(shards) <= 3
+        # Contiguous coverage: offsets chain and columns add up.
+        offset = 0
+        segment_ids = []
+        for shard in shards:
+            assert shard.column_offset == offset
+            offset += shard.num_columns
+            segment_ids.extend(handle.segment_id for handle in shard.handles)
+        assert offset == store.num_columns
+        assert segment_ids == [s.segment_id for s in store.segments()]
+
+    def test_more_shards_than_segments_degrades_to_one_each(self):
+        store = build_store([4, 4])
+        shards = ShardPlanner(8).plan_segments(store.segment_handles())
+        assert len(shards) == 2
+        assert all(len(shard.handles) == 1 for shard in shards)
+
+    def test_item_shards_partition_round_robin(self):
+        items = ["a", "b", "c", "d", "e"]
+        shards = ShardPlanner(2).plan_items(items)
+        assert [list(s.items) for s in shards] == [["a", "c", "e"], ["b", "d"]]
+        flattened = sorted(i for s in shards for i in s.items)
+        assert flattened == items
+
+    def test_item_plan_is_deterministic(self):
+        items = [f"x{i}" for i in range(17)]
+        assert ShardPlanner(4).plan_items(items) == ShardPlanner(4).plan_items(items)
+
+
+class TestWorkerPool:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ParallelMiningError):
+            WorkerPool(-1)
+
+    def test_in_process_mode_preserves_order(self):
+        pool = WorkerPool(0)
+        assert pool.map(str.upper, ["a", "b", "c"]) == ["A", "B", "C"]
+        assert pool.last_execution_mode == "in-process"
+
+    def test_pool_mode_preserves_order(self):
+        pool = WorkerPool(2)
+        assert pool.map(len, ["x", "xx", "xxx", "xxxx"]) == [1, 2, 3, 4]
+
+    def test_single_task_still_uses_a_real_pool(self):
+        # workers >= 1 must honestly measure pool overhead even for one
+        # task — it is the baseline of the strong-scaling experiment.
+        pool = WorkerPool(4)
+        assert pool.map(len, ["abc"]) == [3]
+        assert pool.last_execution_mode == "pool"
+
+    def test_empty_task_list(self):
+        pool = WorkerPool(4)
+        assert pool.map(len, []) == []
+        assert pool.last_execution_mode == "in-process"
+
+    def test_task_exceptions_propagate_from_pool_mode(self):
+        with pytest.raises(OSError):
+            WorkerPool(2).map(_raise_oserror, [1, 2, 3])
+
+    def test_in_process_mode_runs_initializer_first(self):
+        calls = []
+        pool = WorkerPool(0)
+        result = pool.map(
+            lambda x: (calls[0], x),
+            ["a", "b"],
+            initializer=calls.append,
+            initargs=("ready",),
+        )
+        assert calls == ["ready"]
+        assert result == [("ready", "a"), ("ready", "b")]
+
+
+class TestWindowRebuild:
+    def test_rebuild_reproduces_rows_and_counters(self):
+        store = build_store([3, 4, 2])
+        task = WindowTask(
+            window_size=store.window_size,
+            handles=tuple(store.segment_handles()),
+            known_items=tuple(store.items()),
+        )
+        rebuilt = rebuild_window(task)
+        assert rebuilt.items() == store.items()
+        assert rebuilt.num_columns == store.num_columns
+        assert rebuilt.batch_sizes() == store.batch_sizes()
+        for item in store.items():
+            assert rebuilt.row(item).bits == store.row(item).bits
+        assert rebuilt.item_frequencies() == store.item_frequencies()
+
+
+class TestSegmentHandle:
+    def test_requires_exactly_one_source(self):
+        from repro.exceptions import DSMatrixError
+
+        with pytest.raises(DSMatrixError):
+            SegmentHandle(segment_id=0, num_columns=3)
+        with pytest.raises(DSMatrixError):
+            SegmentHandle(segment_id=0, num_columns=3, path="x", payload=b"y")

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_INPUT_ERROR, EXIT_USAGE_ERROR, build_parser, main
 from repro.datasets.fimi import read_fimi
 
 
@@ -127,6 +127,65 @@ class TestGenerateAndMine:
         )
         assert code == 2
         assert "does not persist" in capsys.readouterr().err
+
+    def test_mine_with_workers_matches_sequential(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        base_args = [
+            "mine", str(target), "--batch-size", "20", "--window", "2",
+            "--minsup", "4", "--format", "json",
+        ]
+        assert main(base_args) == 0
+        sequential = capsys.readouterr().out
+        assert main(base_args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert json.loads(parallel) == json.loads(sequential)
+
+    def test_mine_workers_with_disk_storage(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        storage_dir = tmp_path / "segments"
+        code = main(
+            [
+                "mine", str(target), "--batch-size", "20", "--window", "2",
+                "--minsup", "4", "--workers", "2",
+                "--storage", "disk", "--storage-path", str(storage_dir),
+            ]
+        )
+        assert code == 0
+        assert "frequent patterns" in capsys.readouterr().out
+        assert (storage_dir / "manifest.json").exists()
+
+    def test_mine_rejects_negative_workers(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "20", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["mine", str(target), "--workers", "-1"]) == EXIT_USAGE_ERROR
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestMineInputErrors:
+    def test_missing_input_file_exits_with_stable_code(self, tmp_path, capsys):
+        missing = tmp_path / "nope.fimi"
+        code = main(["mine", str(missing)])
+        assert code == EXIT_INPUT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read input file:")
+        assert len(err.strip().splitlines()) == 1  # one-line error, no traceback
+
+    def test_corrupt_binary_input_exits_with_stable_code(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.fimi"
+        corrupt.write_bytes(b"\xff\xfe\x00DSEG\x80garbage")
+        code = main(["mine", str(corrupt)])
+        assert code == EXIT_INPUT_ERROR
+        assert "error: cannot read input file:" in capsys.readouterr().err
+
+    def test_directory_as_input_exits_with_stable_code(self, tmp_path, capsys):
+        code = main(["mine", str(tmp_path)])
+        assert code == EXIT_INPUT_ERROR
+        assert "error: cannot read input file:" in capsys.readouterr().err
 
 
 class TestBench:
