@@ -1,7 +1,7 @@
 """Shared fixtures for the benchmark suite.
 
 The benchmarks regenerate the paper's evaluation (experiments E1-E5, see
-DESIGN.md §5).  The workload scale is controlled by the ``REPRO_BENCH_SCALE``
+DESIGN.md §6).  The workload scale is controlled by the ``REPRO_BENCH_SCALE``
 environment variable (``tiny`` by default so the suite completes in well under
 a minute; set it to ``small`` or ``paper`` for larger runs).
 """

@@ -66,7 +66,7 @@ def test_connectivity_rules_agree_on_this_workload(
     edge_window, edge_workload, default_minsup
 ):
     """On typical graph streams the two rules coincide; the divergence needs a
-    pattern made of two or more cycles (see DESIGN.md §5.3)."""
+    pattern made of two or more cycles (see DESIGN.md §7.3)."""
     all_collections = get_algorithm("vertical").mine(
         edge_window, default_minsup, registry=edge_workload.registry
     )

@@ -1,4 +1,4 @@
-"""Experiment drivers reproducing §5 of the paper (see DESIGN.md §5).
+"""Experiment drivers reproducing §5 of the paper (see DESIGN.md §6).
 
 Every driver returns a dictionary with at least a ``rows`` list (one dict per
 table row / figure point) so the pytest benchmarks, the CLI and EXPERIMENTS.md
@@ -27,10 +27,12 @@ from repro.bench.harness import (
     run_dsmatrix_algorithm,
 )
 from repro.bench.metrics import Timer
+from repro.core.miner import StreamSubgraphMiner
 from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import DatasetError
 from repro.parallel.api import mine_window_parallel
 from repro.storage.backend import DiskWindowStore
+from repro.stream.stream import TransactionStream
 
 #: DSMatrix algorithms that mine *all* collections of frequent edges (§3).
 POSTPROCESSED_ALGORITHMS = ("fptree_multi", "fptree_single", "fptree_topdown", "vertical")
@@ -498,6 +500,93 @@ def experiment_strong_scaling(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E8 — strong scaling of sharded parallel ingestion
+# ---------------------------------------------------------------------- #
+def experiment_ingest_scaling(
+    scale: str = "small",
+    ingest_worker_counts: Sequence[int] = (1, 2, 4),
+    algorithm: str = "vertical",
+    minsup: Optional[int] = None,
+    seed: int = 42,
+    output_path: Optional[Union[str, Path]] = "BENCH_e8.json",
+) -> Dict[str, object]:
+    """Strong-scaling ablation of the parallel ingestion pipeline (DESIGN.md §5).
+
+    The same transaction stream is consumed at each ingest-worker count
+    (plus the ``ingest_workers=0`` in-process reference): workers parse,
+    canonicalise and materialise batch segments while the single-writer
+    coordinator commits them in stream order.  Each row reports the
+    ingestion wall-clock, the speedup over one worker and the final
+    window shape; ``ingest_identical`` asserts that every worker count
+    produced the identical window (item frequencies, batch boundaries and
+    the pattern set mined from it).
+
+    Like E7, the outcome is written to ``output_path`` (``BENCH_e8.json``
+    by default, pass ``None`` to skip) so CI can archive the per-commit
+    scaling trajectory as an artifact.
+    """
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+
+    rows: List[Dict[str, object]] = []
+    reference: Optional[Dict[str, object]] = None
+    baseline_runtime: Optional[float] = None
+    all_identical = True
+    for workers in (0, *ingest_worker_counts):
+        miner = StreamSubgraphMiner(
+            window_size=workload.window_size,
+            batch_size=workload.batch_size,
+            algorithm=algorithm,
+        )
+        stream = TransactionStream(
+            workload.transactions, batch_size=workload.batch_size
+        )
+        with Timer() as timer:
+            miner.consume(stream, ingest_workers=workers)
+        fingerprint: Dict[str, object] = {
+            "frequencies": dict(miner.matrix.item_frequencies()),
+            "boundaries": miner.matrix.boundaries(),
+            "patterns": miner.mine(support, connected_only=False).to_dict(),
+        }
+        if reference is None:
+            reference = fingerprint
+        elif fingerprint != reference:
+            all_identical = False
+        if workers == 1:
+            baseline_runtime = timer.elapsed
+        speedup = (
+            round(baseline_runtime / timer.elapsed, 2)
+            if baseline_runtime and timer.elapsed > 0
+            else None
+        )
+        rows.append(
+            {
+                "ingest_workers": workers,
+                "ingest_s": round(timer.elapsed, 4),
+                "speedup_vs_1": speedup,
+                "batches": miner.batches_consumed,
+                "columns": miner.transaction_count,
+            }
+        )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E8-ingest-scaling",
+        "workload": workload.name,
+        "minsup": support,
+        "ingest_worker_counts": list(ingest_worker_counts),
+        "rows": rows,
+        "ingest_identical": all_identical,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -507,4 +596,5 @@ EXPERIMENTS = {
     "e5": experiment_scalability,
     "e6": experiment_storage_backends,
     "e7": experiment_strong_scaling,
+    "e8": experiment_ingest_scaling,
 }

@@ -10,9 +10,11 @@ Subcommands
     connect4-like) and write it as a FIMI transaction file.
 ``mine``
     Mine a FIMI transaction file with a sliding window and one of the five
-    algorithms, optionally sharded over worker processes (``--workers``).
+    algorithms, optionally sharded over worker processes — ``--workers``
+    parallelises the mining, ``--ingest-workers`` the stream → window
+    ingestion.
 ``bench``
-    Run one of the paper's experiments (e1-e7) and print its table.
+    Run one of the paper's experiments (e1-e8) and print its table.
 
 Run ``python -m repro --help`` for the full option reference.
 """
@@ -37,6 +39,7 @@ from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
 from repro.datasets.synthetic import IBMSyntheticGenerator
 from repro.exceptions import DatasetError
 from repro.storage.backend import STORE_BACKENDS
+from repro.stream.stream import TransactionStream
 
 #: Exit code for usage errors detected by the subcommands (bad flag combos).
 EXIT_USAGE_ERROR = 2
@@ -112,6 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for sharded mining (0 = sequential in-process, "
             "the default; N >= 1 partitions the search space over N processes "
             "and merges the shards into the identical pattern set)"
+        ),
+    )
+    mine.add_argument(
+        "--ingest-workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for sharded stream ingestion (0 = sequential "
+            "in-process, the default; N >= 1 parses and materialises batch "
+            "segments on N processes while a single writer commits them in "
+            "stream order — the window is identical either way)"
         ),
     )
     mine.add_argument("--top", type=int, default=20, help="number of patterns to print")
@@ -201,12 +215,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE_ERROR
-    if args.workers < 0:
-        print(
-            f"error: --workers must be non-negative, got {args.workers}",
-            file=sys.stderr,
-        )
-        return EXIT_USAGE_ERROR
+    for flag, value in (("--workers", args.workers), ("--ingest-workers", args.ingest_workers)):
+        if value < 0:
+            print(
+                f"error: {flag} must be non-negative, got {value}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE_ERROR
     miner = StreamSubgraphMiner(
         window_size=args.window,
         batch_size=args.batch_size,
@@ -214,7 +229,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         storage=args.storage,
         storage_path=args.storage_path,
     )
-    miner.add_transactions(transactions)
+    if args.ingest_workers > 0:
+        miner.consume(
+            TransactionStream(transactions, batch_size=args.batch_size),
+            ingest_workers=args.ingest_workers,
+        )
+    else:
+        miner.add_transactions(transactions)
     minsup = args.minsup if args.minsup < 1 else int(args.minsup)
     connected = not args.all_collections
     if connected and args.algorithm != "vertical_direct":

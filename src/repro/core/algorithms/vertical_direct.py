@@ -7,7 +7,7 @@ Eq. (1)-(2)), so every enumerated pattern is a connected subgraph by
 construction.  Support is computed with the same bit-vector intersections as
 algorithm 4.
 
-Enumeration strategy (DESIGN.md §6.4): each connected frequent edge set is
+Enumeration strategy (DESIGN.md §7.4): each connected frequent edge set is
 generated exactly once by growing from its minimum edge in canonical order and
 only adding larger edges; a per-start ``seen`` set suppresses the duplicates
 that different growth orders of the same set would otherwise produce.

@@ -3,7 +3,7 @@
 The four non-direct algorithms first find every collection of frequent edges
 (connected or not); this module removes the collections whose edges do not
 form a connected subgraph.  Both the paper's vertex-frequency rule and an
-exact union-find connectivity check are offered (see DESIGN.md §6.3 for the
+exact union-find connectivity check are offered (see DESIGN.md §7.3 for the
 difference).
 """
 

@@ -28,6 +28,10 @@ class WindowError(StreamError):
     """Raised when a sliding window is used inconsistently (e.g. empty slide)."""
 
 
+class IngestError(StreamError):
+    """Raised when the parallel ingestion pipeline is misused or inconsistent."""
+
+
 class StorageError(ReproError):
     """Raised for errors in on-disk structures (DSMatrix, DSTable, DSTree files)."""
 

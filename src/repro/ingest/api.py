@@ -1,0 +1,162 @@
+"""High-level entry points of the parallel ingestion pipeline.
+
+These functions tie the :class:`~repro.ingest.planner.IngestPlanner`, the
+worker pool (shared with the mining subsystem) and the
+:class:`~repro.ingest.coordinator.WindowCoordinator` together
+(DESIGN.md §5).  ``workers=0`` executes the identical chunk plan in the
+calling process, so the committed window — including the bytes of every
+persisted segment file — is byte-identical to sequential appends; that is
+the property the ingestion parity suite pins down.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import IngestError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.graph.graph import GraphSnapshot
+from repro.ingest.coordinator import WindowCoordinator
+from repro.ingest.planner import IngestChunk, IngestPlanner
+from repro.ingest.worker import (
+    IngestChunkTask,
+    clear_ingest_worker,
+    encode_chunk,
+    initialize_ingest_worker,
+)
+from repro.parallel.pool import WorkerPool
+from repro.storage.backend import WindowStore
+from repro.storage.dsmatrix import DSMatrix
+from repro.stream.batch import Batch
+
+MatrixLike = Union[DSMatrix, WindowStore]
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one ingest run did to the window."""
+
+    batches: int
+    columns: int
+    columns_evicted: int
+    new_edges_registered: int
+    chunks: int
+    workers: int
+    execution_mode: str
+
+
+def _store_of(matrix: MatrixLike) -> WindowStore:
+    return matrix.store if isinstance(matrix, DSMatrix) else matrix
+
+
+def ingest_transactions(
+    store: MatrixLike,
+    transactions: Iterable[Sequence[str]],
+    batch_size: int,
+    workers: int = 0,
+    chunk_batches: int = 1,
+    drop_last: bool = False,
+) -> IngestReport:
+    """Batch, count and commit raw transactions through ingest workers."""
+    planner = IngestPlanner(batch_size, chunk_batches=chunk_batches)
+    chunks = planner.plan_units(transactions, drop_last=drop_last)
+    return _run(store, chunks, kind="transactions", workers=workers)
+
+
+def ingest_snapshots(
+    store: MatrixLike,
+    snapshots: Iterable[GraphSnapshot],
+    batch_size: int,
+    registry: EdgeRegistry,
+    workers: int = 0,
+    register_new_edges: bool = True,
+    chunk_batches: int = 1,
+) -> IngestReport:
+    """Encode, count and commit graph snapshots through ingest workers.
+
+    Workers canonicalise against a snapshot of ``registry``; edges unseen
+    at ingest start are merged back by the coordinator in stream order,
+    reproducing exactly the symbols sequential encoding assigns.
+    """
+    planner = IngestPlanner(batch_size, chunk_batches=chunk_batches)
+    chunks = planner.plan_units(snapshots)
+    return _run(
+        store,
+        chunks,
+        kind="snapshots",
+        workers=workers,
+        registry=registry,
+        register_new_edges=register_new_edges,
+    )
+
+
+def ingest_batches(
+    store: MatrixLike,
+    batches: Iterable[Batch],
+    workers: int = 0,
+    chunk_batches: int = 1,
+) -> IngestReport:
+    """Count and commit ready-made batches through ingest workers.
+
+    The caller's batch boundaries are preserved exactly; workers do the
+    per-batch bit-pattern materialisation and serialisation.
+    """
+    planner = IngestPlanner(batch_size=1, chunk_batches=chunk_batches)
+    chunks = planner.plan_batches(batches)
+    return _run(store, chunks, kind="transactions", workers=workers)
+
+
+def _run(
+    store: MatrixLike,
+    chunks: List[IngestChunk],
+    kind: str,
+    workers: int,
+    registry: Optional[EdgeRegistry] = None,
+    register_new_edges: bool = True,
+) -> IngestReport:
+    """Fan chunks out to workers and commit the outcomes in stream order."""
+    if workers < 0:
+        raise IngestError(f"ingest workers must be non-negative, got {workers}")
+    window = _store_of(store)
+    base_segment_id = window.next_segment_id
+    context = uuid.uuid4().hex
+    tasks = [
+        IngestChunkTask(
+            chunk_id=chunk.chunk_id,
+            kind=kind,
+            base_segment_id=base_segment_id + chunk.first_batch_index,
+            batches=chunk.batches,
+            context=context,
+            register_new_edges=register_new_edges,
+        )
+        for chunk in chunks
+    ]
+    pool = WorkerPool(workers)
+    try:
+        # The registry snapshot ships once per worker via the pool
+        # initializer, not once per chunk task; workers never mutate it.
+        outcomes = pool.map(
+            encode_chunk,
+            tasks,
+            initializer=initialize_ingest_worker,
+            initargs=(context, registry, register_new_edges),
+        )
+    finally:
+        # In-process runs installed the snapshot in *this* process; drop it.
+        clear_ingest_worker(context)
+    coordinator = WindowCoordinator(
+        window, registry=registry, register_new_edges=register_new_edges
+    )
+    for outcome in outcomes:
+        coordinator.commit(outcome)
+    return IngestReport(
+        batches=coordinator.batches_committed,
+        columns=coordinator.columns_committed,
+        columns_evicted=coordinator.columns_evicted,
+        new_edges_registered=coordinator.edges_registered,
+        chunks=len(tasks),
+        workers=workers,
+        execution_mode=pool.last_execution_mode,
+    )

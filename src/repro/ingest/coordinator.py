@@ -1,0 +1,139 @@
+"""The single writer that owns window semantics during parallel ingestion.
+
+Workers materialise batches concurrently, but exactly one
+:class:`WindowCoordinator` commits their results to the
+:class:`~repro.storage.backend.WindowStore` — in stream (chunk) order, one
+segment per batch, through :meth:`WindowStore.append_segment`.  Eviction
+and boundary semantics are therefore untouched: the store performs the
+identical slide it would have performed under sequential
+``append_batch`` calls, and (for disk backends) persists the identical
+bytes.
+
+The coordinator also executes the registry-merge step of the protocol
+(DESIGN.md §5): each chunk's newly discovered edges are registered
+against the live :class:`~repro.graph.edge_registry.EdgeRegistry` in
+chunk order and first-occurrence order — exactly the global
+first-occurrence order sequential encoding would have used, so the
+assigned symbols are identical — and the chunk's provisional rows are
+remapped to the final symbols before the segment is built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import EdgeRegistryError, IngestError
+from repro.graph.edge import Edge
+from repro.graph.edge_registry import EdgeRegistry
+from repro.ingest.worker import ChunkOutcome, is_provisional, provisional_symbol
+from repro.storage.backend import WindowStore
+from repro.storage.segments import Segment
+
+
+class WindowCoordinator:
+    """Single-writer commit path from worker outcomes to the window store.
+
+    Parameters
+    ----------
+    store:
+        The window store receiving the segments.
+    registry:
+        The live edge registry new edges are merged into.  Only required
+        when chunks can report new edges (snapshot ingestion).
+    register_new_edges:
+        When ``False``, a chunk reporting an unregistered edge raises
+        :class:`~repro.exceptions.EdgeRegistryError` instead of
+        registering it (the sequential ``encode(register_new=False)``
+        behaviour).
+    """
+
+    def __init__(
+        self,
+        store: WindowStore,
+        registry: Optional[EdgeRegistry] = None,
+        register_new_edges: bool = True,
+    ) -> None:
+        self._store = store
+        self._registry = registry
+        self._register_new_edges = register_new_edges
+        self._next_chunk_id = 0
+        #: Batches committed so far.
+        self.batches_committed = 0
+        #: Transaction columns committed so far.
+        self.columns_committed = 0
+        #: Columns evicted by the commits so far.
+        self.columns_evicted = 0
+        #: Edges newly registered by the merge step so far.
+        self.edges_registered = 0
+
+    @property
+    def store(self) -> WindowStore:
+        """The window store being written to."""
+        return self._store
+
+    @property
+    def next_chunk_id(self) -> int:
+        """Chunk id the next :meth:`commit` must carry (stream order)."""
+        return self._next_chunk_id
+
+    def commit(self, outcome: ChunkOutcome) -> None:
+        """Commit one chunk's segments, merging its new edges first.
+
+        Commits must arrive in ``chunk_id`` order; anything else would
+        reorder the stream and is rejected.
+        """
+        if outcome.chunk_id != self._next_chunk_id:
+            raise IngestError(
+                f"chunk {outcome.chunk_id} committed out of stream order; "
+                f"expected chunk {self._next_chunk_id}"
+            )
+        mapping = self._merge_new_edges(outcome.new_edges)
+        for draft in outcome.drafts:
+            rows = draft.rows
+            payload = draft.payload
+            if any(is_provisional(item) for item in rows):
+                rows = {
+                    mapping.get(item, item): bits for item, bits in rows.items()
+                }
+                payload = None
+                unresolved = sorted(item for item in rows if is_provisional(item))
+                if unresolved:
+                    raise IngestError(
+                        f"chunk {outcome.chunk_id} references "
+                        f"{len(unresolved)} provisional items with no "
+                        "matching new_edges entry"
+                    )
+            segment = Segment(draft.segment_id, draft.num_columns, rows)
+            self.columns_evicted += self._store.append_segment(
+                segment, payload=payload
+            )
+            self.batches_committed += 1
+            self.columns_committed += draft.num_columns
+        self._next_chunk_id += 1
+
+    def _merge_new_edges(
+        self, new_edges: Tuple[Edge, ...]
+    ) -> Dict[str, str]:
+        """Register a chunk's new edges in order → provisional-to-final map.
+
+        An edge already registered by an earlier chunk's merge simply
+        resolves to its existing symbol, which is how overlapping "new"
+        discoveries across concurrently encoded chunks converge on one
+        symbol per edge.
+        """
+        if not new_edges:
+            return {}
+        if self._registry is None:
+            raise IngestError(
+                "chunk reported new edges but the coordinator has no "
+                "registry to merge them into"
+            )
+        mapping: Dict[str, str] = {}
+        for index, edge in enumerate(new_edges):
+            if not self._register_new_edges and edge not in self._registry:
+                raise EdgeRegistryError(f"edge {edge!r} is not registered")
+            already_known = edge in self._registry
+            mapping[provisional_symbol(index)] = self._registry.register(edge)
+            if not already_known:
+                self.edges_registered += 1
+        return mapping

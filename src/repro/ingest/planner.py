@@ -1,0 +1,130 @@
+"""Ingest planning: how an incoming stream is split for concurrent encoding.
+
+The :class:`IngestPlanner` turns a stream of raw *units* — unencoded
+transactions or graph snapshots — into **batch-aligned chunks**
+(DESIGN.md §5).  A chunk is the task shipped to one ingestion worker: it
+carries whole batches only (batches are the atom of window sliding and of
+segment persistence, so they are never split across workers), and the plan
+is a deterministic function of the input order, the batch size and the
+chunk size — never of the worker count or scheduling.  The coordinator
+commits chunk results back in ``chunk_id`` order, which is what makes
+``workers=0`` byte-identical to the sequential append path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.exceptions import IngestError
+from repro.graph.graph import GraphSnapshot
+from repro.stream.batch import Batch
+
+#: One unencoded stream element: a raw transaction or a graph snapshot.
+RawUnit = Union[Sequence[str], GraphSnapshot]
+
+
+@dataclass(frozen=True)
+class IngestChunk:
+    """A contiguous, batch-aligned run of raw stream units.
+
+    ``first_batch_index`` is the 0-based position of the chunk's first
+    batch within this ingest run, so the worker can be told the final
+    segment ids its batches will receive (``base_segment_id`` =
+    the store's next id + ``first_batch_index``).
+    """
+
+    chunk_id: int
+    first_batch_index: int
+    batches: Tuple[Tuple[RawUnit, ...], ...]
+
+    @property
+    def num_batches(self) -> int:
+        """Number of whole batches carried by this chunk."""
+        return len(self.batches)
+
+    @property
+    def num_units(self) -> int:
+        """Number of raw units (transactions / snapshots) in this chunk."""
+        return sum(len(batch) for batch in self.batches)
+
+
+class IngestPlanner:
+    """Deterministic splitter of an incoming stream into batch-aligned chunks.
+
+    Parameters
+    ----------
+    batch_size:
+        Number of raw units per batch (ignored by :meth:`plan_batches`,
+        where the caller already fixed the batch boundaries).
+    chunk_batches:
+        Number of whole batches per worker chunk.  ``1`` (the default)
+        yields maximally balanced tasks; larger values amortise per-task
+        shipping overhead for small batches.
+    """
+
+    def __init__(self, batch_size: int, chunk_batches: int = 1) -> None:
+        if batch_size <= 0:
+            raise IngestError(f"batch_size must be positive, got {batch_size}")
+        if chunk_batches <= 0:
+            raise IngestError(
+                f"chunk_batches must be positive, got {chunk_batches}"
+            )
+        self._batch_size = batch_size
+        self._chunk_batches = chunk_batches
+
+    @property
+    def batch_size(self) -> int:
+        """Raw units per batch."""
+        return self._batch_size
+
+    @property
+    def chunk_batches(self) -> int:
+        """Whole batches per worker chunk."""
+        return self._chunk_batches
+
+    def plan_units(
+        self, units: Iterable[RawUnit], drop_last: bool = False
+    ) -> List[IngestChunk]:
+        """Group raw units into batches of ``batch_size``, then into chunks.
+
+        The trailing partial batch is kept unless ``drop_last`` is set,
+        mirroring :func:`repro.stream.stream.assemble_batches`.
+        """
+        ordered = list(units)
+        batches: List[Tuple[RawUnit, ...]] = []
+        for start in range(0, len(ordered), self._batch_size):
+            group = tuple(ordered[start : start + self._batch_size])
+            if len(group) < self._batch_size and drop_last:
+                break
+            batches.append(group)
+        return self._chunk(batches)
+
+    def plan_batches(self, batches: Iterable[Batch]) -> List[IngestChunk]:
+        """Chunk ready-made :class:`~repro.stream.batch.Batch` objects.
+
+        The caller's batch boundaries are preserved exactly; only the
+        grouping into worker chunks is decided here.
+        """
+        payloads: List[Tuple[RawUnit, ...]] = []
+        for batch in batches:
+            if not isinstance(batch, Batch):
+                raise IngestError(
+                    f"expected Batch instances, got {type(batch).__name__}"
+                )
+            payloads.append(tuple(batch.transactions))
+        return self._chunk(payloads)
+
+    def _chunk(
+        self, batches: Sequence[Tuple[RawUnit, ...]]
+    ) -> List[IngestChunk]:
+        chunks: List[IngestChunk] = []
+        for start in range(0, len(batches), self._chunk_batches):
+            chunks.append(
+                IngestChunk(
+                    chunk_id=len(chunks),
+                    first_batch_index=start,
+                    batches=tuple(batches[start : start + self._chunk_batches]),
+                )
+            )
+        return chunks

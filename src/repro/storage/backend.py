@@ -165,7 +165,30 @@ class WindowStore(ABC):
 
         Returns the number of columns evicted (0 while the window fills).
         """
-        segment = Segment.from_batch(batch, segment_id=self._next_segment_id)
+        return self.append_segment(
+            Segment.from_batch(batch, segment_id=self._next_segment_id)
+        )
+
+    def append_segment(
+        self, segment: Segment, payload: Optional[bytes] = None
+    ) -> int:
+        """Commit one pre-built segment, sliding the window if it is full.
+
+        This is the single-writer commit point of the ingestion pipeline
+        (DESIGN.md §5): the segment must carry the store's next segment id
+        (commits happen in stream order) and ``payload``, when given, must
+        be the segment's :meth:`~repro.storage.segments.Segment.to_bytes`
+        serialisation — disk backends persist those exact bytes instead of
+        re-serialising, which keeps worker-materialised segment files
+        byte-identical to sequential appends.
+
+        Returns the number of columns evicted (0 while the window fills).
+        """
+        if segment.segment_id != self._next_segment_id:
+            raise DSMatrixError(
+                f"segment id {segment.segment_id} breaks stream order; the "
+                f"store expects segment {self._next_segment_id} next"
+            )
         if self._fixed_universe:
             for item in segment.items():
                 if item not in self._support:
@@ -186,12 +209,22 @@ class WindowStore(ABC):
         for item, count in segment.item_counts().items():
             self._support[item] = self._support.get(item, 0) + count
         self._row_cache.clear()
-        self._persist(appended=segment, evicted=evicted_segment)
+        self._persist(appended=segment, evicted=evicted_segment, payload=payload)
         return evicted
 
     @abstractmethod
-    def _persist(self, appended: Segment, evicted: Optional[Segment]) -> None:
-        """Reflect one append (and optional eviction) in persistent storage."""
+    def _persist(
+        self,
+        appended: Segment,
+        evicted: Optional[Segment],
+        payload: Optional[bytes] = None,
+    ) -> None:
+        """Reflect one append (and optional eviction) in persistent storage.
+
+        ``payload`` is the appended segment's serialisation when the caller
+        already has it (worker-materialised segments); backends may persist
+        it verbatim instead of calling ``appended.to_bytes()`` again.
+        """
 
     # ------------------------------------------------------------------ #
     # shape accessors
@@ -210,6 +243,11 @@ class WindowStore(ABC):
     def num_batches(self) -> int:
         """Number of batches (segments) currently in the window."""
         return len(self._segments)
+
+    @property
+    def next_segment_id(self) -> int:
+        """Segment id the next append will receive (stream-order commits)."""
+        return self._next_segment_id
 
     @property
     def fixed_universe(self) -> bool:
@@ -444,7 +482,12 @@ class MemoryWindowStore(WindowStore):
 
     kind = "memory"
 
-    def _persist(self, appended: Segment, evicted: Optional[Segment]) -> None:
+    def _persist(
+        self,
+        appended: Segment,
+        evicted: Optional[Segment],
+        payload: Optional[bytes] = None,
+    ) -> None:
         pass
 
     @classmethod
@@ -576,7 +619,12 @@ class DiskWindowStore(WindowStore):
     # ------------------------------------------------------------------ #
     # persistence hooks
     # ------------------------------------------------------------------ #
-    def _persist(self, appended: Segment, evicted: Optional[Segment]) -> None:
+    def _persist(
+        self,
+        appended: Segment,
+        evicted: Optional[Segment],
+        payload: Optional[bytes] = None,
+    ) -> None:
         self.io_stats.appends += 1
         if self._layout == "single":
             target = self.save(self._path)
@@ -589,7 +637,7 @@ class DiskWindowStore(WindowStore):
         # evicted file's deletion — at every intermediate crash point the
         # on-disk manifest references only files that still exist (a crash
         # can at worst leave one unreferenced orphan segment file).
-        segment_bytes = appended.to_bytes()
+        segment_bytes = payload if payload is not None else appended.to_bytes()
         self._segment_file(appended.segment_id).write_bytes(segment_bytes)
         manifest_bytes = self._write_manifest()
         if evicted is not None:

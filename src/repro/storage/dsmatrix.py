@@ -114,6 +114,15 @@ class DSMatrix:
         """
         return self._store.append_batch(batch)
 
+    def append_segment(self, segment: Segment, payload: Optional[bytes] = None) -> int:
+        """Commit a pre-built segment in stream order (DESIGN.md §5).
+
+        This is the ingestion coordinator's commit point: the segment must
+        carry :attr:`next_segment_id` and ``payload``, when given, must be
+        its serialisation.  Returns the number of columns evicted.
+        """
+        return self._store.append_segment(segment, payload=payload)
+
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #
@@ -136,6 +145,11 @@ class DSMatrix:
     def num_batches(self) -> int:
         """Number of batches currently in the window."""
         return self._store.num_batches
+
+    @property
+    def next_segment_id(self) -> int:
+        """Segment id the next append will receive."""
+        return self._store.next_segment_id
 
     @property
     def path(self) -> Optional[Path]:

@@ -41,6 +41,30 @@ from repro.stream.batch import Batch, Transaction
 SEGMENT_MAGIC = b"DSEG"
 
 
+def rows_from_transactions(
+    transactions: Iterable[Iterable[str]],
+) -> Tuple[int, Dict[str, int]]:
+    """Build per-item bit patterns from transactions → (num_columns, rows).
+
+    This is the pure segment-materialisation kernel shared by
+    :meth:`Segment.from_batch` and the parallel ingestion workers
+    (DESIGN.md §5): bit ``i`` of ``rows[item]`` is set when ``item`` occurs
+    in the ``i``-th transaction.  Duplicate items within a transaction
+    collapse to one bit, matching :class:`~repro.stream.batch.Batch`
+    normalisation, and the result is independent of per-transaction item
+    order — remapping row keys afterwards (the registry-merge protocol)
+    therefore commutes with this function.
+    """
+    rows: Dict[str, int] = {}
+    num_columns = 0
+    for offset, transaction in enumerate(transactions):
+        bit = 1 << offset
+        for item in set(transaction):
+            rows[item] = rows.get(item, 0) | bit
+        num_columns = offset + 1
+    return num_columns, rows
+
+
 class Segment:
     """The columns of one batch as per-item bit patterns.
 
@@ -88,11 +112,7 @@ class Segment:
     @classmethod
     def from_batch(cls, batch: Batch, segment_id: int) -> "Segment":
         """Encode one batch into a segment."""
-        rows: Dict[str, int] = {}
-        for offset, transaction in enumerate(batch.transactions):
-            bit = 1 << offset
-            for item in transaction:
-                rows[item] = rows.get(item, 0) | bit
+        _, rows = rows_from_transactions(batch.transactions)
         return cls(segment_id, len(batch), rows)
 
     # ------------------------------------------------------------------ #

@@ -17,6 +17,38 @@ from repro.graph.graph import GraphSnapshot
 from repro.stream.batch import Batch, Transaction
 
 
+def assemble_batches(
+    transactions: Iterable[Sequence[str]],
+    batch_size: int,
+    start_batch_id: int = 0,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Group transactions into :class:`Batch` objects of ``batch_size``.
+
+    This is the pure batch-assembly function behind
+    :class:`TransactionStream`: batches receive sequential ids starting
+    at ``start_batch_id``, the trailing partial batch is kept unless
+    ``drop_last`` is set, and the grouping depends only on the input
+    order — never on who performs it.  The parallel ingestion planner
+    (:meth:`repro.ingest.planner.IngestPlanner.plan_units`, DESIGN.md §5)
+    applies the same alignment rule to *raw* units without constructing
+    ``Batch`` objects; a change to the grouping semantics here must be
+    mirrored there (the ingestion parity suite pins the equivalence).
+    """
+    if batch_size <= 0:
+        raise StreamError(f"batch_size must be positive, got {batch_size}")
+    buffer: List[Sequence[str]] = []
+    batch_id = start_batch_id
+    for transaction in transactions:
+        buffer.append(transaction)
+        if len(buffer) == batch_size:
+            yield Batch(buffer, batch_id=batch_id)
+            buffer = []
+            batch_id += 1
+    if buffer and not drop_last:
+        yield Batch(buffer, batch_id=batch_id)
+
+
 class TransactionStream:
     """A batched stream of transactions.
 
@@ -48,18 +80,21 @@ class TransactionStream:
         """Number of transactions per emitted batch."""
         return self._batch_size
 
+    @property
+    def raw_transactions(self) -> Iterable[Sequence[str]]:
+        """The unbatched transactions this stream wraps (may be one-shot)."""
+        return self._transactions
+
+    @property
+    def drop_last(self) -> bool:
+        """Whether a trailing partial batch is discarded."""
+        return self._drop_last
+
     def batches(self) -> Iterator[Batch]:
         """Yield successive batches with sequential ``batch_id`` values."""
-        buffer: List[Sequence[str]] = []
-        batch_id = 0
-        for transaction in self._transactions:
-            buffer.append(transaction)
-            if len(buffer) == self._batch_size:
-                yield Batch(buffer, batch_id=batch_id)
-                buffer = []
-                batch_id += 1
-        if buffer and not self._drop_last:
-            yield Batch(buffer, batch_id=batch_id)
+        return assemble_batches(
+            self._transactions, self._batch_size, drop_last=self._drop_last
+        )
 
     def __iter__(self) -> Iterator[Batch]:
         return self.batches()
@@ -106,6 +141,16 @@ class GraphStream:
     def batch_size(self) -> int:
         """Number of snapshots per emitted batch."""
         return self._batch_size
+
+    @property
+    def raw_snapshots(self) -> Iterable[GraphSnapshot]:
+        """The unencoded snapshots this stream wraps (may be one-shot)."""
+        return self._snapshots
+
+    @property
+    def register_new_edges(self) -> bool:
+        """Whether unseen edges are registered while streaming."""
+        return self._register_new_edges
 
     def transactions(self) -> Iterator[Transaction]:
         """Yield the encoded transaction of every snapshot in order."""

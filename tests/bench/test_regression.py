@@ -1,0 +1,112 @@
+"""Unit tests for the benchmark regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    compare_directories,
+    compare_outcomes,
+    main,
+    row_identity,
+)
+
+
+def outcome(runtime=0.5, identical=True, patterns=10):
+    return {
+        "experiment": "E7-strong-scaling",
+        "workload": "random-graph[tiny]",
+        "minsup": 7,
+        "parallel_identical": identical,
+        "rows": [
+            {
+                "algorithm": "vertical",
+                "workers": 1,
+                "runtime_s": runtime,
+                "speedup_vs_1": 1.0,
+                "patterns": patterns,
+            }
+        ],
+    }
+
+
+class TestCompareOutcomes:
+    def test_identical_outcomes_pass(self):
+        assert compare_outcomes(outcome(), outcome()) == []
+
+    def test_faster_run_passes(self):
+        assert compare_outcomes(outcome(runtime=1.0), outcome(runtime=0.2)) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        failures = compare_outcomes(outcome(runtime=1.0), outcome(runtime=1.3))
+        assert len(failures) == 1
+        assert "runtime_s" in failures[0]
+
+    def test_regression_within_threshold_passes(self):
+        assert compare_outcomes(outcome(runtime=1.0), outcome(runtime=1.2)) == []
+
+    def test_noise_floor_shields_micro_rows(self):
+        # 4x slower, but both sides sit under the 0.25s noise floor.
+        assert compare_outcomes(outcome(runtime=0.05), outcome(runtime=0.2)) == []
+
+    def test_correctness_flag_regression_fails(self):
+        failures = compare_outcomes(outcome(), outcome(identical=False))
+        assert any("parallel_identical" in failure for failure in failures)
+
+    def test_changed_row_identity_fails_both_ways(self):
+        failures = compare_outcomes(outcome(), outcome(patterns=11))
+        assert any("no matching current row" in failure for failure in failures)
+        assert any("no baseline counterpart" in failure for failure in failures)
+
+    def test_changed_top_level_field_fails(self):
+        changed = outcome()
+        changed["minsup"] = 9
+        failures = compare_outcomes(outcome(), changed)
+        assert any("minsup" in failure for failure in failures)
+
+    def test_volatile_fields_are_not_identity(self):
+        row = outcome()["rows"][0]
+        faster = dict(row, runtime_s=0.1, speedup_vs_1=5.0)
+        assert row_identity(row) == row_identity(faster)
+
+
+class TestCompareDirectories:
+    def write(self, directory, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_e7.json").write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_missing_baselines_fail(self, tmp_path):
+        (tmp_path / "baseline").mkdir()
+        failures = compare_directories(tmp_path / "baseline", tmp_path / "current")
+        assert failures and "no BENCH_*.json baselines" in failures[0]
+
+    def test_missing_current_outcome_fails(self, tmp_path):
+        self.write(tmp_path / "baseline", outcome())
+        (tmp_path / "current").mkdir()
+        failures = compare_directories(tmp_path / "baseline", tmp_path / "current")
+        assert failures and "no current outcome" in failures[0]
+
+    def test_matching_directories_pass(self, tmp_path):
+        self.write(tmp_path / "baseline", outcome())
+        self.write(tmp_path / "current", outcome(runtime=0.55))
+        assert compare_directories(tmp_path / "baseline", tmp_path / "current") == []
+
+    @pytest.mark.parametrize("runtime,expected", [(0.55, 0), (5.0, 1)])
+    def test_main_exit_codes(self, tmp_path, capsys, runtime, expected):
+        self.write(tmp_path / "baseline", outcome())
+        self.write(tmp_path / "current", outcome(runtime=runtime))
+        code = main(
+            [
+                "--baseline-dir",
+                str(tmp_path / "baseline"),
+                "--current-dir",
+                str(tmp_path / "current"),
+            ]
+        )
+        assert code == expected
+
+    def test_committed_baselines_pass_against_themselves(self):
+        from pathlib import Path
+
+        baselines = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+        assert compare_directories(baselines, baselines) == []

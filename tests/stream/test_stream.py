@@ -6,7 +6,40 @@ from repro.exceptions import StreamError
 from repro.graph.edge import Edge
 from repro.graph.edge_registry import EdgeRegistry
 from repro.graph.graph import GraphSnapshot
-from repro.stream.stream import GraphStream, TransactionStream
+from repro.stream.stream import GraphStream, TransactionStream, assemble_batches
+
+
+class TestAssembleBatches:
+    """The pure batch-assembly kernel shared with the ingestion planner."""
+
+    def test_matches_transaction_stream_batching(self):
+        transactions = [[f"i{index}"] for index in range(7)]
+        via_stream = list(TransactionStream(transactions, batch_size=3).batches())
+        via_function = list(assemble_batches(transactions, batch_size=3))
+        assert via_function == via_stream
+        assert [b.batch_id for b in via_function] == [0, 1, 2]
+
+    def test_start_batch_id_offsets_ids(self):
+        batches = list(assemble_batches([["a"], ["b"]], batch_size=1, start_batch_id=5))
+        assert [b.batch_id for b in batches] == [5, 6]
+
+    def test_drop_last_discards_partial(self):
+        batches = list(assemble_batches([["a"], ["b"], ["c"]], batch_size=2, drop_last=True))
+        assert [len(b) for b in batches] == [2]
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(StreamError):
+            list(assemble_batches([], batch_size=0))
+
+    def test_raw_accessors_round_trip(self):
+        transactions = [["a"], ["b"]]
+        stream = TransactionStream(transactions, batch_size=2, drop_last=True)
+        assert stream.raw_transactions is transactions
+        assert stream.drop_last is True
+        snapshots = [GraphSnapshot([Edge("v1", "v2")])]
+        graph_stream = GraphStream(snapshots, batch_size=1, register_new_edges=False)
+        assert graph_stream.raw_snapshots is snapshots
+        assert graph_stream.register_new_edges is False
 
 
 class TestTransactionStream:

@@ -163,7 +163,57 @@ class TestGenerateAndMine:
         main(["generate", str(target), "--kind", "graph", "--count", "20", "--seed", "5"])
         capsys.readouterr()
         assert main(["mine", str(target), "--workers", "-1"]) == EXIT_USAGE_ERROR
-        assert "--workers" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert err.startswith("error: --workers must be non-negative")
+        assert len(err.strip().splitlines()) == 1  # one-line error, no traceback
+
+    def test_mine_rejects_negative_ingest_workers(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "20", "--seed", "5"])
+        capsys.readouterr()
+        code = main(["mine", str(target), "--ingest-workers", "-2"])
+        assert code == EXIT_USAGE_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error: --ingest-workers must be non-negative")
+        assert len(err.strip().splitlines()) == 1  # one-line error, no traceback
+
+    def test_mine_with_ingest_workers_matches_sequential(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        base_args = [
+            "mine", str(target), "--batch-size", "20", "--window", "2",
+            "--minsup", "4", "--format", "json",
+        ]
+        assert main(base_args) == 0
+        sequential = capsys.readouterr().out
+        assert main(base_args + ["--ingest-workers", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_mine_ingest_workers_with_disk_storage_and_mining_workers(
+        self, tmp_path, capsys
+    ):
+        """The fully parallel pipeline: sharded ingest feeding sharded mining."""
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        base_args = [
+            "mine", str(target), "--batch-size", "20", "--window", "2",
+            "--minsup", "4", "--format", "json",
+        ]
+        assert main(base_args) == 0
+        sequential = capsys.readouterr().out
+        storage_dir = tmp_path / "segments"
+        code = main(
+            base_args
+            + [
+                "--ingest-workers", "2", "--workers", "2",
+                "--storage", "disk", "--storage-path", str(storage_dir),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == sequential
+        assert (storage_dir / "manifest.json").exists()
 
 
 class TestMineInputErrors:
