@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.harness import (
     RunResult,
@@ -30,8 +30,9 @@ from repro.bench.metrics import Timer
 from repro.core.miner import StreamSubgraphMiner
 from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import DatasetError
+from repro.ingest.api import IngestReport, ingest_transactions
 from repro.parallel.api import mine_window_parallel
-from repro.storage.backend import DiskWindowStore
+from repro.storage.backend import DiskWindowStore, MemoryWindowStore
 from repro.stream.stream import TransactionStream
 
 #: DSMatrix algorithms that mine *all* collections of frequent edges (§3).
@@ -587,6 +588,111 @@ def experiment_ingest_scaling(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E9 — pipelined vs barrier ingest execution
+# ---------------------------------------------------------------------- #
+def experiment_pipelined_ingest(
+    scale: str = "small",
+    ingest_workers: int = 2,
+    max_inflight_values: Sequence[int] = (1, 2, 8),
+    seed: int = 42,
+    output_path: Optional[Union[str, Path]] = "BENCH_e9.json",
+) -> Dict[str, object]:
+    """Ablation of the pipelined execution engine (DESIGN.md §9).
+
+    The same transaction stream is ingested three ways: the in-process
+    reference (``workers=0``), a **barrier** emulation of the pre-pipeline
+    executor (``max_inflight`` = the whole chunk plan, so every encoded
+    chunk may be resident before the first commit) and the **pipelined**
+    path at each bounded ``max_inflight``.  Each row reports the ingestion
+    wall-clock and ``peak_inflight`` — the high-water mark of
+    submitted-but-uncommitted chunks, an upper bound on how many encoded
+    chunk results can be resident at once (the memory the bound is
+    about).  ``inflight_bounded`` asserts ``peak <= max_inflight`` for
+    every row and ``pipeline_identical`` asserts that every mode
+    committed the identical window.
+
+    Like E7/E8, the outcome is written to ``output_path``
+    (``BENCH_e9.json`` by default, pass ``None`` to skip) for the CI
+    artifact and the nightly regression gate.
+    """
+    workload = default_edge_workload(scale, seed=seed)
+
+    def run_ingest(
+        workers: int, max_inflight: Optional[int]
+    ) -> Tuple[IngestReport, float, Dict[str, object]]:
+        store = MemoryWindowStore(workload.window_size)
+        with Timer() as timer:
+            report = ingest_transactions(
+                store,
+                workload.transactions,
+                batch_size=workload.batch_size,
+                workers=workers,
+                max_inflight=max_inflight,
+            )
+        fingerprint: Dict[str, object] = {
+            "frequencies": dict(store.item_frequencies()),
+            "boundaries": store.boundaries(),
+            "items": store.items(),
+        }
+        return report, timer.elapsed, fingerprint
+
+    # The reference run also tells us the plan length, which is what the
+    # barrier emulation uses as its (unbounded) in-flight budget.
+    reference_report, reference_s, reference = run_ingest(0, None)
+    plan_chunks = reference_report.chunks
+
+    modes: List[Tuple[str, int, Optional[int]]] = [
+        ("barrier", ingest_workers, max(1, plan_chunks)),
+    ]
+    modes.extend(
+        ("pipelined", ingest_workers, bound) for bound in max_inflight_values
+    )
+
+    rows: List[Dict[str, object]] = []
+    all_identical = True
+    all_bounded = True
+    runs = [("in-process", 0, reference_report, reference_s, reference)]
+    runs.extend(
+        (mode, workers, *run_ingest(workers, bound))
+        for mode, workers, bound in modes
+    )
+    for mode, workers, report, elapsed, fingerprint in runs:
+        if fingerprint != reference:
+            all_identical = False
+        if report.peak_inflight > report.max_inflight:
+            all_bounded = False
+        rows.append(
+            {
+                "mode": mode,
+                "ingest_workers": workers,
+                "max_inflight": report.max_inflight,
+                "ingest_s": round(elapsed, 4),
+                "peak_inflight": report.peak_inflight,
+                "chunks": report.chunks,
+                "batches": report.batches,
+                "columns": report.columns,
+            }
+        )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E9-pipelined-ingest",
+        "workload": workload.name,
+        "ingest_workers": ingest_workers,
+        "max_inflight_values": list(max_inflight_values),
+        "rows": rows,
+        "pipeline_identical": all_identical,
+        "inflight_bounded": all_bounded,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -597,4 +703,5 @@ EXPERIMENTS = {
     "e6": experiment_storage_backends,
     "e7": experiment_strong_scaling,
     "e8": experiment_ingest_scaling,
+    "e9": experiment_pipelined_ingest,
 }

@@ -37,6 +37,8 @@ BOOLEAN_KEYS = (
     "backends_identical",
     "parallel_identical",
     "ingest_identical",
+    "pipeline_identical",
+    "inflight_bounded",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).
@@ -50,6 +52,7 @@ RUNTIME_KEYS = (
 #: Row fields excluded from the identity key (volatile measurements).
 VOLATILE_KEYS = RUNTIME_KEYS + (
     "speedup_vs_1",
+    "peak_inflight",
     "peak_mem_kb",
     "structure_kb",
     "peak_mining_mem_kb",

@@ -14,7 +14,7 @@ Subcommands
     parallelises the mining, ``--ingest-workers`` the stream → window
     ingestion.
 ``bench``
-    Run one of the paper's experiments (e1-e8) and print its table.
+    Run one of the paper's experiments (e1-e9) and print its table.
 
 Run ``python -m repro --help`` for the full option reference.
 """
@@ -128,6 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
             "stream order — the window is identical either way)"
         ),
     )
+    mine.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "bound on concurrently in-flight (submitted-but-uncommitted) "
+            "chunks/shards in the pipelined executor (default: 2x the "
+            "worker count, minimum 1); any value produces the identical "
+            "window and pattern set — it only trades peak memory against "
+            "encode/commit overlap"
+        ),
+    )
     mine.add_argument("--top", type=int, default=20, help="number of patterns to print")
     mine.add_argument(
         "--all-collections",
@@ -222,6 +234,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return EXIT_USAGE_ERROR
+    if args.max_inflight is not None and args.max_inflight < 1:
+        print(
+            f"error: --max-inflight must be at least 1, got {args.max_inflight}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
     miner = StreamSubgraphMiner(
         window_size=args.window,
         batch_size=args.batch_size,
@@ -233,6 +251,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         miner.consume(
             TransactionStream(transactions, batch_size=args.batch_size),
             ingest_workers=args.ingest_workers,
+            max_inflight=args.max_inflight,
         )
     else:
         miner.add_transactions(transactions)
@@ -243,7 +262,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         # default to reporting all collections unless the direct algorithm
         # (which requires a registry anyway) was requested.
         connected = False
-    result = miner.mine(minsup, connected_only=connected, workers=args.workers)
+    result = miner.mine(
+        minsup,
+        connected_only=connected,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+    )
     if args.format == "json":
         rendered = result_to_json(result, miner.registry)
     elif args.format == "csv":

@@ -193,6 +193,7 @@ class StreamSubgraphMiner:
         self,
         stream: Union[GraphStream, TransactionStream, Iterable[Batch]],
         ingest_workers: Optional[int] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
         """Consume an entire stream of batches (or a Graph/TransactionStream).
 
@@ -210,7 +211,12 @@ class StreamSubgraphMiner:
             (byte-identical to the sequential path), ``n >= 1`` fans the
             per-batch parsing/encoding/counting out to ``n`` worker
             processes while a single-writer coordinator commits segments
-            in stream order.
+            in stream order, as they complete (DESIGN.md §9).
+        max_inflight:
+            Bound on concurrently resident encoded-but-uncommitted chunks
+            in the parallel path (``2 * ingest_workers`` by default,
+            minimum 1).  Any value yields the byte-identical window; it
+            only trades peak memory against encode/commit overlap.
         """
         if isinstance(stream, GraphStream) and stream.registry is not self._registry:
             raise StreamError(
@@ -218,7 +224,9 @@ class StreamSubgraphMiner:
                 "pass registry=miner.registry when building the stream"
             )
         if ingest_workers is not None:
-            self._consume_with_ingest_workers(stream, ingest_workers)
+            self._consume_with_ingest_workers(
+                stream, ingest_workers, max_inflight=max_inflight
+            )
             return
         if isinstance(stream, GraphStream):
             for batch in stream.batches():
@@ -233,6 +241,7 @@ class StreamSubgraphMiner:
         self,
         stream: Union[GraphStream, TransactionStream, Iterable[Batch]],
         ingest_workers: int,
+        max_inflight: Optional[int] = None,
     ) -> None:
         """Route one stream through the parallel ingestion pipeline."""
         self.flush_pending()
@@ -246,6 +255,7 @@ class StreamSubgraphMiner:
                 registry=self._registry,
                 workers=ingest_workers,
                 register_new_edges=stream.register_new_edges,
+                max_inflight=max_inflight,
             )
         elif isinstance(stream, TransactionStream):
             report = ingest_transactions(
@@ -254,9 +264,12 @@ class StreamSubgraphMiner:
                 batch_size=stream.batch_size,
                 workers=ingest_workers,
                 drop_last=stream.drop_last,
+                max_inflight=max_inflight,
             )
         else:
-            report = ingest_batches(store, stream, workers=ingest_workers)
+            report = ingest_batches(
+                store, stream, workers=ingest_workers, max_inflight=max_inflight
+            )
         self._batches_consumed += report.batches
 
     # ------------------------------------------------------------------ #
@@ -269,6 +282,7 @@ class StreamSubgraphMiner:
         rule: str = "exact",
         algorithm: Optional[Union[str, MiningAlgorithm]] = None,
         workers: int = 0,
+        max_inflight: Optional[int] = None,
     ) -> MiningResult:
         """Mine the current window.
 
@@ -290,7 +304,11 @@ class StreamSubgraphMiner:
             Number of worker processes for sharded mining (DESIGN.md §4).
             ``0`` (the default) mines sequentially in this process;
             ``n >= 1`` partitions the search space over ``n`` processes and
-            merges the shards back into the identical pattern set.
+            merges the shards back into the identical pattern set,
+            incrementally as shards finish (DESIGN.md §9).
+        max_inflight:
+            Bound on submitted-but-unmerged shards in the parallel path
+            (``2 * workers`` by default, minimum 1).
         """
         self.flush_pending()
         miner = self._algorithm if algorithm is None else self._resolve_algorithm(algorithm)
@@ -302,6 +320,7 @@ class StreamSubgraphMiner:
                 absolute,
                 workers=workers,
                 registry=self._registry,
+                max_inflight=max_inflight,
             )
             miner.stats = stats  # aggregated shard instrumentation
         else:

@@ -1,12 +1,16 @@
 """High-level entry points of the parallel ingestion pipeline.
 
 These functions tie the :class:`~repro.ingest.planner.IngestPlanner`, the
-worker pool (shared with the mining subsystem) and the
-:class:`~repro.ingest.coordinator.WindowCoordinator` together
-(DESIGN.md §5).  ``workers=0`` executes the identical chunk plan in the
-calling process, so the committed window — including the bytes of every
-persisted segment file — is byte-identical to sequential appends; that is
-the property the ingestion parity suite pins down.
+pipelined executor (shared with the mining subsystem, DESIGN.md §9) and
+the :class:`~repro.ingest.coordinator.WindowCoordinator` together
+(DESIGN.md §5).  Chunk outcomes are committed **as they complete**, in
+stream order, while later chunks are still encoding — at most
+``max_inflight`` encoded chunks are ever resident, so peak memory is
+bounded by the parallelism instead of the plan length.  ``workers=0``
+executes the identical chunk plan in the calling process, so the
+committed window — including the bytes of every persisted segment file —
+is byte-identical to sequential appends; that is the property the
+ingestion parity suite pins down for every ``max_inflight``.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ from repro.ingest.worker import (
     encode_chunk,
     initialize_ingest_worker,
 )
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pipeline import PipelineExecutor
 from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
 from repro.stream.batch import Batch
@@ -45,6 +49,10 @@ class IngestReport:
     chunks: int
     workers: int
     execution_mode: str
+    #: The configured bound on concurrently resident encoded chunks.
+    max_inflight: int = 1
+    #: High-water mark of submitted-but-uncommitted chunks actually seen.
+    peak_inflight: int = 0
 
 
 def _store_of(matrix: MatrixLike) -> WindowStore:
@@ -58,11 +66,14 @@ def ingest_transactions(
     workers: int = 0,
     chunk_batches: int = 1,
     drop_last: bool = False,
+    max_inflight: Optional[int] = None,
 ) -> IngestReport:
     """Batch, count and commit raw transactions through ingest workers."""
     planner = IngestPlanner(batch_size, chunk_batches=chunk_batches)
     chunks = planner.plan_units(transactions, drop_last=drop_last)
-    return _run(store, chunks, kind="transactions", workers=workers)
+    return _run(
+        store, chunks, kind="transactions", workers=workers, max_inflight=max_inflight
+    )
 
 
 def ingest_snapshots(
@@ -73,6 +84,7 @@ def ingest_snapshots(
     workers: int = 0,
     register_new_edges: bool = True,
     chunk_batches: int = 1,
+    max_inflight: Optional[int] = None,
 ) -> IngestReport:
     """Encode, count and commit graph snapshots through ingest workers.
 
@@ -89,6 +101,7 @@ def ingest_snapshots(
         workers=workers,
         registry=registry,
         register_new_edges=register_new_edges,
+        max_inflight=max_inflight,
     )
 
 
@@ -97,6 +110,7 @@ def ingest_batches(
     batches: Iterable[Batch],
     workers: int = 0,
     chunk_batches: int = 1,
+    max_inflight: Optional[int] = None,
 ) -> IngestReport:
     """Count and commit ready-made batches through ingest workers.
 
@@ -105,7 +119,9 @@ def ingest_batches(
     """
     planner = IngestPlanner(batch_size=1, chunk_batches=chunk_batches)
     chunks = planner.plan_batches(batches)
-    return _run(store, chunks, kind="transactions", workers=workers)
+    return _run(
+        store, chunks, kind="transactions", workers=workers, max_inflight=max_inflight
+    )
 
 
 def _run(
@@ -115,10 +131,20 @@ def _run(
     workers: int,
     registry: Optional[EdgeRegistry] = None,
     register_new_edges: bool = True,
+    max_inflight: Optional[int] = None,
 ) -> IngestReport:
-    """Fan chunks out to workers and commit the outcomes in stream order."""
+    """Pipeline chunks through workers, committing outcomes in stream order.
+
+    The single-writer coordinator is the pipeline's consumer callback: a
+    chunk's segments are committed the moment every earlier chunk has
+    committed, while later chunks are still encoding on the workers.
+    """
     if workers < 0:
         raise IngestError(f"ingest workers must be non-negative, got {workers}")
+    if max_inflight is not None and max_inflight < 1:
+        # Same contract as the executor's own check, surfaced as the
+        # ingestion API's exception type like the workers validation above.
+        raise IngestError(f"max_inflight must be at least 1, got {max_inflight}")
     window = _store_of(store)
     base_segment_id = window.next_segment_id
     context = uuid.uuid4().hex
@@ -133,24 +159,23 @@ def _run(
         )
         for chunk in chunks
     ]
-    pool = WorkerPool(workers)
+    coordinator = WindowCoordinator(
+        window, registry=registry, register_new_edges=register_new_edges
+    )
+    executor = PipelineExecutor(workers, max_inflight=max_inflight)
     try:
         # The registry snapshot ships once per worker via the pool
         # initializer, not once per chunk task; workers never mutate it.
-        outcomes = pool.map(
+        stats = executor.run(
             encode_chunk,
             tasks,
+            coordinator.commit,
             initializer=initialize_ingest_worker,
             initargs=(context, registry, register_new_edges),
         )
     finally:
         # In-process runs installed the snapshot in *this* process; drop it.
         clear_ingest_worker(context)
-    coordinator = WindowCoordinator(
-        window, registry=registry, register_new_edges=register_new_edges
-    )
-    for outcome in outcomes:
-        coordinator.commit(outcome)
     return IngestReport(
         batches=coordinator.batches_committed,
         columns=coordinator.columns_committed,
@@ -158,5 +183,7 @@ def _run(
         new_edges_registered=coordinator.edges_registered,
         chunks=len(tasks),
         workers=workers,
-        execution_mode=pool.last_execution_mode,
+        execution_mode=stats.execution_mode,
+        max_inflight=executor.max_inflight,
+        peak_inflight=stats.peak_inflight,
     )

@@ -103,7 +103,12 @@ class WindowCoordinator:
                         f"{len(unresolved)} provisional items with no "
                         "matching new_edges entry"
                     )
-            segment = Segment(draft.segment_id, draft.num_columns, rows)
+            # The worker's payload (when the rows were final) seeds the
+            # segment's serialisation cache: persistence and later handle
+            # shipping reuse those exact bytes instead of re-serialising.
+            segment = Segment(
+                draft.segment_id, draft.num_columns, rows, payload=payload
+            )
             self.columns_evicted += self._store.append_segment(
                 segment, payload=payload
             )

@@ -11,6 +11,10 @@ The subsystem has four small layers:
 * :mod:`repro.parallel.pool` — :class:`WorkerPool`, a
   ``ProcessPoolExecutor`` wrapper whose ``workers=0`` mode runs the same
   plan in-process, byte-identical to sequential mining.
+* :mod:`repro.parallel.pipeline` — :class:`PipelineExecutor`, the
+  as-completed scheduler with bounded in-flight work and stream-order
+  commits that both the mining and the ingestion paths execute on
+  (DESIGN.md §9).
 * :mod:`repro.parallel.merge` — combines per-shard pattern sets, support
   counters and instrumentation into the exact sequential answer.
 
@@ -26,8 +30,14 @@ from repro.parallel.api import (
 )
 from repro.parallel.merge import (
     merge_pattern_counts,
+    merge_pattern_counts_into,
     merge_stats,
     merge_support_counts,
+)
+from repro.parallel.pipeline import (
+    PipelineExecutor,
+    PipelineStats,
+    default_max_inflight,
 )
 from repro.parallel.planner import ItemShard, SegmentShard, ShardPlanner
 from repro.parallel.pool import WorkerPool, process_pools_available
@@ -48,6 +58,9 @@ __all__ = [
     "ItemShard",
     "WorkerPool",
     "process_pools_available",
+    "PipelineExecutor",
+    "PipelineStats",
+    "default_max_inflight",
     "WindowTask",
     "MiningShardTask",
     "ShardOutcome",
@@ -57,6 +70,7 @@ __all__ = [
     "run_mining_shard",
     "count_segment_shard",
     "merge_pattern_counts",
+    "merge_pattern_counts_into",
     "merge_support_counts",
     "merge_stats",
     "mine_window_parallel",

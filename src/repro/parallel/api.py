@@ -1,29 +1,30 @@
 """High-level entry points: parallel mining and parallel support counting.
 
-These functions tie the planner, the worker pool and the merge layer
-together (DESIGN.md §4).  ``workers=0`` executes the identical shard plan
-in the calling process, so the two modes return byte-identical results —
+These functions tie the planner, the pipelined executor (DESIGN.md §9)
+and the merge layer together (DESIGN.md §4).  Shard results are merged
+incrementally, as each shard finishes, in shard order — the merged
+answer is identical to the barrier merge because shards are disjoint and
+commits are ordered.  ``workers=0`` executes the identical shard plan in
+the calling process, so the two modes return byte-identical results —
 the property the parity suite pins down.
 """
 
 from __future__ import annotations
 
 import uuid
+from collections import Counter
 from typing import Collection, Dict, FrozenSet, List, Optional, Tuple, Type, Union
 
 from repro.core.algorithms import ALGORITHMS
 from repro.core.algorithms.base import MiningAlgorithm, MiningStats
 from repro.exceptions import ParallelMiningError
 from repro.graph.edge_registry import EdgeRegistry
-from repro.parallel.merge import (
-    merge_pattern_counts,
-    merge_stats,
-    merge_support_counts,
-)
+from repro.parallel.merge import merge_pattern_counts_into, merge_stats
+from repro.parallel.pipeline import PipelineExecutor
 from repro.parallel.planner import ShardPlanner
-from repro.parallel.pool import WorkerPool
 from repro.parallel.worker import (
     MiningShardTask,
+    ShardOutcome,
     WindowTask,
     clear_mining_worker,
     count_segment_shard,
@@ -81,13 +82,16 @@ def mine_window_parallel(
     workers: int,
     registry: Optional[EdgeRegistry] = None,
     num_shards: Optional[int] = None,
+    max_inflight: Optional[int] = None,
 ) -> Tuple[PatternCounts, MiningStats]:
-    """Mine the window by fanning item shards out to worker processes.
+    """Mine the window by pipelining item shards over worker processes.
 
     The window travels as segment handles (paths or payload bytes, never a
     live store), each worker runs the algorithm's shard-aware entry point
-    over its owned items, and the merge layer unions the disjoint shard
-    results into exactly the sequential pattern set.
+    over its owned items, and shard results are merged **incrementally as
+    shards finish** (in shard order) into exactly the sequential pattern
+    set — at most ``max_inflight`` unmerged shard results are resident at
+    any moment.
 
     Parameters
     ----------
@@ -105,6 +109,9 @@ def mine_window_parallel(
         Edge registry, required by the direct algorithm.
     num_shards:
         Shard-count override; defaults to ``max(1, workers)``.
+    max_inflight:
+        Bound on submitted-but-unmerged shards; defaults to
+        ``2 * workers`` (minimum 1).
 
     Returns
     -------
@@ -144,20 +151,28 @@ def mine_window_parallel(
         )
         for shard in planner.plan_items(store.items())
     ]
+    patterns: PatternCounts = {}
+    stats_parts: List[Dict[str, int]] = []
+
+    def _merge_outcome(outcome: ShardOutcome) -> None:
+        merge_pattern_counts_into(patterns, outcome.patterns)
+        stats_parts.append(outcome.stats)
+
     try:
         # The window and registry ship once per worker via the pool
-        # initializer, not once per shard task.
-        outcomes = WorkerPool(workers).map(
+        # initializer, not once per shard task; each shard's patterns fold
+        # into the running union the moment its predecessors have merged.
+        PipelineExecutor(workers, max_inflight=max_inflight).run(
             run_mining_shard,
             tasks,
+            _merge_outcome,
             initializer=initialize_mining_worker,
             initargs=(context, window, registry),
         )
     finally:
         # In-process runs installed the window in *this* process; drop it.
         clear_mining_worker(context)
-    patterns = merge_pattern_counts(outcome.patterns for outcome in outcomes)
-    stats = merge_stats(outcome.stats for outcome in outcomes)
+    stats = merge_stats(stats_parts)
     stats.patterns_found = len(patterns)
     return patterns, stats
 
@@ -166,10 +181,12 @@ def count_supports_parallel(
     matrix: MatrixLike,
     workers: int,
     num_shards: Optional[int] = None,
+    max_inflight: Optional[int] = None,
 ) -> Dict[str, int]:
     """Compute window-wide per-item supports from segment-aligned shards.
 
-    Each worker counts one contiguous run of segments; the merged counter
+    Each worker counts one contiguous run of segments; shard counters are
+    added into the running total as shards finish.  The merged counter
     equals ``matrix.item_frequencies()`` restricted to items that occur in
     the window (zero-support items of a grow-only universe never appear in
     any segment).
@@ -177,8 +194,11 @@ def count_supports_parallel(
     store = _store_of(matrix)
     planner = ShardPlanner(_shard_count(workers, num_shards))
     shards = planner.plan_segments(store.segment_handles())
-    counters = WorkerPool(workers).map(count_segment_shard, shards)
-    return dict(merge_support_counts(counters))
+    merged: Counter = Counter()
+    PipelineExecutor(workers, max_inflight=max_inflight).run(
+        count_segment_shard, shards, lambda part: merged.update(part)
+    )
+    return dict(merged)
 
 
 def frequent_items_parallel(
@@ -187,12 +207,15 @@ def frequent_items_parallel(
     workers: int,
     num_shards: Optional[int] = None,
     universe: Optional[Collection[str]] = None,
+    max_inflight: Optional[int] = None,
 ) -> List[str]:
     """Canonically ordered items with window support >= ``minsup``.
 
     A convenience built on :func:`count_supports_parallel`, mirroring
     ``WindowStore.frequent_items``.
     """
-    counts = count_supports_parallel(matrix, workers, num_shards=num_shards)
+    counts = count_supports_parallel(
+        matrix, workers, num_shards=num_shards, max_inflight=max_inflight
+    )
     items = counts.keys() if universe is None else universe
     return sorted(item for item in items if counts.get(item, 0) >= minsup)

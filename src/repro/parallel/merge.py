@@ -22,6 +22,25 @@ PatternCounts = Dict[Items, int]
 _MAX_STAT_PREFIX = "max_"
 
 
+def merge_pattern_counts_into(
+    merged: PatternCounts, part: Mapping[Items, int]
+) -> None:
+    """Merge one shard's patterns into ``merged`` in place.
+
+    This is the incremental step the pipelined executor applies as each
+    shard completes (DESIGN.md §9) — only one shard result is resident at
+    a time instead of the whole outcome list.
+    """
+    for items, support in part.items():
+        existing = merged.get(items)
+        if existing is not None and existing != support:
+            raise ParallelMiningError(
+                f"conflicting supports for pattern {sorted(items)}: "
+                f"{existing} vs {support}"
+            )
+        merged[items] = support
+
+
 def merge_pattern_counts(parts: Iterable[Mapping[Items, int]]) -> PatternCounts:
     """Union per-shard pattern sets, rejecting any support disagreement.
 
@@ -33,14 +52,7 @@ def merge_pattern_counts(parts: Iterable[Mapping[Items, int]]) -> PatternCounts:
     """
     merged: PatternCounts = {}
     for part in parts:
-        for items, support in part.items():
-            existing = merged.get(items)
-            if existing is not None and existing != support:
-                raise ParallelMiningError(
-                    f"conflicting supports for pattern {sorted(items)}: "
-                    f"{existing} vs {support}"
-                )
-            merged[items] = support
+        merge_pattern_counts_into(merged, part)
     return merged
 
 

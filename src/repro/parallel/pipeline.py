@@ -1,0 +1,237 @@
+"""The pipelined as-completed execution engine (DESIGN.md §9).
+
+:class:`WorkerPool.map` is a barrier: every task result is materialised
+before the first one is consumed, so the coordinator sits idle while
+workers encode and peak memory grows with the *plan*, not with the
+*parallelism*.  The :class:`PipelineExecutor` replaces that barrier with
+a credit-based producer/consumer pipeline:
+
+* at most ``max_inflight`` tasks are submitted-but-uncommitted at any
+  moment, so the number of concurrently resident results is bounded by
+  ``max_inflight`` regardless of stream length;
+* completions are reordered back into **task (stream) order** and handed
+  to a consumer callback as soon as every predecessor has been consumed —
+  commits therefore overlap with the encoding of later tasks;
+* ``workers=0`` runs the identical plan in this process, one task at a
+  time (compute, then immediately consume), which is the deterministic
+  reference mode the parity suites compare against.
+
+The consumer sees exactly the sequence ``fn(task_0), fn(task_1), ...`` in
+that order under every ``workers``/``max_inflight`` combination — only
+the interleaving with task execution changes.  Exceptions raised by tasks
+propagate unchanged (remaining submissions are cancelled first); like
+:class:`~repro.parallel.pool.WorkerPool`, only broken pool infrastructure
+triggers a deterministic in-process re-run of the uncommitted suffix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple, TypeVar
+
+from repro.exceptions import ParallelMiningError
+from repro.parallel.pool import process_pools_available
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+#: In-flight credits granted per worker when ``max_inflight`` is omitted:
+#: one task executing plus one queued/awaiting commit keeps every worker
+#: busy without letting results pile up.
+DEFAULT_INFLIGHT_PER_WORKER = 2
+
+
+def default_max_inflight(workers: int) -> int:
+    """The default in-flight bound for ``workers`` worker processes."""
+    return max(1, DEFAULT_INFLIGHT_PER_WORKER * workers)
+
+
+@dataclass
+class PipelineStats:
+    """What one pipelined run did (exposed for reports and assertions)."""
+
+    #: Tasks pulled from the plan.
+    tasks: int = 0
+    #: Results handed to the consumer (equals ``tasks`` on success).
+    committed: int = 0
+    #: High-water mark of submitted-but-uncommitted tasks — the number of
+    #: concurrently resident results never exceeds this.
+    peak_inflight: int = 0
+    #: ``"in-process"`` or ``"pipelined-pool"``.
+    execution_mode: str = "in-process"
+
+
+class PipelineExecutor:
+    """Run picklable tasks with bounded in-flight work and ordered commits.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` — execute tasks sequentially in this process (deterministic
+        reference mode); ``n >= 1`` — schedule onto a process pool of
+        ``n`` workers, committing completions in stream order as they
+        become contiguous.
+    max_inflight:
+        Maximum number of submitted-but-uncommitted tasks.  Defaults to
+        ``2 * workers`` (minimum 1); ``1`` degenerates to lock-step
+        submit/commit, larger values trade memory for overlap.
+    """
+
+    def __init__(self, workers: int, max_inflight: Optional[int] = None) -> None:
+        if workers < 0:
+            raise ParallelMiningError(
+                f"workers must be non-negative, got {workers}"
+            )
+        if max_inflight is None:
+            max_inflight = default_max_inflight(workers)
+        if max_inflight < 1:
+            raise ParallelMiningError(
+                f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        self._workers = workers
+        self._max_inflight = max_inflight
+        #: Stats of the last :meth:`run` call.
+        self.last_stats = PipelineStats()
+
+    @property
+    def workers(self) -> int:
+        """The configured worker count (0 = in-process)."""
+        return self._workers
+
+    @property
+    def max_inflight(self) -> int:
+        """The configured bound on submitted-but-uncommitted tasks."""
+        return self._max_inflight
+
+    def run(
+        self,
+        fn: Callable[[Task], Result],
+        tasks: Iterable[Task],
+        consumer: Callable[[Result], None],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+    ) -> PipelineStats:
+        """Execute ``fn`` over ``tasks``, feeding results to ``consumer`` in order.
+
+        ``tasks`` may be any iterable; it is pulled lazily, one task per
+        granted in-flight credit, so an arbitrarily long plan never has
+        more than ``max_inflight`` results resident at once.
+        ``initializer``/``initargs`` run once per worker process (and once
+        in this process for the in-process mode) — the same hook
+        :class:`~repro.parallel.pool.WorkerPool` offers.
+        """
+        stats = PipelineStats()
+        self.last_stats = stats
+        iterator = iter(tasks)
+        if self._workers == 0 or not process_pools_available():
+            self._run_in_process(fn, iterator, consumer, initializer, initargs, stats)
+        else:
+            self._run_pool(fn, iterator, consumer, initializer, initargs, stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # execution modes
+    # ------------------------------------------------------------------ #
+    def _run_in_process(
+        self,
+        fn: Callable[[Task], Result],
+        iterator: Iterator[Task],
+        consumer: Callable[[Result], None],
+        initializer: Optional[Callable[..., None]],
+        initargs: Tuple,
+        stats: PipelineStats,
+    ) -> None:
+        stats.execution_mode = "in-process"
+        if initializer is not None:
+            initializer(*initargs)
+        for task in iterator:
+            stats.tasks += 1
+            stats.peak_inflight = max(stats.peak_inflight, 1)
+            consumer(fn(task))
+            stats.committed += 1
+
+    def _run_pool(
+        self,
+        fn: Callable[[Task], Result],
+        iterator: Iterator[Task],
+        consumer: Callable[[Result], None],
+        initializer: Optional[Callable[..., None]],
+        initargs: Tuple,
+        stats: PipelineStats,
+    ) -> None:
+        stats.execution_mode = "pipelined-pool"
+        next_commit = 0  # next task index owed to the consumer
+        inflight: Dict[Future[Result], int] = {}
+        ready: Dict[int, Result] = {}  # completed out-of-order results
+        pending_tasks: Dict[int, Task] = {}  # uncommitted task payloads
+        exhausted = False
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=initializer,
+                initargs=initargs,
+            ) as executor:
+                try:
+                    while True:
+                        # Grant credits: keep at most max_inflight tasks
+                        # submitted-but-uncommitted (executing, queued, or
+                        # completed and waiting for a predecessor).
+                        while (
+                            not exhausted
+                            and stats.tasks - stats.committed < self._max_inflight
+                        ):
+                            try:
+                                task = next(iterator)
+                            except StopIteration:
+                                exhausted = True
+                                break
+                            # Count the task before submitting: if submit
+                            # itself dies (broken pool), the recovery math
+                            # below still sees a consistent pending set.
+                            index = stats.tasks
+                            pending_tasks[index] = task
+                            stats.tasks += 1
+                            inflight[executor.submit(fn, task)] = index
+                        stats.peak_inflight = max(
+                            stats.peak_inflight, stats.tasks - stats.committed
+                        )
+                        if not inflight and not ready:
+                            break
+                        if inflight:
+                            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                            for future in done:
+                                ready[inflight.pop(future)] = future.result()
+                        # Commit the contiguous prefix: each commit releases
+                        # a credit, so the submit loop refills immediately.
+                        while next_commit in ready:
+                            result = ready.pop(next_commit)
+                            pending_tasks.pop(next_commit)
+                            consumer(result)
+                            next_commit += 1
+                            stats.committed += 1
+                except BaseException:
+                    # A task (or the consumer) failed: nothing submitted
+                    # after the failure may commit.  Cancel what has not
+                    # started so shutdown does not drain a doomed queue.
+                    for future in inflight:
+                        future.cancel()
+                    raise
+        except BrokenProcessPool:
+            # Pool infrastructure died mid-run (e.g. an OOM-killed worker).
+            # Committed results are final — re-run the uncommitted suffix
+            # (retained task payloads, then the untouched remainder of the
+            # plan) deterministically in this process.  Task exceptions are
+            # NOT caught here: they propagate from future.result() above.
+            suffix = [pending_tasks[index] for index in sorted(pending_tasks)]
+            stats.tasks -= len(suffix)
+            self._run_in_process(
+                fn,
+                itertools.chain(suffix, iterator),
+                consumer,
+                initializer,
+                initargs,
+                stats,
+            )

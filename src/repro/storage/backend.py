@@ -128,6 +128,34 @@ class IOStats:
         }
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of the per-segment support caches (DESIGN.md §9).
+
+    ``row_slide_updates`` counts cached full-window rows carried across a
+    window slide by the segment-delta update (shift out the evicted
+    segment's columns, OR in the appended segment's) instead of being
+    rebuilt from every segment — the counters the pipelined-ingest
+    ablation asserts on.
+    """
+
+    row_hits: int = 0
+    row_misses: int = 0
+    row_slide_updates: int = 0
+    frequent_hits: int = 0
+    frequent_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flatten into a plain dict (used by benchmark reports)."""
+        return {
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_slide_updates": self.row_slide_updates,
+            "frequent_hits": self.frequent_hits,
+            "frequent_misses": self.frequent_misses,
+        }
+
+
 class WindowStore(ABC):
     """Narrow protocol of the segmented sliding-window storage engine.
 
@@ -156,6 +184,13 @@ class WindowStore(ABC):
         self._num_columns = 0
         self._next_segment_id = 0
         self._row_cache: Dict[str, BitVector] = {}
+        # Per-segment support caching (DESIGN.md §9): the canonical item
+        # order and per-minsup frequent-item lists are memoised between
+        # appends, and cached rows survive window slides via segment-delta
+        # updates instead of full-window rebuilds.
+        self._items_cache: Optional[List[str]] = None
+        self._frequent_cache: Dict[int, List[str]] = {}
+        self.cache_stats = CacheStats()
 
     # ------------------------------------------------------------------ #
     # window maintenance
@@ -203,14 +238,46 @@ class WindowStore(ABC):
             self._num_columns -= evicted
             for item, count in evicted_segment.item_counts().items():
                 self._support[item] -= count
+        surviving_columns = self._num_columns  # width between evict and append
         self._segments.append(segment)
         self._next_segment_id += 1
         self._num_columns += segment.num_columns
         for item, count in segment.item_counts().items():
             self._support[item] = self._support.get(item, 0) + count
-        self._row_cache.clear()
+        self._update_row_cache(segment, evicted, surviving_columns)
+        # Support totals changed, so the per-minsup frequent-item lists are
+        # stale; the incremental counters rebuild them on the next miss.
+        self._frequent_cache.clear()
         self._persist(appended=segment, evicted=evicted_segment, payload=payload)
         return evicted
+
+    def _update_row_cache(
+        self, appended: Segment, evicted_columns: int, surviving_columns: int
+    ) -> None:
+        """Carry cached full-window rows across a slide with a segment delta.
+
+        A slide only removes the evicted segment's columns from the front
+        of every row and appends the new segment's local pattern at the
+        back — so a cached row is updated by one shift and one OR instead
+        of being invalidated and rebuilt from all ``w`` segments
+        (DESIGN.md §9).  Items never requested stay uncached and are still
+        materialised lazily on first access; cached rows whose item left
+        the window (support dropped to zero) are evicted rather than
+        carried, which keeps the cache — and the per-append delta cost —
+        bounded by the live window instead of the historical universe.
+        """
+        if not self._row_cache:
+            return
+        new_columns = surviving_columns + appended.num_columns
+        for item in list(self._row_cache):
+            if self._support.get(item, 0) == 0:
+                del self._row_cache[item]  # all-zero row; rebuild lazily
+                continue
+            bits = (self._row_cache[item].bits >> evicted_columns) | (
+                appended.row_bits(item) << surviving_columns
+            )
+            self._row_cache[item] = BitVector(new_columns, bits)
+            self.cache_stats.row_slide_updates += 1
 
     @abstractmethod
     def _persist(
@@ -288,18 +355,31 @@ class WindowStore(ABC):
         return bounds
 
     def items(self) -> List[str]:
-        """Known domain items in canonical (sorted) order."""
-        return sorted(self._support)
+        """Known domain items in canonical (sorted) order (memoised).
+
+        The universe is grow-only, so the cached order is stale exactly
+        when the support map gained a key — a length comparison, not a
+        content comparison, decides whether to re-sort.
+        """
+        if self._items_cache is None or len(self._items_cache) != len(self._support):
+            self._items_cache = sorted(self._support)
+        return list(self._items_cache)
 
     # ------------------------------------------------------------------ #
     # rows and frequencies
     # ------------------------------------------------------------------ #
     def row(self, item: str) -> BitVector:
-        """The full-window bit vector of ``item`` (lazily built and cached)."""
+        """The full-window bit vector of ``item`` (lazily built and cached).
+
+        Cached rows survive window slides: :meth:`_update_row_cache`
+        applies the slide as a segment delta, so a row is only ever
+        assembled from all segments on its *first* access.
+        """
         if item not in self._support:
             raise DSMatrixError(f"unknown item {item!r}")
         cached = self._row_cache.get(item)
         if cached is None:
+            self.cache_stats.row_misses += 1
             bits = 0
             offset = 0
             for segment in self._segments:
@@ -307,6 +387,8 @@ class WindowStore(ABC):
                 offset += segment.num_columns
             cached = BitVector(self._num_columns, bits)
             self._row_cache[item] = cached
+        else:
+            self.cache_stats.row_hits += 1
         return cached
 
     def rows(self) -> Dict[str, BitVector]:
@@ -325,8 +407,20 @@ class WindowStore(ABC):
         return Counter(dict(self._support))
 
     def frequent_items(self, minsup: int) -> List[str]:
-        """Items with window frequency >= ``minsup``, in canonical order."""
-        return [item for item in self.items() if self._support[item] >= minsup]
+        """Items with window frequency >= ``minsup``, in canonical order.
+
+        Memoised per ``minsup`` until the next append: repeated calls on
+        an unchanged window (the hot first step of every mining run) are
+        a cache hit instead of a scan over the item universe.
+        """
+        cached = self._frequent_cache.get(minsup)
+        if cached is None:
+            self.cache_stats.frequent_misses += 1
+            cached = [item for item in self.items() if self._support[item] >= minsup]
+            self._frequent_cache[minsup] = cached
+        else:
+            self.cache_stats.frequent_hits += 1
+        return list(cached)
 
     # ------------------------------------------------------------------ #
     # transaction reconstruction and projections
@@ -448,6 +542,8 @@ class WindowStore(ABC):
             for item, count in segment.item_counts().items():
                 self._support[item] = self._support.get(item, 0) + count
         self._row_cache.clear()
+        self._items_cache = None
+        self._frequent_cache.clear()
 
     def memory_bits(self) -> int:
         """The paper's accounting: ``m * |T|`` bits for the full matrix."""

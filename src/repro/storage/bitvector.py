@@ -3,8 +3,10 @@
 The vertical mining algorithms (§3.4 and §4) operate on one bit vector per
 edge item: bit ``i`` is set when the item occurs in transaction ``i`` of the
 current sliding window.  Python integers give arbitrary-precision bitwise
-operations and a constant-time ``int.bit_count`` popcount, which keeps the
-implementation compact, exact and fast enough for the benchmark harness.
+operations and a constant-time ``int.bit_count`` popcount (the package
+requires Python >= 3.10, so it is called directly in the hot loops), which
+keeps the implementation compact, exact and fast enough for the benchmark
+harness.
 
 Bit position 0 is the *first* (oldest) transaction column of the window.
 """
@@ -14,14 +16,6 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List
 
 from repro.exceptions import StorageError
-
-
-def _popcount(value: int) -> int:
-    """Portable popcount (``int.bit_count`` exists only on Python >= 3.10)."""
-    try:
-        return value.bit_count()  # type: ignore[attr-defined]
-    except AttributeError:  # pragma: no cover - exercised only on Python 3.9
-        return bin(value).count("1")
 
 
 class BitVector:
@@ -106,7 +100,7 @@ class BitVector:
 
     def count(self) -> int:
         """Number of set bits (the row sum of §3.4)."""
-        return _popcount(self._bits)
+        return self._bits.bit_count()
 
     def positions(self) -> List[int]:
         """Sorted list of set bit positions."""
@@ -185,7 +179,7 @@ class BitVector:
     def intersection_count(self, other: "BitVector") -> int:
         """Popcount of the intersection without materialising it."""
         self._check_compatible(other)
-        return _popcount(self._bits & other._bits)
+        return (self._bits & other._bits).bit_count()
 
     def __and__(self, other: "BitVector") -> "BitVector":
         return self.intersect(other)

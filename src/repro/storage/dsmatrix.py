@@ -33,6 +33,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from repro.exceptions import DSMatrixError
 from repro.storage.backend import (
     STORE_BACKENDS,
+    CacheStats,
     WindowStore,
     create_store,
     load_store,
@@ -195,6 +196,11 @@ class DSMatrix:
     def frequent_items(self, minsup: int) -> List[str]:
         """Items whose window frequency is at least ``minsup`` (canonical order)."""
         return self._store.frequent_items(minsup)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss accounting of the store's support caches (DESIGN.md §9)."""
+        return self._store.cache_stats
 
     def transaction(self, column: int) -> Transaction:
         """Reconstruct the transaction stored in ``column``."""

@@ -12,7 +12,10 @@ to the window.
 A segment is immutable once built.  Its per-item occurrence counts are
 precomputed at construction so the window store can maintain window-wide
 support counters incrementally (add the appended segment's counts, subtract
-the evicted segment's).
+the evicted segment's), and its serialised byte payload is memoised after
+the first :meth:`Segment.to_bytes` call (or seeded by the constructor /
+:meth:`Segment.from_bytes` when the bytes are already known), so repeated
+persistence and handle shipping never re-serialise a sealed segment.
 """
 
 from __future__ import annotations
@@ -34,7 +37,6 @@ from typing import (
 )
 
 from repro.exceptions import DSMatrixError
-from repro.storage.bitvector import _popcount
 from repro.stream.batch import Batch, Transaction
 
 #: Magic prefix of a serialised segment file.
@@ -79,12 +81,20 @@ class Segment:
         Mapping of item symbol to its local bit pattern; bit 0 is the first
         transaction of the batch.  Items with an all-zero pattern may be
         omitted.
+    payload:
+        Optional pre-serialised bytes of this exact segment (the
+        :meth:`to_bytes` output an ingestion worker already produced);
+        seeds the payload cache so the first ``to_bytes`` call is free.
     """
 
-    __slots__ = ("_segment_id", "_num_columns", "_rows", "_counts")
+    __slots__ = ("_segment_id", "_num_columns", "_rows", "_counts", "_payload")
 
     def __init__(
-        self, segment_id: int, num_columns: int, rows: Mapping[str, int]
+        self,
+        segment_id: int,
+        num_columns: int,
+        rows: Mapping[str, int],
+        payload: Optional[bytes] = None,
     ) -> None:
         if num_columns < 0:
             raise DSMatrixError(
@@ -103,8 +113,9 @@ class Segment:
         self._num_columns = num_columns
         self._rows = cleaned
         self._counts: Dict[str, int] = {
-            item: _popcount(bits) for item, bits in cleaned.items()
+            item: bits.bit_count() for item, bits in cleaned.items()
         }
+        self._payload = payload
 
     # ------------------------------------------------------------------ #
     # construction
@@ -169,35 +180,42 @@ class Segment:
     # serialisation
     # ------------------------------------------------------------------ #
     def to_bytes(self) -> bytes:
-        """Serialise to the segment file format.
+        """Serialise to the segment file format (memoised — segments are sealed).
 
         Layout: ``DSEG`` magic, 4-byte little-endian header length, JSON
         header (``segment_id``, ``num_columns``, ``items``, ``stride``), then
         one ``stride``-byte little-endian bit pattern per item in header
         order.  The fixed-stride row block allows :func:`read_segment_row` to
-        seek to a single row without reading the rest.
+        seek to a single row without reading the rest.  The serialisation is
+        a deterministic function of the (immutable) segment, so the bytes
+        are computed once and cached for every later persistence, handle
+        shipping or export.
         """
-        items = self.items()
-        stride = (self._num_columns + 7) // 8
-        header = {
-            "segment_id": self._segment_id,
-            "num_columns": self._num_columns,
-            "items": items,
-            "stride": stride,
-        }
-        return build_envelope(
-            SEGMENT_MAGIC, header, (self._rows[item] for item in items), stride
-        )
+        if self._payload is None:
+            items = self.items()
+            stride = (self._num_columns + 7) // 8
+            header = {
+                "segment_id": self._segment_id,
+                "num_columns": self._num_columns,
+                "items": items,
+                "stride": stride,
+            }
+            self._payload = build_envelope(
+                SEGMENT_MAGIC, header, (self._rows[item] for item in items), stride
+            )
+        return self._payload
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Segment":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes` (the bytes seed the payload cache)."""
         header, offset, stride = _parse_segment_header(data, source="<bytes>")
         rows: Dict[str, int] = {}
         for index, item in enumerate(header["items"]):
             start = offset + index * stride
             rows[item] = int.from_bytes(data[start : start + stride], "little")
-        return cls(header["segment_id"], header["num_columns"], rows)
+        return cls(
+            header["segment_id"], header["num_columns"], rows, payload=bytes(data)
+        )
 
     def write(self, path: Union[str, Path]) -> Path:
         """Write the serialised segment to ``path`` and return it."""

@@ -27,7 +27,17 @@ class TestScaleParameters:
             scale_parameters("huge")
 
     def test_registry_contains_all_experiments(self):
-        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+        assert set(EXPERIMENTS) == {
+            "e1",
+            "e2",
+            "e3",
+            "e4",
+            "e5",
+            "e6",
+            "e7",
+            "e8",
+            "e9",
+        }
 
 
 class TestExperimentDrivers:

@@ -182,6 +182,71 @@ class TestTransactionStreamParity:
             assert window_fingerprint(miner) == window_fingerprint(reference)
 
 
+class TestMaxInflightParity:
+    """Any in-flight bound yields the byte-identical committed window.
+
+    The pipelined executor (DESIGN.md §9) only changes *when* encoded
+    chunks become resident, never what is committed: for every
+    ``ingest_workers`` × ``max_inflight`` combination the segment files,
+    registry state and window fingerprint must equal the sequential path.
+    """
+
+    @pytest.mark.parametrize("workers", (0, 2))
+    @pytest.mark.parametrize("max_inflight", (1, 2, 8))
+    def test_disk_window_byte_identical(self, workers, max_inflight, tmp_path):
+        snapshots = synthetic_snapshots()
+        reference_registry = EdgeRegistry()
+        reference = build_miner("disk", tmp_path / "seq", reference_registry)
+        reference.consume(
+            GraphStream(snapshots, registry=reference_registry, batch_size=15)
+        )
+        label = f"w{workers}m{max_inflight}"
+        registry = EdgeRegistry()
+        miner = build_miner("disk", tmp_path / label, registry)
+        miner.consume(
+            GraphStream(snapshots, registry=registry, batch_size=15),
+            ingest_workers=workers,
+            max_inflight=max_inflight,
+        )
+        assert window_fingerprint(miner) == window_fingerprint(reference)
+        # Registry state: identical symbols assigned to identical edges.
+        assert registry.items() == reference_registry.items()
+        assert [registry.edge_for(item) for item in registry.items()] == [
+            reference_registry.edge_for(item)
+            for item in reference_registry.items()
+        ]
+        assert segment_digests(tmp_path / label / "segments") == segment_digests(
+            tmp_path / "seq" / "segments"
+        ), f"ingest_workers={workers} max_inflight={max_inflight} diverged"
+
+    def test_report_exposes_inflight_accounting(self, tmp_path):
+        from repro.ingest import ingest_transactions
+        from repro.storage.backend import MemoryWindowStore
+
+        store = MemoryWindowStore(3)
+        report = ingest_transactions(
+            store,
+            [("a",), ("b",), ("a", "b")] * 10,
+            batch_size=5,
+            workers=2,
+            max_inflight=2,
+        )
+        assert report.max_inflight == 2
+        assert 1 <= report.peak_inflight <= 2
+        assert report.batches == 6
+
+    def test_invalid_max_inflight_rejected(self, tmp_path):
+        from repro.exceptions import IngestError
+
+        miner = build_miner("memory", tmp_path)
+        with pytest.raises(IngestError):
+            miner.consume(
+                TransactionStream([("a",)], batch_size=1),
+                ingest_workers=0,
+                max_inflight=0,
+            )
+
+
 class TestWindowSemantics:
     def test_eviction_matches_sequential_path(self, tmp_path):
         """Streams longer than the window evict identically under ingestion."""

@@ -104,3 +104,20 @@ class TestRowSeek:
     def test_read_segment_row_missing_file(self, tmp_path):
         with pytest.raises(DSMatrixError):
             read_segment_row(tmp_path / "absent.dsg", "a")
+
+
+class TestPayloadMemoisation:
+    def test_to_bytes_is_memoised(self, abc_segment):
+        first = abc_segment.to_bytes()
+        assert abc_segment.to_bytes() is first  # cached, not re-serialised
+
+    def test_from_bytes_seeds_the_cache(self, abc_segment):
+        data = abc_segment.to_bytes()
+        restored = Segment.from_bytes(data)
+        assert restored.to_bytes() == data
+
+    def test_constructor_payload_seeds_the_cache(self):
+        reference = Segment(4, 2, {"a": 0b01, "b": 0b11})
+        payload = reference.to_bytes()
+        seeded = Segment(4, 2, {"a": 0b01, "b": 0b11}, payload=payload)
+        assert seeded.to_bytes() is payload
