@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Pattern history: journal every window slide, then ask "since when?".
+
+A drifting transaction stream is watched with :meth:`StreamSubgraphMiner.watch`:
+after every batch commit the fresh window is mined and the per-slide answer is
+sealed into an append-only pattern journal (DESIGN.md §10).  The journal's
+index then answers the questions the one-shot miner cannot — how a pattern's
+support evolved over the stream, when it first became frequent, and what was
+on top at any past slide.
+
+Run with::
+
+    python examples/pattern_history.py
+"""
+
+from repro import StreamSubgraphMiner, TransactionStream
+from repro.history import JournalIndex, MemoryJournal
+
+
+def drifting_stream():
+    """A stream whose hot pattern changes halfway through.
+
+    The first half is dominated by the pair (login, search); the second
+    half shifts to (login, checkout) — the shape of a traffic drift a
+    production deployment would want to detect from history.
+    """
+    early = [
+        ("login", "search"),
+        ("login", "search", "browse"),
+        ("browse",),
+        ("login", "search"),
+    ] * 5
+    late = [
+        ("login", "checkout"),
+        ("login", "checkout", "pay"),
+        ("pay",),
+        ("login", "checkout"),
+    ] * 5
+    return early + late
+
+
+def main() -> None:
+    journal = MemoryJournal()
+    miner = StreamSubgraphMiner(
+        window_size=3, batch_size=5, algorithm="vertical", on_slide=journal.append
+    )
+    report = miner.watch(
+        TransactionStream(drifting_stream(), batch_size=5),
+        minsup=3,
+        connected_only=False,
+    )
+    print(
+        f"watched the stream: {report.slides} window slides journalled, "
+        f"{report.last_record.pattern_count} patterns frequent at the end"
+    )
+
+    index = JournalIndex.from_journal(journal)
+
+    # Support over time: the old hot pair fades, the new one takes over.
+    for pair in (("login", "search"), ("login", "checkout")):
+        curve = index.support_history(pair)
+        rendered = " ".join(f"{support:2d}" for _, support in curve)
+        print(f"support of {pair}: {rendered}")
+
+    # Provenance: when did the new pattern become frequent, and until when
+    # did the old one last appear?
+    drift_in = index.first_frequent(("login", "checkout"))
+    drift_out = index.last_frequent(("login", "search"))
+    print(f"(login, checkout) first became frequent at slide {drift_in}")
+    print(f"(login, search) was last frequent at slide {drift_out}")
+
+    # Top of the final window vs the top while the window was still early.
+    first_top = index.top_k(1, slide_id=1)[0]
+    last_top = index.top_k(1)[0]
+    print(f"top pattern at slide 1: {first_top[1]} (support {first_top[2]})")
+    print(f"top pattern at the last slide: {last_top[1]} (support {last_top[2]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -693,6 +693,174 @@ def experiment_pipelined_ingest(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E10 — pattern-history journal overhead + query throughput
+# ---------------------------------------------------------------------- #
+def experiment_journal_history(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    seed: int = 42,
+    reader_threads: int = 4,
+    queries_per_thread: int = 50,
+    seeds_checked: int = 25,
+    output_path: Optional[Union[str, Path]] = "BENCH_e10.json",
+) -> Dict[str, object]:
+    """Ablation of the pattern-history subsystem (DESIGN.md §10).
+
+    Three questions are measured on the same stream:
+
+    * **write overhead** — the same ``watch`` run (mine at every slide)
+      with no sink, with a memory journal and with a disk journal; the
+      ``overhead_ratio`` column is disk-journal wall-clock over no-sink
+      wall-clock (the journal's serialisation + persistence tax, budgeted
+      at <= 10% by the acceptance bar);
+    * **determinism** — ``journal_identical`` asserts the sealed record
+      bytes are identical between ``ingest_workers=0`` and a pipelined
+      2-worker run (the §10 parity guarantee);
+    * **query throughput under concurrent readers** —
+      ``reader_threads`` threads fire index-backed queries against the
+      shared :class:`~repro.history.query.JournalIndex` (the exact object
+      the HTTP front end shares across its handler threads);
+      ``index_matches_bruteforce`` cross-checks a sample of the answers
+      against a full journal scan.
+
+    Like E7-E9, the outcome is written to ``output_path``
+    (``BENCH_e10.json`` by default, pass ``None`` to skip) for the CI
+    artifact and the nightly regression gate.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.history.journal import DiskJournal, MemoryJournal, SlideRecord
+    from repro.history.query import (
+        JournalIndex,
+        brute_force_sub_patterns,
+        brute_force_super_patterns,
+        brute_force_support_history,
+    )
+
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+
+    def run_watch(sink, ingest_workers: Optional[int] = None) -> Tuple[int, float]:
+        miner = StreamSubgraphMiner(
+            window_size=workload.window_size,
+            batch_size=workload.batch_size,
+            algorithm="vertical",
+            on_slide=sink,
+        )
+        with Timer() as timer:
+            report = miner.watch(
+                TransactionStream(workload.transactions, batch_size=workload.batch_size),
+                support,
+                connected_only=False,
+                ingest_workers=ingest_workers,
+            )
+        return report.slides, timer.elapsed
+
+    rows: List[Dict[str, object]] = []
+    slides, no_sink_s = run_watch(None)
+    rows.append({"mode": "no-journal", "slides": slides, "watch_s": round(no_sink_s, 4)})
+
+    memory_journal = MemoryJournal()
+    slides, memory_s = run_watch(memory_journal.append)
+    rows.append(
+        {
+            "mode": "memory-journal",
+            "slides": slides,
+            "watch_s": round(memory_s, 4),
+            "overhead_ratio": round(memory_s / no_sink_s, 3) if no_sink_s else None,
+        }
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        disk_journal = DiskJournal(Path(tmp) / "journal")
+        slides, disk_s = run_watch(disk_journal.append)
+        rows.append(
+            {
+                "mode": "disk-journal",
+                "slides": slides,
+                "watch_s": round(disk_s, 4),
+                "overhead_ratio": round(disk_s / no_sink_s, 3) if no_sink_s else None,
+                "journal_kb": round(disk_journal.disk_size_bytes() / 1024.0, 1),
+            }
+        )
+
+    # Determinism: pipelined 2-worker ingestion seals identical record bytes.
+    parallel_journal = MemoryJournal()
+    run_watch(parallel_journal.append, ingest_workers=2)
+    journal_identical = [record.to_bytes() for record in parallel_journal] == [
+        record.to_bytes() for record in memory_journal
+    ]
+
+    # Query throughput: concurrent readers over the shared immutable index.
+    index = JournalIndex.from_journal(memory_journal)
+    records: Tuple[SlideRecord, ...] = memory_journal.records()
+    universe = index.items() or ["_"]
+
+    def query_args(offset: int) -> List[Tuple[str, ...]]:
+        return [
+            (
+                universe[(offset + position) % len(universe)],
+                universe[(offset + 2 * position + 1) % len(universe)],
+            )
+            for position in range(queries_per_thread)
+        ]
+
+    index_ok = True
+    for kind, indexed, brute in (
+        ("super", index.super_patterns, brute_force_super_patterns),
+        ("sub", index.sub_patterns, brute_force_sub_patterns),
+        ("support-history", index.support_history, brute_force_support_history),
+    ):
+        # Cross-check a sample against the brute-force scan first ...
+        for items in query_args(0)[:seeds_checked]:
+            if kind == "support-history":
+                if indexed(items) != brute(records, items):
+                    index_ok = False
+            elif sorted(indexed(items)) != sorted(brute(records, items)):
+                index_ok = False
+
+        # ... then measure the indexed path under concurrent readers.
+        def worker(offset: int) -> int:
+            answered = 0
+            for items in query_args(offset):
+                indexed(items)
+                answered += 1
+            return answered
+
+        with Timer() as timer:
+            with ThreadPoolExecutor(max_workers=reader_threads) as pool:
+                answered = sum(pool.map(worker, range(reader_threads)))
+        rows.append(
+            {
+                "query": kind,
+                "threads": reader_threads,
+                "queries": answered,
+                "query_total_s": round(timer.elapsed, 4),
+                "queries_per_s": round(answered / timer.elapsed, 1)
+                if timer.elapsed
+                else None,
+            }
+        )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E10-journal-history",
+        "workload": workload.name,
+        "minsup": support,
+        "reader_threads": reader_threads,
+        "rows": rows,
+        "journal_identical": journal_identical,
+        "index_matches_bruteforce": index_ok,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -704,4 +872,5 @@ EXPERIMENTS = {
     "e7": experiment_strong_scaling,
     "e8": experiment_ingest_scaling,
     "e9": experiment_pipelined_ingest,
+    "e10": experiment_journal_history,
 }

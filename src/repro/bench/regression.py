@@ -39,6 +39,8 @@ BOOLEAN_KEYS = (
     "ingest_identical",
     "pipeline_identical",
     "inflight_bounded",
+    "journal_identical",
+    "index_matches_bruteforce",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).
@@ -47,6 +49,8 @@ RUNTIME_KEYS = (
     "ingest_s",
     "mine_runtime_s",
     "total_runtime_s",
+    "watch_s",
+    "query_total_s",
 )
 
 #: Row fields excluded from the identity key (volatile measurements).
@@ -60,6 +64,9 @@ VOLATILE_KEYS = RUNTIME_KEYS + (
     "disk_kb",
     "max_concurrent_fptrees",
     "max_fptree_nodes",
+    "overhead_ratio",
+    "journal_kb",
+    "queries_per_s",
 )
 
 #: Top-level outcome keys excluded from comparison entirely.

@@ -12,9 +12,21 @@ Subcommands
     Mine a FIMI transaction file with a sliding window and one of the five
     algorithms, optionally sharded over worker processes — ``--workers``
     parallelises the mining, ``--ingest-workers`` the stream → window
-    ingestion.
+    ingestion; ``--stats`` appends a cache/pipeline summary.
+``watch``
+    Mine a FIMI stream continuously — after every batch commit the fresh
+    window is mined and the per-slide answer is sealed into an append-only
+    pattern journal (DESIGN.md §10).
+``query``
+    Run one query (support history, sub/super-pattern match, top-k,
+    first/last-frequent provenance, stats) against a journal directory.
+``serve``
+    Expose a journal over HTTP (``/patterns``, ``/history``, ``/topk``,
+    ``/stats``) from a threaded stdlib server.
 ``bench``
-    Run one of the paper's experiments (e1-e9) and print its table.
+    Run one of the paper's experiments (e1-e10) and print its table;
+    ``--baseline`` compares the outcome against a committed
+    ``BENCH_*.json`` with the nightly regression gate.
 
 Run ``python -m repro --help`` for the full option reference.
 """
@@ -28,6 +40,7 @@ from typing import Optional, Sequence
 
 from repro import __version__
 from repro.bench.experiments import EXPERIMENTS
+from repro.bench.regression import compare_outcomes
 from repro.bench.report import format_table
 from repro.core.algorithms import ALGORITHMS
 from repro.core.export import result_to_csv, result_to_json
@@ -37,7 +50,10 @@ from repro.datasets.fimi import read_fimi, write_fimi
 from repro.datasets.paper_example import paper_example_batches, paper_example_registry
 from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
 from repro.datasets.synthetic import IBMSyntheticGenerator
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, HistoryError, ServiceError
+from repro.history.journal import DiskJournal, open_journal
+from repro.service.api import QUERY_KINDS, HistoryService
+from repro.service.server import serve_journal
 from repro.storage.backend import STORE_BACKENDS
 from repro.stream.stream import TransactionStream
 
@@ -79,16 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=42, help="random seed")
 
     mine = subparsers.add_parser("mine", help="mine a FIMI transaction file")
-    mine.add_argument("input", help="FIMI file to read")
-    mine.add_argument("--minsup", type=float, default=0.1, help="absolute or relative minsup")
-    mine.add_argument("--batch-size", type=int, default=1000, help="transactions per batch")
-    mine.add_argument("--window", type=int, default=5, help="window size in batches")
-    mine.add_argument(
-        "--algorithm",
-        choices=sorted(ALGORITHMS),
-        default="vertical",
-        help="mining algorithm to use",
-    )
+    _add_stream_options(mine)
     mine.add_argument(
         "--storage",
         choices=STORE_BACKENDS,
@@ -107,39 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
             "the segmented layout, a file for the legacy single-file layout"
         ),
     )
-    mine.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help=(
-            "worker processes for sharded mining (0 = sequential in-process, "
-            "the default; N >= 1 partitions the search space over N processes "
-            "and merges the shards into the identical pattern set)"
-        ),
-    )
-    mine.add_argument(
-        "--ingest-workers",
-        type=int,
-        default=0,
-        help=(
-            "worker processes for sharded stream ingestion (0 = sequential "
-            "in-process, the default; N >= 1 parses and materialises batch "
-            "segments on N processes while a single writer commits them in "
-            "stream order — the window is identical either way)"
-        ),
-    )
-    mine.add_argument(
-        "--max-inflight",
-        type=int,
-        default=None,
-        help=(
-            "bound on concurrently in-flight (submitted-but-uncommitted) "
-            "chunks/shards in the pipelined executor (default: 2x the "
-            "worker count, minimum 1); any value produces the identical "
-            "window and pattern set — it only trades peak memory against "
-            "encode/commit overlap"
-        ),
-    )
+    _add_parallel_options(mine)
     mine.add_argument("--top", type=int, default=20, help="number of patterns to print")
     mine.add_argument(
         "--all-collections",
@@ -157,6 +132,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the formatted patterns to this file instead of stdout",
     )
+    mine.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "append a summary of the window store's support-cache counters "
+            "and (under --ingest-workers) the ingestion pipeline report"
+        ),
+    )
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="mine a FIMI stream continuously, journalling every window slide",
+    )
+    _add_stream_options(watch)
+    _add_parallel_options(watch)
+    watch.add_argument(
+        "--journal",
+        required=True,
+        help="directory the pattern journal is written to (appends resume it)",
+    )
+    watch.add_argument(
+        "--all-collections",
+        action="store_true",
+        help="journal all frequent edge collections (skip the connectivity filter)",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="run one query against a pattern journal"
+    )
+    query.add_argument("journal", help="journal directory written by `repro watch`")
+    query.add_argument(
+        "--query",
+        choices=QUERY_KINDS,
+        default="stats",
+        help="query kind (sub/super/exact pattern match, support history, "
+        "top-k, first/last-frequent provenance, or journal stats)",
+    )
+    query.add_argument(
+        "--items",
+        default=None,
+        help="comma-separated itemset the query is about (e.g. --items a,b)",
+    )
+    query.add_argument(
+        "--slide", type=int, default=None, help="restrict the query to one slide id"
+    )
+    query.add_argument("-k", type=int, default=10, help="result size for --query topk")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a pattern journal over HTTP (JSON endpoints)"
+    )
+    serve.add_argument("journal", help="journal directory written by `repro watch`")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="TCP port (0 = ephemeral)")
 
     bench = subparsers.add_parser("bench", help="run one of the paper's experiments")
     bench.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -164,8 +192,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("tiny", "small", "paper"), default="small", help="workload size"
     )
     bench.add_argument("--json", action="store_true", help="print raw JSON instead of a table")
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "compare the outcome against a committed BENCH_*.json baseline "
+            "with the nightly regression gate (run at the scale the "
+            "baseline was recorded at — tiny for benchmarks/baselines/)"
+        ),
+    )
 
     return parser
+
+
+def _add_stream_options(parser: argparse.ArgumentParser) -> None:
+    """Input/window/algorithm options shared by ``mine`` and ``watch``."""
+    parser.add_argument("input", help="FIMI file to read")
+    parser.add_argument(
+        "--minsup", type=float, default=0.1, help="absolute or relative minsup"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1000, help="transactions per batch"
+    )
+    parser.add_argument("--window", type=int, default=5, help="window size in batches")
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="vertical",
+        help="mining algorithm to use",
+    )
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    """Worker/pipelining options shared by ``mine`` and ``watch``."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for sharded mining (0 = sequential in-process, "
+            "the default; N >= 1 partitions the search space over N processes "
+            "and merges the shards into the identical pattern set)"
+        ),
+    )
+    parser.add_argument(
+        "--ingest-workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for sharded stream ingestion (0 = sequential "
+            "in-process, the default; N >= 1 parses and materialises batch "
+            "segments on N processes while a single writer commits them in "
+            "stream order — the window is identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help=(
+            "bound on concurrently in-flight (submitted-but-uncommitted) "
+            "chunks/shards in the pipelined executor (default: 2x the "
+            "worker count, minimum 1); any value produces the identical "
+            "window and pattern set — it only trades peak memory against "
+            "encode/commit overlap"
+        ),
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -208,25 +300,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_mine(args: argparse.Namespace) -> int:
+def _read_transactions(path: str):
+    """Read a FIMI file → (transactions, None) or (None, exit code)."""
     try:
-        transactions = read_fimi(args.input)
+        return read_fimi(path), None
     except (DatasetError, OSError, UnicodeDecodeError) as exc:
         print(f"error: cannot read input file: {exc}", file=sys.stderr)
-        return EXIT_INPUT_ERROR
-    if args.storage in ("disk", "single") and args.storage_path is None:
-        print(
-            f"error: --storage {args.storage} requires --storage-path",
-            file=sys.stderr,
-        )
-        return EXIT_USAGE_ERROR
-    if args.storage == "memory" and args.storage_path is not None:
-        print(
-            "error: --storage memory does not persist anything; drop "
-            "--storage-path or pick --storage disk/single",
-            file=sys.stderr,
-        )
-        return EXIT_USAGE_ERROR
+        return None, EXIT_INPUT_ERROR
+
+
+def _validate_parallel_flags(args: argparse.Namespace) -> Optional[int]:
+    """Shared --workers/--ingest-workers/--max-inflight checks → exit code."""
     for flag, value in (("--workers", args.workers), ("--ingest-workers", args.ingest_workers)):
         if value < 0:
             print(
@@ -240,6 +324,55 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE_ERROR
+    return None
+
+
+def _connectivity_for(args: argparse.Namespace) -> bool:
+    """Whether a FIMI-driven run can (and should) keep the connectivity filter.
+
+    Connectivity needs edge semantics; FIMI files carry bare items, so
+    default to reporting all collections unless the direct algorithm
+    (which requires a registry anyway) was requested.
+    """
+    if args.all_collections:
+        return False
+    return args.algorithm == "vertical_direct"
+
+
+def _print_stats(miner: StreamSubgraphMiner) -> None:
+    """The --stats summary: support-cache counters + pipeline report."""
+    cache = miner.matrix.cache_stats.as_dict()
+    print("cache: " + " ".join(f"{key}={value}" for key, value in cache.items()))
+    report = miner.last_ingest_report
+    if report is not None:
+        print(
+            f"pipeline: chunks={report.chunks} batches={report.batches} "
+            f"ingest_workers={report.workers} mode={report.execution_mode} "
+            f"peak_inflight={report.peak_inflight} "
+            f"max_inflight={report.max_inflight}"
+        )
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    transactions, error = _read_transactions(args.input)
+    if error is not None:
+        return error
+    if args.storage in ("disk", "single") and args.storage_path is None:
+        print(
+            f"error: --storage {args.storage} requires --storage-path",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
+    if args.storage == "memory" and args.storage_path is not None:
+        print(
+            "error: --storage memory does not persist anything; drop "
+            "--storage-path or pick --storage disk/single",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
+    error = _validate_parallel_flags(args)
+    if error is not None:
+        return error
     miner = StreamSubgraphMiner(
         window_size=args.window,
         batch_size=args.batch_size,
@@ -256,15 +389,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     else:
         miner.add_transactions(transactions)
     minsup = args.minsup if args.minsup < 1 else int(args.minsup)
-    connected = not args.all_collections
-    if connected and args.algorithm != "vertical_direct":
-        # Connectivity needs edge semantics; FIMI files carry bare items, so
-        # default to reporting all collections unless the direct algorithm
-        # (which requires a registry anyway) was requested.
-        connected = False
     result = miner.mine(
         minsup,
-        connected_only=connected,
+        connected_only=_connectivity_for(args),
         workers=args.workers,
         max_inflight=args.max_inflight,
     )
@@ -288,6 +415,94 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(f"wrote {len(result)} patterns to {args.output}")
     else:
         print(rendered)
+    if args.stats:
+        _print_stats(miner)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    transactions, error = _read_transactions(args.input)
+    if error is not None:
+        return error
+    error = _validate_parallel_flags(args)
+    if error is not None:
+        return error
+    try:
+        journal = DiskJournal(args.journal)
+    except HistoryError as exc:
+        print(f"error: cannot open journal: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    miner = StreamSubgraphMiner(
+        window_size=args.window,
+        batch_size=args.batch_size,
+        algorithm=args.algorithm,
+        on_slide=journal.append,
+    )
+    minsup = args.minsup if args.minsup < 1 else int(args.minsup)
+    try:
+        report = miner.watch(
+            TransactionStream(transactions, batch_size=args.batch_size),
+            minsup,
+            connected_only=_connectivity_for(args),
+            workers=args.workers,
+            ingest_workers=args.ingest_workers if args.ingest_workers > 0 else None,
+            max_inflight=args.max_inflight,
+        )
+    except HistoryError as exc:
+        # Typically: re-watching into a journal that already holds slides
+        # (slide ids restart at 0, breaking the append-only order).
+        print(f"error: cannot journal this stream: {exc}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    finally:
+        journal.close()
+    last = report.last_record
+    if last is None:
+        print(f"journalled 0 slides to {journal.path} (empty stream)")
+        return 0
+    print(
+        f"journalled {report.slides} slides to {journal.path} "
+        f"({len(journal)} records total, {last.pattern_count} patterns at "
+        f"slide {last.slide_id}, minsup={last.minsup})"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    try:
+        journal = open_journal(args.journal)
+    except HistoryError as exc:
+        print(f"error: cannot open journal: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    items = (
+        [item for item in args.items.split(",") if item]
+        if args.items is not None
+        else None
+    )
+    try:
+        payload = HistoryService(journal).run_query(
+            args.query, items=items, slide=args.slide, k=args.k
+        )
+    except (HistoryError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    def announce(server) -> None:
+        host, port = server.server_address[0], server.server_address[1]
+        print(
+            f"serving pattern history of {args.journal} on http://{host}:{port} "
+            f"(endpoints: /patterns /history /topk /stats; Ctrl-C to stop)",
+            flush=True,
+        )
+
+    try:
+        serve_journal(args.journal, host=args.host, port=args.port, on_bound=announce)
+    except HistoryError as exc:
+        print(f"error: cannot open journal: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
     return 0
 
 
@@ -296,13 +511,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     outcome = driver(scale=args.scale)
     if args.json:
         print(json.dumps(outcome, indent=2, default=str))
+    else:
+        rows = outcome.get("rows", [])
+        print(format_table(rows, title=str(outcome.get("experiment", args.experiment))))
+        for key, value in outcome.items():
+            if key in ("rows", "results"):
+                continue
+            print(f"{key}: {value}")
+    if args.baseline is None:
         return 0
-    rows = outcome.get("rows", [])
-    print(format_table(rows, title=str(outcome.get("experiment", args.experiment))))
-    for key, value in outcome.items():
-        if key in ("rows", "results"):
-            continue
-        print(f"{key}: {value}")
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+        return EXIT_INPUT_ERROR
+    failures = compare_outcomes(baseline, outcome, label=args.experiment)
+    if failures:
+        print(f"{len(failures)} regression(s) against {args.baseline}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    # stderr so that --json --baseline keeps stdout machine-readable.
+    print(f"baseline check: within budget of {args.baseline}", file=sys.stderr)
     return 0
 
 
@@ -314,6 +545,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "demo": _cmd_demo,
         "generate": _cmd_generate,
         "mine": _cmd_mine,
+        "watch": _cmd_watch,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

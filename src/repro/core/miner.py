@@ -18,8 +18,10 @@ Typical usage::
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.core.algorithms import ALGORITHMS, get_algorithm
 from repro.core.algorithms.base import MiningAlgorithm, resolve_minsup
@@ -27,6 +29,7 @@ from repro.core.patterns import MiningResult
 from repro.core.postprocess import filter_connected_patterns
 from repro.exceptions import MiningError, StreamError
 from repro.graph.edge_registry import EdgeRegistry
+from repro.history.journal import SlideRecord
 from repro.ingest.api import (
     IngestReport,
     ingest_batches,
@@ -39,6 +42,23 @@ from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
 from repro.stream.batch import Batch
 from repro.stream.stream import GraphStream, TransactionStream
+
+#: A per-slide sink: receives the sealed record of every window slide.
+SlideSink = Callable[[SlideRecord], None]
+
+
+@dataclass(frozen=True)
+class WatchReport:
+    """What one :meth:`StreamSubgraphMiner.watch` run did."""
+
+    #: Window slides mined (= batches committed during the watch).
+    slides: int
+    #: Transaction columns in the window when the stream ended.
+    columns: int
+    #: The minsup the watch was configured with (absolute or relative).
+    minsup: float
+    #: The last sealed record, or ``None`` for an empty stream.
+    last_record: Optional[SlideRecord]
 
 
 class StreamSubgraphMiner:
@@ -69,6 +89,11 @@ class StreamSubgraphMiner:
         O(batch) I/O per append), ``"single"`` (legacy whole-file mirror at
         ``storage_path``, the default when only a path is given) or a
         pre-built :class:`~repro.storage.backend.WindowStore`.
+    on_slide:
+        Optional per-slide sink (e.g. ``journal.append``): during
+        :meth:`watch` runs it receives one sealed
+        :class:`~repro.history.journal.SlideRecord` per window slide.
+        Further sinks can be attached with :meth:`add_slide_sink`.
     """
 
     def __init__(
@@ -80,6 +105,7 @@ class StreamSubgraphMiner:
         item_universe: Optional[Sequence[str]] = None,
         storage_path: Optional[Union[str, Path]] = None,
         storage: Optional[Union[str, WindowStore]] = None,
+        on_slide: Optional[SlideSink] = None,
     ) -> None:
         if batch_size <= 0:
             raise StreamError(f"batch_size must be positive, got {batch_size}")
@@ -94,6 +120,10 @@ class StreamSubgraphMiner:
         self._pending: list = []
         self._batches_consumed = 0
         self._algorithm = self._resolve_algorithm(algorithm)
+        self._slide_sinks: List[SlideSink] = []
+        if on_slide is not None:
+            self._slide_sinks.append(on_slide)
+        self._last_ingest_report: Optional[IngestReport] = None
 
     @staticmethod
     def _resolve_algorithm(algorithm: Union[str, MiningAlgorithm]) -> MiningAlgorithm:
@@ -153,6 +183,27 @@ class StreamSubgraphMiner:
     def pending_transaction_count(self) -> int:
         """Buffered transactions not yet flushed into a batch."""
         return len(self._pending)
+
+    @property
+    def last_ingest_report(self) -> Optional[IngestReport]:
+        """The report of the most recent parallel-ingest ``consume``/``watch``.
+
+        ``None`` until a stream has been routed through the ingestion
+        pipeline (``ingest_workers`` given); sequential feeding does not
+        produce a report.
+        """
+        return self._last_ingest_report
+
+    @property
+    def slide_sinks(self) -> Sequence[SlideSink]:
+        """The attached per-slide sinks (notified by :meth:`watch`)."""
+        return tuple(self._slide_sinks)
+
+    def add_slide_sink(self, sink: SlideSink) -> None:
+        """Attach one more per-slide sink (e.g. a second journal backend)."""
+        if not callable(sink):
+            raise MiningError(f"a slide sink must be callable, got {sink!r}")
+        self._slide_sinks.append(sink)
 
     # ------------------------------------------------------------------ #
     # feeding the stream
@@ -242,6 +293,7 @@ class StreamSubgraphMiner:
         stream: Union[GraphStream, TransactionStream, Iterable[Batch]],
         ingest_workers: int,
         max_inflight: Optional[int] = None,
+        on_batch_committed: Optional[Callable[[], None]] = None,
     ) -> None:
         """Route one stream through the parallel ingestion pipeline."""
         self.flush_pending()
@@ -256,6 +308,7 @@ class StreamSubgraphMiner:
                 workers=ingest_workers,
                 register_new_edges=stream.register_new_edges,
                 max_inflight=max_inflight,
+                on_batch_committed=on_batch_committed,
             )
         elif isinstance(stream, TransactionStream):
             report = ingest_transactions(
@@ -265,12 +318,149 @@ class StreamSubgraphMiner:
                 workers=ingest_workers,
                 drop_last=stream.drop_last,
                 max_inflight=max_inflight,
+                on_batch_committed=on_batch_committed,
             )
         else:
             report = ingest_batches(
-                store, stream, workers=ingest_workers, max_inflight=max_inflight
+                store,
+                stream,
+                workers=ingest_workers,
+                max_inflight=max_inflight,
+                on_batch_committed=on_batch_committed,
             )
         self._batches_consumed += report.batches
+        self._last_ingest_report = report
+
+    # ------------------------------------------------------------------ #
+    # watching: mine-at-every-slide with per-slide sinks (DESIGN.md §10)
+    # ------------------------------------------------------------------ #
+    def watch(
+        self,
+        stream: Union[GraphStream, TransactionStream, Iterable[Batch]],
+        minsup: float,
+        connected_only: bool = True,
+        rule: str = "exact",
+        algorithm: Optional[Union[str, MiningAlgorithm]] = None,
+        workers: int = 0,
+        ingest_workers: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+    ) -> WatchReport:
+        """Consume a stream, mining the window after **every** batch commit.
+
+        This is the continuous-mining entry point behind ``repro watch``:
+        each committed batch slides the window, the fresh window is mined
+        with ``minsup``, and the per-slide answer is sealed into a
+        :class:`~repro.history.journal.SlideRecord` handed to every
+        attached slide sink (typically a pattern journal's ``append``).
+
+        Parameters mirror :meth:`consume` (``ingest_workers``/
+        ``max_inflight`` route the stream through the parallel ingestion
+        pipeline) and :meth:`mine` (``connected_only``/``rule``/
+        ``algorithm``/``workers``).  Under parallel ingestion the mining
+        runs inside the single-writer commit hook, in strict stream order,
+        while workers keep encoding later batches — so the sealed records
+        (and a disk journal's bytes) are identical for every
+        ``workers × ingest_workers × max_inflight`` combination.
+        """
+        self.flush_pending()
+        report_slides = 0
+        last_record: Optional[SlideRecord] = None
+
+        def slide() -> None:
+            nonlocal report_slides, last_record
+            last_record = self._emit_slide(
+                minsup,
+                connected_only=connected_only,
+                rule=rule,
+                algorithm=algorithm,
+                workers=workers,
+                max_inflight=max_inflight,
+            )
+            report_slides += 1
+
+        if ingest_workers is not None:
+            if isinstance(stream, GraphStream) and stream.registry is not self._registry:
+                raise StreamError(
+                    "the GraphStream must share the miner's EdgeRegistry; "
+                    "pass registry=miner.registry when building the stream"
+                )
+            self._consume_with_ingest_workers(
+                stream,
+                ingest_workers,
+                max_inflight=max_inflight,
+                on_batch_committed=slide,
+            )
+        else:
+            for batch in self._sequential_batches(stream):
+                self.add_batch(batch)
+                slide()
+        return WatchReport(
+            slides=report_slides,
+            columns=self._matrix.num_columns,
+            minsup=minsup,
+            last_record=last_record,
+        )
+
+    def _sequential_batches(
+        self, stream: Union[GraphStream, TransactionStream, Iterable[Batch]]
+    ) -> Iterable[Batch]:
+        """One stream as a batch iterable (the sequential consume semantics)."""
+        if isinstance(stream, GraphStream):
+            if stream.registry is not self._registry:
+                raise StreamError(
+                    "the GraphStream must share the miner's EdgeRegistry; "
+                    "pass registry=miner.registry when building the stream"
+                )
+            return stream.batches()
+        if isinstance(stream, TransactionStream):
+            return stream.batches()
+
+        def checked() -> Iterable[Batch]:
+            for batch in stream:
+                if not isinstance(batch, Batch):
+                    raise StreamError(
+                        f"expected Batch instances, got {type(batch).__name__}"
+                    )
+                yield batch
+
+        return checked()
+
+    def _emit_slide(
+        self,
+        minsup: float,
+        connected_only: bool,
+        rule: str,
+        algorithm: Optional[Union[str, MiningAlgorithm]],
+        workers: int,
+        max_inflight: Optional[int],
+    ) -> SlideRecord:
+        """Mine the current window once and seal + emit its slide record."""
+        started = time.perf_counter()
+        absolute = resolve_minsup(minsup, self._matrix.num_columns)
+        result = self.mine(
+            absolute,
+            connected_only=connected_only,
+            rule=rule,
+            algorithm=algorithm,
+            workers=workers,
+            max_inflight=max_inflight,
+        )
+        elapsed = time.perf_counter() - started
+        segments = self._matrix.segments()
+        record = SlideRecord(
+            slide_id=segments[-1].segment_id,
+            first_batch=segments[0].segment_id,
+            last_batch=segments[-1].segment_id,
+            num_columns=self._matrix.num_columns,
+            minsup=absolute,
+            patterns=tuple(
+                (pattern.sorted_items(), pattern.support) for pattern in result
+            ),
+            timings={"mine_s": elapsed},
+        )
+        for sink in self._slide_sinks:
+            sink(record)
+        return record
 
     # ------------------------------------------------------------------ #
     # mining

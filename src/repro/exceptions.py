@@ -60,6 +60,14 @@ class ParallelMiningError(MiningError):
     """Raised when sharded mining produces inconsistent or unmergeable results."""
 
 
+class HistoryError(ReproError):
+    """Raised by the pattern-history journal and its query engine."""
+
+
+class ServiceError(ReproError):
+    """Raised when the history serving front end is configured incorrectly."""
+
+
 class DatasetError(ReproError):
     """Raised by dataset generators and file readers."""
 

@@ -1,0 +1,28 @@
+"""Pattern-history subsystem (DESIGN.md §10).
+
+The miner answers "what is frequent in the *current* window"; this package
+retains those answers.  A :class:`~repro.history.journal.PatternJournal`
+holds one sealed :class:`~repro.history.journal.SlideRecord` per window
+slide (memory or disk backend, mirroring the §3 segment design), and a
+:class:`~repro.history.query.JournalIndex` answers sub-/super-pattern
+matches, support histories, top-k-at-slide and first/last-frequent
+provenance queries over it without rescanning every record.
+"""
+
+from repro.history.journal import (
+    DiskJournal,
+    MemoryJournal,
+    PatternJournal,
+    SlideRecord,
+    open_journal,
+)
+from repro.history.query import JournalIndex
+
+__all__ = [
+    "SlideRecord",
+    "PatternJournal",
+    "MemoryJournal",
+    "DiskJournal",
+    "open_journal",
+    "JournalIndex",
+]

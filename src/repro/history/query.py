@@ -1,0 +1,277 @@
+"""Indexed queries over a pattern journal (DESIGN.md §10).
+
+A :class:`JournalIndex` is built once over a journal's sealed records and
+then answers the continuous-query surface without rescanning every record:
+
+* **super-pattern match** — patterns that *contain* a given itemset
+  (posting-list intersection over the query items);
+* **sub-pattern match** — patterns *contained in* a given itemset
+  (posting-list union, then subset check);
+* **support history** — one (slide, support) point per journalled slide
+  for an exact itemset, the "support over time" curve;
+* **top-k at a slide** — the k highest-support patterns of one slide;
+* **provenance** — :meth:`first_frequent` / :meth:`last_frequent`, the
+  slides at which a pattern entered / was last seen in the frequent set
+  (the "when did this become frequent" question of query-answer
+  causality).
+
+The index is immutable once built — the serving front end shares one
+instance across reader threads without locking.  Rebuild (or
+:meth:`extend`) it when the journal gains records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import HistoryError
+from repro.history.journal import PatternJournal, SlideRecord
+
+#: One query hit: (slide id, sorted item tuple, support).
+Match = Tuple[int, Tuple[str, ...], int]
+
+
+def _normalise_items(items: Iterable[str]) -> Tuple[str, ...]:
+    ordered = tuple(sorted(set(items)))
+    if not ordered:
+        raise HistoryError("a pattern query needs at least one item")
+    return ordered
+
+
+class JournalIndex:
+    """Item-posting index over the sealed records of a pattern journal."""
+
+    def __init__(self, records: Iterable[SlideRecord]) -> None:
+        #: slide id -> {pattern items -> support}, insertion = slide order.
+        self._slides: Dict[int, Dict[Tuple[str, ...], int]] = {}
+        #: item -> slide id -> pattern item-tuples containing the item.
+        self._postings: Dict[str, Dict[int, List[Tuple[str, ...]]]] = {}
+        self._order: List[int] = []
+        self.extend(records)
+
+    @classmethod
+    def from_journal(cls, journal: PatternJournal) -> "JournalIndex":
+        """Build an index over every record currently in ``journal``."""
+        return cls(journal.records())
+
+    def extend(self, records: Iterable[SlideRecord]) -> None:
+        """Index additional records (slide ids must keep ascending)."""
+        for record in records:
+            if self._order and record.slide_id <= self._order[-1]:
+                raise HistoryError(
+                    f"slide {record.slide_id} breaks the index's slide order; "
+                    f"already indexed up to slide {self._order[-1]}"
+                )
+            patterns: Dict[Tuple[str, ...], int] = {}
+            for items, support in record.patterns:
+                patterns[items] = support
+                for item in items:
+                    self._postings.setdefault(item, {}).setdefault(
+                        record.slide_id, []
+                    ).append(items)
+            self._slides[record.slide_id] = patterns
+            self._order.append(record.slide_id)
+
+    # ------------------------------------------------------------------ #
+    # shape accessors
+    # ------------------------------------------------------------------ #
+    def slide_ids(self) -> List[int]:
+        """All indexed slide ids, ascending."""
+        return list(self._order)
+
+    @property
+    def last_slide_id(self) -> Optional[int]:
+        """The newest indexed slide id, or ``None`` for an empty index."""
+        return self._order[-1] if self._order else None
+
+    def patterns_at(self, slide_id: int) -> Dict[Tuple[str, ...], int]:
+        """The full pattern → support map of one slide."""
+        try:
+            return dict(self._slides[slide_id])
+        except KeyError:
+            raise HistoryError(f"slide {slide_id} is not in the journal") from None
+
+    def items(self) -> List[str]:
+        """Every item that ever appeared in a journalled pattern, sorted."""
+        return sorted(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # ------------------------------------------------------------------ #
+    # pattern-match queries
+    # ------------------------------------------------------------------ #
+    def _query_slides(self, slide_id: Optional[int]) -> List[int]:
+        if slide_id is None:
+            return list(self._order)
+        if slide_id not in self._slides:
+            raise HistoryError(f"slide {slide_id} is not in the journal")
+        return [slide_id]
+
+    def super_patterns(
+        self, items: Iterable[str], slide_id: Optional[int] = None
+    ) -> List[Match]:
+        """Patterns that contain every query item (optionally at one slide).
+
+        Candidates come from the *rarest* query item's posting list — only
+        patterns containing that item are subset-checked, never the whole
+        slide.
+        """
+        query = _normalise_items(items)
+        wanted: FrozenSet[str] = frozenset(query)
+        postings = [self._postings.get(item) for item in query]
+        if any(posting is None for posting in postings):
+            return []
+        rarest = min(
+            (posting for posting in postings if posting is not None),
+            key=lambda posting: sum(len(entries) for entries in posting.values()),
+        )
+        matches: List[Match] = []
+        for slide in self._query_slides(slide_id):
+            for candidate in rarest.get(slide, ()):
+                if wanted.issubset(candidate):
+                    matches.append((slide, candidate, self._slides[slide][candidate]))
+        return matches
+
+    def sub_patterns(
+        self, items: Iterable[str], slide_id: Optional[int] = None
+    ) -> List[Match]:
+        """Patterns contained in the query itemset (optionally at one slide).
+
+        Candidates are the union of the query items' posting lists; every
+        pattern made only of query items is a subset hit.
+        """
+        query = _normalise_items(items)
+        allowed: FrozenSet[str] = frozenset(query)
+        matches: List[Match] = []
+        for slide in self._query_slides(slide_id):
+            seen: set = set()
+            for item in query:
+                for candidate in self._postings.get(item, {}).get(slide, ()):
+                    if candidate in seen:
+                        continue
+                    seen.add(candidate)
+                    if allowed.issuperset(candidate):
+                        matches.append(
+                            (slide, candidate, self._slides[slide][candidate])
+                        )
+        matches.sort(key=lambda match: (match[0], len(match[1]), match[1]))
+        return matches
+
+    # ------------------------------------------------------------------ #
+    # history and provenance
+    # ------------------------------------------------------------------ #
+    def support_history(self, items: Iterable[str]) -> List[Tuple[int, int]]:
+        """The (slide, support) curve of one exact itemset over every slide.
+
+        Slides where the itemset was not frequent contribute support 0, so
+        the curve always has one point per journalled slide — trend
+        detection never has to guess whether a gap means "absent" or
+        "unknown".
+        """
+        query = _normalise_items(items)
+        return [
+            (slide, self._slides[slide].get(query, 0)) for slide in self._order
+        ]
+
+    def first_frequent(self, items: Iterable[str]) -> Optional[int]:
+        """The first slide at which the exact itemset was frequent."""
+        query = _normalise_items(items)
+        # Only slides in the first item's posting can hold the pattern.
+        posting = self._postings.get(query[0], {})
+        for slide in self._order:
+            if slide in posting and query in self._slides[slide]:
+                return slide
+        return None
+
+    def last_frequent(self, items: Iterable[str]) -> Optional[int]:
+        """The last slide at which the exact itemset was frequent."""
+        query = _normalise_items(items)
+        for slide in reversed(self._order):
+            if query in self._slides[slide]:
+                return slide
+        return None
+
+    # ------------------------------------------------------------------ #
+    # ranking and stats
+    # ------------------------------------------------------------------ #
+    def top_k(self, k: int, slide_id: Optional[int] = None) -> List[Match]:
+        """The ``k`` highest-support patterns of one slide (default: newest)."""
+        if k < 1:
+            raise HistoryError(f"k must be at least 1, got {k}")
+        if slide_id is None:
+            if not self._order:
+                return []
+            slide_id = self._order[-1]
+        patterns = self.patterns_at(slide_id)
+        ranked = sorted(
+            patterns.items(), key=lambda entry: (-entry[1], len(entry[0]), entry[0])
+        )
+        return [(slide_id, items, support) for items, support in ranked[:k]]
+
+    def stats(self) -> Dict[str, object]:
+        """Shape summary of the indexed journal (the ``/stats`` payload)."""
+        pattern_total = sum(len(patterns) for patterns in self._slides.values())
+        distinct: set = set()
+        for patterns in self._slides.values():
+            distinct.update(patterns)
+        return {
+            "slides": len(self._order),
+            "first_slide": self._order[0] if self._order else None,
+            "last_slide": self._order[-1] if self._order else None,
+            "pattern_rows": pattern_total,
+            "distinct_patterns": len(distinct),
+            "items": len(self._postings),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"JournalIndex(slides={len(self._order)}, "
+            f"items={len(self._postings)})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# brute-force reference implementations
+# ---------------------------------------------------------------------- #
+def brute_force_super_patterns(
+    records: Sequence[SlideRecord], items: Iterable[str], slide_id: Optional[int] = None
+) -> List[Match]:
+    """Reference scan for :meth:`JournalIndex.super_patterns` (tests/bench)."""
+    wanted = frozenset(_normalise_items(items))
+    matches: List[Match] = []
+    for record in records:
+        if slide_id is not None and record.slide_id != slide_id:
+            continue
+        for pattern_items, support in record.patterns:
+            if wanted.issubset(pattern_items):
+                matches.append((record.slide_id, pattern_items, support))
+    return matches
+
+
+def brute_force_sub_patterns(
+    records: Sequence[SlideRecord], items: Iterable[str], slide_id: Optional[int] = None
+) -> List[Match]:
+    """Reference scan for :meth:`JournalIndex.sub_patterns` (tests/bench)."""
+    allowed = frozenset(_normalise_items(items))
+    matches: List[Match] = []
+    for record in records:
+        if slide_id is not None and record.slide_id != slide_id:
+            continue
+        for pattern_items, support in record.patterns:
+            if allowed.issuperset(pattern_items):
+                matches.append((record.slide_id, pattern_items, support))
+    matches.sort(key=lambda match: (match[0], len(match[1]), match[1]))
+    return matches
+
+
+def brute_force_support_history(
+    records: Sequence[SlideRecord], items: Iterable[str]
+) -> List[Tuple[int, int]]:
+    """Reference scan for :meth:`JournalIndex.support_history` (tests/bench)."""
+    query = _normalise_items(items)
+    history: List[Tuple[int, int]] = []
+    for record in records:
+        support = record.support_of(query)
+        history.append((record.slide_id, support if support is not None else 0))
+    return history

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import uuid
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.exceptions import IngestError
 from repro.graph.edge_registry import EdgeRegistry
@@ -67,12 +67,18 @@ def ingest_transactions(
     chunk_batches: int = 1,
     drop_last: bool = False,
     max_inflight: Optional[int] = None,
+    on_batch_committed: Optional[Callable[[], None]] = None,
 ) -> IngestReport:
     """Batch, count and commit raw transactions through ingest workers."""
     planner = IngestPlanner(batch_size, chunk_batches=chunk_batches)
     chunks = planner.plan_units(transactions, drop_last=drop_last)
     return _run(
-        store, chunks, kind="transactions", workers=workers, max_inflight=max_inflight
+        store,
+        chunks,
+        kind="transactions",
+        workers=workers,
+        max_inflight=max_inflight,
+        on_batch_committed=on_batch_committed,
     )
 
 
@@ -85,6 +91,7 @@ def ingest_snapshots(
     register_new_edges: bool = True,
     chunk_batches: int = 1,
     max_inflight: Optional[int] = None,
+    on_batch_committed: Optional[Callable[[], None]] = None,
 ) -> IngestReport:
     """Encode, count and commit graph snapshots through ingest workers.
 
@@ -102,6 +109,7 @@ def ingest_snapshots(
         registry=registry,
         register_new_edges=register_new_edges,
         max_inflight=max_inflight,
+        on_batch_committed=on_batch_committed,
     )
 
 
@@ -111,6 +119,7 @@ def ingest_batches(
     workers: int = 0,
     chunk_batches: int = 1,
     max_inflight: Optional[int] = None,
+    on_batch_committed: Optional[Callable[[], None]] = None,
 ) -> IngestReport:
     """Count and commit ready-made batches through ingest workers.
 
@@ -120,7 +129,12 @@ def ingest_batches(
     planner = IngestPlanner(batch_size=1, chunk_batches=chunk_batches)
     chunks = planner.plan_batches(batches)
     return _run(
-        store, chunks, kind="transactions", workers=workers, max_inflight=max_inflight
+        store,
+        chunks,
+        kind="transactions",
+        workers=workers,
+        max_inflight=max_inflight,
+        on_batch_committed=on_batch_committed,
     )
 
 
@@ -132,12 +146,17 @@ def _run(
     registry: Optional[EdgeRegistry] = None,
     register_new_edges: bool = True,
     max_inflight: Optional[int] = None,
+    on_batch_committed: Optional[Callable[[], None]] = None,
 ) -> IngestReport:
     """Pipeline chunks through workers, committing outcomes in stream order.
 
     The single-writer coordinator is the pipeline's consumer callback: a
     chunk's segments are committed the moment every earlier chunk has
     committed, while later chunks are still encoding on the workers.
+    ``on_batch_committed`` fires inside that commit after each batch — the
+    pattern-history subsystem's per-slide hook (it runs in the caller's
+    process and may be arbitrarily heavy; workers keep encoding later
+    chunks underneath it).
     """
     if workers < 0:
         raise IngestError(f"ingest workers must be non-negative, got {workers}")
@@ -160,7 +179,10 @@ def _run(
         for chunk in chunks
     ]
     coordinator = WindowCoordinator(
-        window, registry=registry, register_new_edges=register_new_edges
+        window,
+        registry=registry,
+        register_new_edges=register_new_edges,
+        on_batch_committed=on_batch_committed,
     )
     executor = PipelineExecutor(workers, max_inflight=max_inflight)
     try:

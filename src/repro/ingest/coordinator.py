@@ -20,7 +20,7 @@ remapped to the final symbols before the segment is built.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.exceptions import EdgeRegistryError, IngestError
 from repro.graph.edge import Edge
@@ -45,6 +45,14 @@ class WindowCoordinator:
         :class:`~repro.exceptions.EdgeRegistryError` instead of
         registering it (the sequential ``encode(register_new=False)``
         behaviour).
+    on_batch_committed:
+        Optional callback invoked after *each batch* of a chunk has been
+        appended to the store (still inside the single-writer commit, so
+        in strict stream order).  This is the window-slide hook the
+        pattern-history subsystem mines from (DESIGN.md §10): because it
+        fires between appends, the callback observes exactly the window
+        states sequential ``append_batch`` calls would have produced,
+        regardless of worker count or in-flight bound.
     """
 
     def __init__(
@@ -52,10 +60,12 @@ class WindowCoordinator:
         store: WindowStore,
         registry: Optional[EdgeRegistry] = None,
         register_new_edges: bool = True,
+        on_batch_committed: Optional[Callable[[], None]] = None,
     ) -> None:
         self._store = store
         self._registry = registry
         self._register_new_edges = register_new_edges
+        self._on_batch_committed = on_batch_committed
         self._next_chunk_id = 0
         #: Batches committed so far.
         self.batches_committed = 0
@@ -114,6 +124,8 @@ class WindowCoordinator:
             )
             self.batches_committed += 1
             self.columns_committed += draft.num_columns
+            if self._on_batch_committed is not None:
+                self._on_batch_committed()
         self._next_chunk_id += 1
 
     def _merge_new_edges(

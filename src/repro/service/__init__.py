@@ -1,0 +1,12 @@
+"""Continuous-query serving front end over the pattern journal (DESIGN.md §10).
+
+:class:`~repro.service.api.HistoryService` is the library surface — plain
+methods returning JSON-able dictionaries — and
+:mod:`repro.service.server` wraps it in a stdlib ``ThreadingHTTPServer``
+exposing ``/patterns``, ``/history``, ``/topk`` and ``/stats``.
+"""
+
+from repro.service.api import HistoryService
+from repro.service.server import build_server, serve_journal
+
+__all__ = ["HistoryService", "build_server", "serve_journal"]

@@ -1,0 +1,173 @@
+"""Library surface of the continuous-query service.
+
+:class:`HistoryService` wraps one journal plus its
+:class:`~repro.history.query.JournalIndex` and exposes the four query
+endpoints as plain methods returning JSON-able dictionaries — the HTTP
+front end (:mod:`repro.service.server`) and the ``repro query`` CLI are
+thin shells over these methods, so library users get the exact payloads a
+deployment would serve.
+
+The service is read-only and the index immutable once built, so one
+instance can be shared by any number of reader threads without locking —
+that is what makes the ``ThreadingHTTPServer`` front end safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import HistoryError, ServiceError
+from repro.history.journal import PatternJournal
+from repro.history.query import JournalIndex, Match
+
+#: Pattern-match modes accepted by :meth:`HistoryService.patterns`.
+PATTERN_MODES = ("super", "sub", "exact")
+
+
+def _match_payload(matches: List[Match]) -> List[Dict[str, object]]:
+    return [
+        {"slide": slide, "items": list(items), "support": support}
+        for slide, items, support in matches
+    ]
+
+
+class HistoryService:
+    """Continuous queries over one pattern journal."""
+
+    def __init__(self, journal: PatternJournal) -> None:
+        self._journal = journal
+        self._index = JournalIndex.from_journal(journal)
+
+    @property
+    def journal(self) -> PatternJournal:
+        """The journal being served."""
+        return self._journal
+
+    @property
+    def index(self) -> JournalIndex:
+        """The immutable index answering the queries."""
+        return self._index
+
+    def refresh(self) -> None:
+        """Re-index the journal (pick up records appended since creation)."""
+        self._index = JournalIndex.from_journal(self._journal)
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def patterns(
+        self,
+        items: Iterable[str],
+        slide: Optional[int] = None,
+        mode: str = "super",
+    ) -> Dict[str, object]:
+        """Pattern matches for an itemset: ``super``, ``sub`` or ``exact``."""
+        if mode not in PATTERN_MODES:
+            raise ServiceError(
+                f"unknown pattern mode {mode!r}; expected one of {PATTERN_MODES}"
+            )
+        query = sorted(set(items))
+        if not query:
+            raise ServiceError("the patterns endpoint needs at least one item")
+        if mode == "super":
+            matches = self._index.super_patterns(query, slide_id=slide)
+        elif mode == "sub":
+            matches = self._index.sub_patterns(query, slide_id=slide)
+        else:
+            matches = [
+                (match_slide, match_items, support)
+                for match_slide, match_items, support in self._index.super_patterns(
+                    query, slide_id=slide
+                )
+                if match_items == tuple(query)
+            ]
+        return {
+            "query": {"items": query, "mode": mode, "slide": slide},
+            "matches": _match_payload(matches),
+            "count": len(matches),
+        }
+
+    def history(self, items: Iterable[str]) -> Dict[str, object]:
+        """Support-over-time curve plus first/last-frequent provenance."""
+        query = sorted(set(items))
+        if not query:
+            raise ServiceError("the history endpoint needs at least one item")
+        curve = self._index.support_history(query)
+        return {
+            "query": {"items": query},
+            "history": [
+                {"slide": slide, "support": support} for slide, support in curve
+            ],
+            "first_frequent": self._index.first_frequent(query),
+            "last_frequent": self._index.last_frequent(query),
+            "peak_support": max((support for _, support in curve), default=0),
+        }
+
+    def topk(self, k: int = 10, slide: Optional[int] = None) -> Dict[str, object]:
+        """The ``k`` highest-support patterns of one slide (default: newest)."""
+        if k < 1:
+            raise ServiceError(f"k must be at least 1, got {k}")
+        matches = self._index.top_k(k, slide_id=slide)
+        return {
+            "query": {"k": k, "slide": slide},
+            "matches": _match_payload(matches),
+            "count": len(matches),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Journal shape summary (slides, pattern rows, item universe)."""
+        payload = dict(self._index.stats())
+        payload["journal"] = {
+            "backend": getattr(self._journal, "kind", "unknown"),
+            "path": str(self._journal.path) if self._journal.path else None,
+            "disk_size_bytes": self._journal.disk_size_bytes(),
+        }
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # CLI dispatch
+    # ------------------------------------------------------------------ #
+    def run_query(
+        self,
+        query: str,
+        items: Optional[Iterable[str]] = None,
+        slide: Optional[int] = None,
+        k: int = 10,
+    ) -> Dict[str, object]:
+        """Dispatch one named query (the ``repro query`` entry point)."""
+        if query == "stats":
+            return self.stats()
+        if query == "topk":
+            return self.topk(k=k, slide=slide)
+        if items is None:
+            raise ServiceError(f"query {query!r} needs --items")
+        if query in ("super", "sub", "exact"):
+            return self.patterns(items, slide=slide, mode=query)
+        if query == "support-history":
+            return self.history(items)
+        if query == "first-frequent":
+            return {
+                "query": {"items": sorted(set(items))},
+                "first_frequent": self._index.first_frequent(items),
+            }
+        if query == "last-frequent":
+            return {
+                "query": {"items": sorted(set(items))},
+                "last_frequent": self._index.last_frequent(items),
+            }
+        raise ServiceError(f"unknown query {query!r}")
+
+
+#: Query names accepted by :meth:`HistoryService.run_query` / ``repro query``.
+QUERY_KINDS = (
+    "stats",
+    "topk",
+    "super",
+    "sub",
+    "exact",
+    "support-history",
+    "first-frequent",
+    "last-frequent",
+)
+
+__all__ = ["HistoryService", "PATTERN_MODES", "QUERY_KINDS", "HistoryError"]

@@ -1,0 +1,167 @@
+"""HTTP front end: the pattern journal behind a ``ThreadingHTTPServer``.
+
+Endpoints (all GET, all JSON):
+
+* ``/patterns?items=a,b[&mode=super|sub|exact][&slide=N]`` — pattern match;
+* ``/history?items=a,b`` — support-over-time + first/last-frequent;
+* ``/topk[?k=10][&slide=N]`` — highest-support patterns of one slide;
+* ``/stats`` — journal shape summary.
+
+Threading model: ``ThreadingHTTPServer`` spawns one daemon thread per
+connection; every handler only *reads* the shared
+:class:`~repro.service.api.HistoryService`, whose index is immutable once
+built, so concurrent readers need no locking.  Query errors map to 400,
+unknown paths to 404, and the handler never leaks a traceback to a client
+— errors come back as ``{"error": ...}`` JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import HistoryError, ServiceError
+from repro.history.journal import open_journal
+from repro.service.api import HistoryService
+
+#: Endpoint paths served by the front end.
+ENDPOINTS = ("/patterns", "/history", "/topk", "/stats")
+
+
+class HistoryHTTPServer(ThreadingHTTPServer):
+    """One thread per request over a shared read-only :class:`HistoryService`."""
+
+    daemon_threads = True  # readers never block shutdown
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: HistoryService) -> None:
+        super().__init__(address, HistoryRequestHandler)
+        self.service = service
+
+
+class HistoryRequestHandler(BaseHTTPRequestHandler):
+    """Route GET requests onto the shared :class:`HistoryService`."""
+
+    server_version = "repro-history/1.0"
+
+    # ------------------------------------------------------------------ #
+    # request plumbing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        parts = urlsplit(self.path)
+        params = parse_qs(parts.query)
+        try:
+            payload = self._dispatch(parts.path, params)
+        except (HistoryError, ServiceError, ValueError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+            return
+        if payload is None:
+            self._send_json(
+                {"error": f"unknown endpoint {parts.path!r}", "endpoints": ENDPOINTS},
+                status=404,
+            )
+            return
+        self._send_json(payload)
+
+    def _dispatch(
+        self, path: str, params: Dict[str, List[str]]
+    ) -> Optional[Dict[str, object]]:
+        service: HistoryService = self.server.service  # type: ignore[attr-defined]
+        if path == "/patterns":
+            return service.patterns(
+                self._items(params),
+                slide=self._int(params, "slide"),
+                mode=self._str(params, "mode", "super"),
+            )
+        if path == "/history":
+            return service.history(self._items(params))
+        if path == "/topk":
+            k = self._int(params, "k", 10)
+            return service.topk(
+                k=10 if k is None else k,
+                slide=self._int(params, "slide"),
+            )
+        if path == "/stats":
+            return service.stats()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # parameter parsing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _items(params: Dict[str, List[str]]) -> List[str]:
+        raw = params.get("items", [])
+        items = [item for value in raw for item in value.split(",") if item]
+        if not items:
+            raise ServiceError("missing required parameter 'items' (e.g. items=a,b)")
+        return items
+
+    @staticmethod
+    def _int(
+        params: Dict[str, List[str]], name: str, default: Optional[int] = None
+    ) -> Optional[int]:
+        values = params.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError:
+            raise ServiceError(f"parameter {name!r} must be an integer") from None
+
+    @staticmethod
+    def _str(params: Dict[str, List[str]], name: str, default: str) -> str:
+        values = params.get(name)
+        return values[0] if values else default
+
+    # ------------------------------------------------------------------ #
+    # response plumbing
+    # ------------------------------------------------------------------ #
+    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+        body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence the default per-request stderr logging."""
+
+
+def build_server(
+    service: HistoryService, host: str = "127.0.0.1", port: int = 0
+) -> HistoryHTTPServer:
+    """Bind a threaded history server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()``/``server_close()`` to stop — which is what the tests do
+    to exercise concurrent readers against an ephemeral port.
+    """
+    return HistoryHTTPServer((host, port), service)
+
+
+def serve_journal(
+    path: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    on_bound: Optional[Callable[[HistoryHTTPServer], None]] = None,
+) -> None:
+    """Open a journal directory and serve it until interrupted (the CLI path).
+
+    ``on_bound`` is invoked once with the bound server before the loop
+    starts — the hook the CLI uses to announce the actual address (which
+    matters with ``port=0``).  Ctrl-C stops the loop cleanly.
+    """
+    service = HistoryService(open_journal(path))
+    server = build_server(service, host=host, port=port)
+    if on_bound is not None:
+        on_bound(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

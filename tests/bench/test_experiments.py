@@ -37,6 +37,7 @@ class TestScaleParameters:
             "e7",
             "e8",
             "e9",
+            "e10",
         }
 
 

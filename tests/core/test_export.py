@@ -64,6 +64,71 @@ class TestCsvExport:
             assert int(row[2]) >= 2
 
 
+class TestEmptyResultExport:
+    """Every exporter must handle a result with no patterns gracefully."""
+
+    def test_empty_json_is_an_empty_list(self):
+        empty = MiningResult([])
+        assert json.loads(result_to_json(empty)) == []
+        assert json.loads(result_to_json(empty, paper_example_registry())) == []
+
+    def test_empty_csv_is_header_only(self):
+        rows = list(csv.reader(io.StringIO(result_to_csv(MiningResult([])))))
+        assert rows == [["items", "size", "support"]]
+
+    def test_empty_dot_is_an_empty_graph(self):
+        dot = result_to_dot(MiningResult([]))
+        assert dot.startswith("graph patterns {")
+        assert "subgraph" not in dot
+        assert dot.strip().endswith("}")
+
+
+class TestSingleEdgePatternExport:
+    def test_single_edge_round_trips_through_every_format(self):
+        registry = paper_example_registry()
+        result = MiningResult.from_counts({frozenset({"a"}): 5}, registry=registry)
+        payload = json.loads(result_to_json(result, registry))
+        assert payload == [
+            {
+                "items": ["a"],
+                "support": 5,
+                "size": 1,
+                "edges": [{"u": "v1", "v": "v2", "label": None}],
+                "connected": True,
+            }
+        ]
+        rows = list(csv.reader(io.StringIO(result_to_csv(result))))
+        assert rows[1] == ["a", "1", "5"]
+        dot = result_to_dot(result, registry)
+        assert dot.count("subgraph cluster_") == 1
+        single = pattern_to_dot(next(iter(result)), registry)
+        assert '"v1" -- "v2"' in single
+
+
+class TestCsvEscaping:
+    def test_items_with_commas_and_quotes_are_escaped(self):
+        """Items may be arbitrary symbols (e.g. RDF IRIs with commas)."""
+        nasty = 'edge,"quoted"'
+        result = MiningResult.from_counts(
+            {frozenset({nasty, "plain"}): 2, frozenset({"semi;colon"}): 3}
+        )
+        rendered = result_to_csv(result)
+        rows = list(csv.reader(io.StringIO(rendered)))
+        assert rows[0] == ["items", "size", "support"]
+        items_column = {row[0] for row in rows[1:]}
+        # csv.reader round-trips the escaping, restoring the raw symbols.
+        assert f'{nasty};plain' in items_column
+        assert "semi;colon" in items_column
+        # The raw rendering must quote the cell holding the comma/quote.
+        assert '"' in rendered.splitlines()[1] + rendered.splitlines()[2]
+
+    def test_newline_in_item_survives_round_trip(self):
+        weird = "line\nbreak"
+        result = MiningResult.from_counts({frozenset({weird}): 1})
+        rows = list(csv.reader(io.StringIO(result_to_csv(result))))
+        assert rows[1][0] == weird
+
+
 class TestDotExport:
     def test_single_pattern_dot(self):
         result, registry = paper_result()

@@ -1,0 +1,159 @@
+"""Index correctness: every query must match a brute-force journal scan."""
+
+import random
+
+import pytest
+
+from repro.exceptions import HistoryError
+from repro.history.journal import MemoryJournal, SlideRecord
+from repro.history.query import (
+    JournalIndex,
+    brute_force_sub_patterns,
+    brute_force_super_patterns,
+    brute_force_support_history,
+)
+
+ITEMS = [chr(ord("a") + index) for index in range(10)]
+
+
+def random_journal(seed, slides=12, max_patterns=14):
+    """A randomized journal: random itemsets with random supports per slide."""
+    rng = random.Random(seed)
+    journal = MemoryJournal()
+    for slide in range(slides):
+        patterns = {}
+        for _ in range(rng.randint(0, max_patterns)):
+            size = rng.randint(1, 4)
+            items = tuple(sorted(rng.sample(ITEMS, size)))
+            patterns[items] = rng.randint(1, 40)
+        journal.append(
+            SlideRecord(
+                slide_id=slide,
+                first_batch=max(0, slide - 3),
+                last_batch=slide,
+                num_columns=60,
+                minsup=2,
+                patterns=tuple(patterns.items()),
+            )
+        )
+    return journal
+
+
+def random_queries(rng, count=40):
+    for _ in range(count):
+        size = rng.randint(1, 4)
+        yield tuple(sorted(rng.sample(ITEMS, size)))
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 99])
+class TestIndexMatchesBruteForce:
+    def test_super_pattern_match(self, seed):
+        journal = random_journal(seed)
+        index = JournalIndex.from_journal(journal)
+        rng = random.Random(seed + 1000)
+        for query in random_queries(rng):
+            expected = brute_force_super_patterns(journal.records(), query)
+            assert sorted(index.super_patterns(query)) == sorted(expected)
+
+    def test_super_pattern_match_at_one_slide(self, seed):
+        journal = random_journal(seed)
+        index = JournalIndex.from_journal(journal)
+        rng = random.Random(seed + 2000)
+        for query in random_queries(rng, count=15):
+            slide = rng.choice(journal.slide_ids())
+            expected = brute_force_super_patterns(
+                journal.records(), query, slide_id=slide
+            )
+            assert sorted(index.super_patterns(query, slide_id=slide)) == sorted(
+                expected
+            )
+
+    def test_sub_pattern_match(self, seed):
+        journal = random_journal(seed)
+        index = JournalIndex.from_journal(journal)
+        rng = random.Random(seed + 3000)
+        for query in random_queries(rng):
+            expected = brute_force_sub_patterns(journal.records(), query)
+            assert index.sub_patterns(query) == expected
+
+    def test_support_history(self, seed):
+        journal = random_journal(seed)
+        index = JournalIndex.from_journal(journal)
+        rng = random.Random(seed + 4000)
+        for query in random_queries(rng):
+            expected = brute_force_support_history(journal.records(), query)
+            assert index.support_history(query) == expected
+
+    def test_first_and_last_frequent(self, seed):
+        journal = random_journal(seed)
+        index = JournalIndex.from_journal(journal)
+        rng = random.Random(seed + 5000)
+        for query in random_queries(rng):
+            frequent_slides = [
+                record.slide_id
+                for record in journal
+                if record.support_of(query) is not None
+            ]
+            assert index.first_frequent(query) == (
+                frequent_slides[0] if frequent_slides else None
+            )
+            assert index.last_frequent(query) == (
+                frequent_slides[-1] if frequent_slides else None
+            )
+
+    def test_top_k(self, seed):
+        journal = random_journal(seed)
+        index = JournalIndex.from_journal(journal)
+        for record in journal:
+            ranked = sorted(
+                record.patterns, key=lambda entry: (-entry[1], len(entry[0]), entry[0])
+            )
+            for k in (1, 3, 50):
+                expected = [
+                    (record.slide_id, items, support)
+                    for items, support in ranked[:k]
+                ]
+                assert index.top_k(k, slide_id=record.slide_id) == expected
+
+
+class TestIndexBehaviour:
+    def test_top_k_defaults_to_newest_slide(self):
+        index = JournalIndex.from_journal(random_journal(5))
+        assert all(slide == index.last_slide_id for slide, _, _ in index.top_k(3))
+
+    def test_empty_index(self):
+        index = JournalIndex(())
+        assert len(index) == 0
+        assert index.last_slide_id is None
+        assert index.top_k(3) == []
+        assert index.support_history(("a",)) == []
+        assert index.stats()["slides"] == 0
+
+    def test_unknown_slide_rejected(self):
+        index = JournalIndex.from_journal(random_journal(3))
+        with pytest.raises(HistoryError):
+            index.patterns_at(999)
+        with pytest.raises(HistoryError):
+            index.super_patterns(("a",), slide_id=999)
+
+    def test_empty_query_rejected(self):
+        index = JournalIndex.from_journal(random_journal(3))
+        with pytest.raises(HistoryError):
+            index.support_history(())
+        with pytest.raises(HistoryError):
+            index.top_k(0)
+
+    def test_extend_enforces_slide_order(self):
+        journal = random_journal(11, slides=4)
+        index = JournalIndex.from_journal(journal)
+        with pytest.raises(HistoryError):
+            index.extend([journal.record(0)])
+
+    def test_stats_shape(self):
+        journal = random_journal(2)
+        stats = JournalIndex.from_journal(journal).stats()
+        assert stats["slides"] == len(journal)
+        assert stats["first_slide"] == 0
+        assert stats["last_slide"] == journal.last_slide_id
+        assert stats["pattern_rows"] == sum(r.pattern_count for r in journal)
+        assert stats["distinct_patterns"] <= stats["pattern_rows"]

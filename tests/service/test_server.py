@@ -1,0 +1,161 @@
+"""Service tests: the library API and the threaded HTTP front end."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.exceptions import ServiceError
+from repro.history.journal import MemoryJournal
+from repro.service.api import QUERY_KINDS, HistoryService
+from repro.service.server import build_server
+from repro.stream.stream import TransactionStream
+
+TRANSACTIONS = [("a",), ("b",), ("a", "b"), ("c",), ("a", "c")] * 12
+
+
+@pytest.fixture(scope="module")
+def journal():
+    journal = MemoryJournal()
+    miner = StreamSubgraphMiner(
+        window_size=3, batch_size=5, algorithm="vertical", on_slide=journal.append
+    )
+    miner.watch(
+        TransactionStream(TRANSACTIONS, batch_size=5), minsup=2, connected_only=False
+    )
+    return journal
+
+
+@pytest.fixture(scope="module")
+def service(journal):
+    return HistoryService(journal)
+
+
+class TestHistoryService:
+    def test_patterns_super(self, service):
+        payload = service.patterns(["a"], slide=11, mode="super")
+        assert payload["query"] == {"items": ["a"], "mode": "super", "slide": 11}
+        items = {tuple(match["items"]) for match in payload["matches"]}
+        assert ("a",) in items and ("a", "b") in items
+        assert payload["count"] == len(payload["matches"])
+
+    def test_patterns_sub_and_exact(self, service):
+        sub = service.patterns(["a", "b", "c"], slide=11, mode="sub")
+        assert all(
+            set(match["items"]) <= {"a", "b", "c"} for match in sub["matches"]
+        )
+        exact = service.patterns(["a", "b"], slide=11, mode="exact")
+        assert [match["items"] for match in exact["matches"]] == [["a", "b"]]
+
+    def test_patterns_invalid_mode_or_empty_items(self, service):
+        with pytest.raises(ServiceError):
+            service.patterns(["a"], mode="bogus")
+        with pytest.raises(ServiceError):
+            service.patterns([])
+
+    def test_history_endpoint(self, service, journal):
+        payload = service.history(["a", "b"])
+        assert len(payload["history"]) == len(journal)
+        assert payload["first_frequent"] == 1
+        assert payload["last_frequent"] == journal.last_slide_id
+        assert payload["peak_support"] >= 2
+
+    def test_topk_endpoint(self, service):
+        payload = service.topk(k=2)
+        assert payload["count"] == 2
+        supports = [match["support"] for match in payload["matches"]]
+        assert supports == sorted(supports, reverse=True)
+        with pytest.raises(ServiceError):
+            service.topk(k=0)
+
+    def test_stats_endpoint(self, service, journal):
+        payload = service.stats()
+        assert payload["slides"] == len(journal)
+        assert payload["journal"]["backend"] == "memory"
+
+    def test_run_query_dispatch(self, service):
+        assert service.run_query("stats")["slides"] > 0
+        assert service.run_query("topk", k=1)["count"] == 1
+        assert service.run_query("support-history", items=["a"])["history"]
+        assert service.run_query("first-frequent", items=["a"])["first_frequent"] == 0
+        assert service.run_query("last-frequent", items=["a"])["last_frequent"] == 11
+        assert service.run_query("super", items=["a"])["count"] > 0
+        with pytest.raises(ServiceError):
+            service.run_query("super")  # items required
+        with pytest.raises(ServiceError):
+            service.run_query("bogus", items=["a"])
+
+    def test_query_kinds_all_dispatchable(self, service):
+        for kind in QUERY_KINDS:
+            assert service.run_query(kind, items=["a"], k=3) is not None
+
+    def test_payloads_are_json_serialisable(self, service):
+        for kind in QUERY_KINDS:
+            json.dumps(service.run_query(kind, items=["a", "b"], k=2))
+
+
+class TestHTTPServer:
+    @pytest.fixture()
+    def server(self, service):
+        server = build_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    @staticmethod
+    def get(server, path):
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+
+    def test_endpoints_respond(self, server, journal):
+        status, stats = self.get(server, "/stats")
+        assert status == 200 and stats["slides"] == len(journal)
+        status, topk = self.get(server, "/topk?k=3")
+        assert status == 200 and topk["count"] == 3
+        status, history = self.get(server, "/history?items=a,b")
+        assert status == 200 and history["first_frequent"] == 1
+        status, patterns = self.get(server, "/patterns?items=a&mode=super&slide=11")
+        assert status == 200 and patterns["count"] >= 2
+
+    def test_concurrent_readers(self, server, service):
+        """The ThreadingHTTPServer smoke: >= 4 parallel clients, consistent answers."""
+        paths = ["/stats", "/topk?k=2", "/history?items=a", "/patterns?items=a,b"] * 6
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda path: self.get(server, path), paths))
+        assert all(status == 200 for status, _ in results)
+        # Every repetition of the same path returned the identical payload.
+        by_path = {}
+        for path, (_, payload) in zip(paths, results):
+            by_path.setdefault(path, []).append(payload)
+        for payloads in by_path.values():
+            assert all(payload == payloads[0] for payload in payloads)
+        # And the served answers equal the in-process API's.
+        assert by_path["/stats"][0] == json.loads(json.dumps(service.stats()))
+
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server, "/nope")
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "/patterns" in payload["endpoints"]
+
+    def test_bad_parameters_400(self, server):
+        for path in (
+            "/patterns",
+            "/history",
+            "/topk?k=x",
+            "/topk?k=0",
+            "/patterns?items=a&slide=999",
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.get(server, path)
+            assert excinfo.value.code == 400
+            assert "error" in json.loads(excinfo.value.read().decode("utf-8"))

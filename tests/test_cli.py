@@ -216,6 +216,170 @@ class TestGenerateAndMine:
         assert (storage_dir / "manifest.json").exists()
 
 
+class TestMineStats:
+    def test_stats_flag_prints_cache_summary(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["mine", str(target), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "cache: " in output
+        assert "row_misses=" in output
+        assert "frequent_misses=" in output
+        # No parallel ingest happened, so no pipeline line.
+        assert "pipeline: " not in output
+
+    def test_stats_flag_with_ingest_workers_prints_pipeline_line(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["mine", str(target), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4", "--stats", "--ingest-workers", "2",
+                     "--max-inflight", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "cache: " in output
+        assert "pipeline: chunks=3" in output
+        assert "max_inflight=2" in output
+
+    def test_without_stats_flag_no_summary(self, tmp_path, capsys):
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "40", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["mine", str(target), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4"]) == 0
+        assert "cache: " not in capsys.readouterr().out
+
+
+class TestWatchQueryServe:
+    def _generate(self, tmp_path):
+        source = tmp_path / "graph.fimi"
+        main(["generate", str(source), "--kind", "graph", "--count", "60", "--seed", "5"])
+        return source
+
+    def _watch(self, tmp_path, journal="journal", extra=()):
+        source = self._generate(tmp_path)
+        args = [
+            "watch", str(source), "--batch-size", "20", "--window", "2",
+            "--minsup", "4", "--journal", str(tmp_path / journal),
+        ]
+        return main(args + list(extra))
+
+    def test_watch_writes_a_journal(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        output = capsys.readouterr().out
+        assert "journalled 3 slides" in output
+        journal_dir = tmp_path / "journal"
+        assert (journal_dir / "journal.json").exists()
+        assert (journal_dir / "journal.dat").exists()
+        assert (journal_dir / "journal.log").exists()
+
+    def test_watch_parallel_journal_byte_identical(self, tmp_path, capsys):
+        assert self._watch(tmp_path, journal="seq") == 0
+        assert (
+            self._watch(
+                tmp_path,
+                journal="par",
+                extra=["--ingest-workers", "2", "--workers", "2", "--max-inflight", "1"],
+            )
+            == 0
+        )
+        assert (tmp_path / "seq" / "journal.dat").read_bytes() == (
+            tmp_path / "par" / "journal.dat"
+        ).read_bytes()
+
+    def test_watch_rejects_negative_workers(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        capsys.readouterr()
+        code = main(["watch", str(source), "--journal", str(tmp_path / "j"),
+                     "--workers", "-1"])
+        assert code == EXIT_USAGE_ERROR
+        assert "must be non-negative" in capsys.readouterr().err
+
+    def test_watch_missing_input(self, tmp_path, capsys):
+        code = main(["watch", str(tmp_path / "nope.fimi"), "--journal",
+                     str(tmp_path / "j")])
+        assert code == EXIT_INPUT_ERROR
+
+    def test_rewatching_a_journal_is_a_clean_error(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        # A second watch restarts slide ids at 0, which the append-only
+        # journal must reject — as a one-line error, not a traceback.
+        code = self._watch(tmp_path)
+        assert code == EXIT_USAGE_ERROR
+        err = capsys.readouterr().err
+        assert "cannot journal this stream" in err
+        assert "Traceback" not in err
+
+    def test_query_stats_and_topk(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["query", str(tmp_path / "journal"), "--query", "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["slides"] == 3
+        assert main(["query", str(tmp_path / "journal"), "--query", "topk", "-k", "2"]) == 0
+        topk = json.loads(capsys.readouterr().out)
+        assert topk["count"] == 2
+
+    def test_query_support_history(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        main(["query", str(tmp_path / "journal"), "--query", "topk", "-k", "1"])
+        top_item = json.loads(capsys.readouterr().out)["matches"][0]["items"][0]
+        assert main(["query", str(tmp_path / "journal"), "--query",
+                     "support-history", "--items", top_item]) == 0
+        history = json.loads(capsys.readouterr().out)
+        assert len(history["history"]) == 3
+        assert history["first_frequent"] is not None
+
+    def test_query_missing_journal(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "missing"), "--query", "stats"])
+        assert code == EXIT_INPUT_ERROR
+        assert "cannot open journal" in capsys.readouterr().err
+
+    def test_query_items_required(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        code = main(["query", str(tmp_path / "journal"), "--query", "super"])
+        assert code == EXIT_USAGE_ERROR
+        assert "needs --items" in capsys.readouterr().err
+
+    def test_serve_missing_journal(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "missing")])
+        assert code == EXIT_INPUT_ERROR
+        assert "cannot open journal" in capsys.readouterr().err
+
+    def test_serve_answers_http_requests(self, tmp_path, capsys):
+        import json as json_module
+        import threading
+        import urllib.request
+
+        from repro.history.journal import open_journal
+        from repro.service.api import HistoryService
+        from repro.service.server import build_server
+
+        assert self._watch(tmp_path) == 0
+        # The serve handler wiring, exercised on an ephemeral port (the
+        # serve_forever loop itself is covered by the service suite).
+        server = build_server(
+            HistoryService(open_journal(tmp_path / "journal")), port=0
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/stats", timeout=10
+            ) as response:
+                assert json_module.loads(response.read())["slides"] == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestMineInputErrors:
     def test_missing_input_file_exits_with_stable_code(self, tmp_path, capsys):
         missing = tmp_path / "nope.fimi"
@@ -250,6 +414,40 @@ class TestBench:
         payload = json.loads(capsys.readouterr().out)
         assert payload["experiment"] == "E4-minsup-sweep"
         assert payload["rows"]
+
+    def test_bench_e10_runs(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "e10", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "E10-journal-history" in output
+        assert "journal_identical: True" in output
+        assert (tmp_path / "BENCH_e10.json").exists()
+
+    def test_bench_baseline_pass_and_fail(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "e4", "--scale", "tiny", "--json"]) == 0
+        outcome = json.loads(capsys.readouterr().out)
+        baseline = tmp_path / "BENCH_e4.json"
+        baseline.write_text(json.dumps(outcome), encoding="utf-8")
+        # Same workload against its own outcome: within budget, and the
+        # check's verdict stays off stdout so --json output remains parseable.
+        assert main(["bench", "e4", "--scale", "tiny", "--json",
+                     "--baseline", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "within budget" in captured.err
+        json.loads(captured.out)
+        # A tampered baseline (different minsup identity) must fail.
+        outcome["workload"] = "something-else"
+        baseline.write_text(json.dumps(outcome), encoding="utf-8")
+        assert main(["bench", "e4", "--scale", "tiny", "--json",
+                     "--baseline", str(baseline)]) == 1
+        assert "regression(s)" in capsys.readouterr().err
+
+    def test_bench_baseline_missing_file(self, capsys):
+        code = main(["bench", "e4", "--scale", "tiny", "--json",
+                     "--baseline", "/nonexistent/BENCH.json"])
+        assert code == EXIT_INPUT_ERROR
+        assert "cannot read baseline" in capsys.readouterr().err
 
 
 class TestMineOutputFormats:

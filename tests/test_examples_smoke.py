@@ -40,6 +40,14 @@ def test_semantic_web_example_finds_the_hot_cluster(capsys):
     assert "largest recurring connected structure" in output
 
 
+def test_pattern_history_example_detects_the_drift(capsys):
+    output = run_example("pattern_history.py", capsys)
+    assert "8 window slides journalled" in output
+    # The journal's provenance queries pinpoint the traffic drift.
+    assert "first became frequent at slide 4" in output
+    assert "last frequent at slide 5" in output
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -48,6 +56,7 @@ def test_semantic_web_example_finds_the_hot_cluster(capsys):
         "social_network_stream.py",
         "limited_memory_disk_mining.py",
         "topk_and_time_fading.py",
+        "pattern_history.py",
     ],
 )
 def test_every_example_exists_and_has_a_main(name):
