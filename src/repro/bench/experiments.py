@@ -29,10 +29,12 @@ from repro.bench.harness import (
 from repro.bench.metrics import Timer
 from repro.core.miner import StreamSubgraphMiner
 from repro.core.postprocess import filter_connected_patterns
+from repro.datasets.workloads import build_stream, get_workload
 from repro.exceptions import DatasetError
 from repro.ingest.api import IngestReport, ingest_transactions
 from repro.parallel.api import mine_window_parallel
 from repro.storage.backend import DiskWindowStore, MemoryWindowStore
+from repro.storage.shm import shared_memory_available
 from repro.stream.stream import TransactionStream
 
 #: DSMatrix algorithms that mine *all* collections of frequent edges (§3).
@@ -861,6 +863,228 @@ def experiment_journal_history(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E11 — segment-transport strong scaling (DESIGN.md §11)
+# ---------------------------------------------------------------------- #
+
+#: E11 scale -> canonical workload (see :mod:`repro.datasets.workloads`).
+_TRANSPORT_WORKLOADS = {
+    "tiny": "random-graph[smoke]",
+    "small": "random-graph[medium]",
+    "large": "random-graph[large]",
+}
+
+
+def experiment_transport_scaling(
+    scale: str = "tiny",
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    ingest_worker_counts: Sequence[int] = (0, 2),
+    max_inflight_values: Sequence[int] = (1, 4),
+    algorithm: str = DIRECT_ALGORITHM,
+    repeats: int = 3,
+    output_path: Optional[Union[str, Path]] = "BENCH_e11.json",
+) -> Dict[str, object]:
+    """Strong scaling of the shared-memory transport stack (DESIGN.md §11).
+
+    Runs on the *canonical seeded workloads* of
+    :mod:`repro.datasets.workloads` (``tiny`` → ``random-graph[smoke]``,
+    ``small`` → ``random-graph[medium]``, ``large`` → the million-snapshot
+    ``random-graph[large]``) and measures three things on one window:
+
+    * **scaling** rows — the window mined at each worker count with the
+      default (``"auto"``) transport on a run-scoped pool, plus the
+      ``workers=0`` reference; ``speedup_monotone`` asserts the runtime
+      does not degrade (within 10% noise slack) as workers grow — the
+      regression key for the workers=1-slower-than-workers=0 pathology
+      this subsystem exists to avoid;
+    * **ablation** rows — pickle vs shm transport at one worker and at
+      the maximum worker count, with the shard count pinned to ``2 ×
+      workers`` so the single-shard pool-skip heuristic cannot hide the
+      transport cost; ``shm_not_slower`` asserts shared memory beats (or
+      matches, within 10%) payload pickling at the top worker count;
+    * **pool** rows — the same parallel mine twice through one
+      :class:`StreamSubgraphMiner`, showing the persistent pool's spawn
+      cost amortising away on the second call;
+    * **parity** rows — a ``mine workers × ingest_workers ×
+      max_inflight`` grid, each cell a fresh miner consuming the same
+      stream and mining the same support; ``parallel_identical`` asserts
+      every cell (and every scaling/ablation run) produced the identical
+      answer.
+
+    Like E7-E10, the outcome is written to ``output_path``
+    (``BENCH_e11.json`` by default, pass ``None`` to skip) for the CI
+    artifact and the nightly regression gate.
+    """
+    workload_name = _TRANSPORT_WORKLOADS.get(scale)
+    if workload_name is None:
+        raise DatasetError(
+            f"unknown E11 scale {scale!r}; "
+            f"expected one of {sorted(_TRANSPORT_WORKLOADS)}"
+        )
+    spec = get_workload(workload_name)
+
+    def fresh_miner() -> StreamSubgraphMiner:
+        return StreamSubgraphMiner(
+            window_size=spec.window_size,
+            batch_size=spec.batch_size,
+            algorithm=algorithm,
+        )
+
+    miner = fresh_miner()
+    with Timer() as ingest_timer:
+        miner.consume(build_stream(spec, miner.registry))
+    matrix, registry = miner.matrix, miner.registry
+    support = max(2, int(round(matrix.num_columns * spec.minsup)))
+
+    rows: List[Dict[str, object]] = [
+        {
+            "phase": "ingest",
+            "batches": miner.batches_consumed,
+            "ingest_s": round(ingest_timer.elapsed, 4),
+        }
+    ]
+    all_identical = True
+    reference: Optional[Dict] = None
+
+    def check(patterns: Dict) -> int:
+        nonlocal reference, all_identical
+        if reference is None:
+            reference = patterns
+        elif patterns != reference:
+            all_identical = False
+        return len(patterns)
+
+    # Timed comparisons take the best of ``repeats`` runs: a single
+    # fork/IPC hiccup at tiny scale would otherwise flip the boolean
+    # regression keys on noise.
+    def timed_mine(**kwargs) -> Tuple[Dict, float]:
+        best: Optional[float] = None
+        for _ in range(repeats):
+            with Timer() as timer:
+                patterns, _stats = mine_window_parallel(
+                    matrix, algorithm, support, registry=registry, **kwargs
+                )
+            best = timer.elapsed if best is None else min(best, timer.elapsed)
+        return patterns, best
+
+    # --- scaling: auto transport, run-scoped pools --------------------- #
+    runtimes: Dict[int, float] = {}
+    baseline_runtime: Optional[float] = None
+    for workers in (0, *worker_counts):
+        patterns, elapsed = timed_mine(workers=workers)
+        runtimes[workers] = elapsed
+        if workers == 1:
+            baseline_runtime = elapsed
+        rows.append(
+            {
+                "phase": "scaling",
+                "workers": workers,
+                "transport": "auto",
+                "runtime_s": round(elapsed, 4),
+                "speedup_vs_1": (
+                    round(baseline_runtime / elapsed, 2)
+                    if baseline_runtime and elapsed > 0
+                    else None
+                ),
+                "patterns": check(patterns),
+            }
+        )
+    ordered = sorted(worker_counts)
+    speedup_monotone = all(
+        runtimes[nxt] <= runtimes[prev] * 1.10
+        for prev, nxt in zip(ordered, ordered[1:])
+    )
+
+    # --- ablation: pickle vs shm at 1 and max workers ------------------ #
+    transports = ("pickle", "shm") if shared_memory_available() else ("pickle",)
+    ablation: Dict[Tuple[int, str], float] = {}
+    for workers in sorted({1, max(ordered)}):
+        for transport in transports:
+            patterns, elapsed = timed_mine(
+                workers=workers, transport=transport, num_shards=2 * workers
+            )
+            ablation[(workers, transport)] = elapsed
+            rows.append(
+                {
+                    "phase": "ablation",
+                    "workers": workers,
+                    "transport": transport,
+                    "runtime_s": round(elapsed, 4),
+                    "patterns": check(patterns),
+                }
+            )
+    shm_not_slower: Optional[bool] = None
+    if "shm" in transports:
+        top = max(ordered)
+        shm_not_slower = ablation[(top, "shm")] <= ablation[(top, "pickle")] * 1.10
+
+    # --- pool reuse: spawn cost amortises across repeated mines -------- #
+    pool_workers = min(2, max(ordered))
+    for call in ("first", "repeat"):
+        with Timer() as timer:
+            result = miner.mine(support, workers=pool_workers)
+        rows.append(
+            {
+                "phase": "pool",
+                "call": call,
+                "workers": pool_workers,
+                "runtime_s": round(timer.elapsed, 4),
+                "patterns": len(result),
+            }
+        )
+    pool_spawns = (
+        miner.mining_pool.spawn_count if miner.mining_pool is not None else 0
+    )
+    miner.close()
+
+    # --- parity grid: mine workers x ingest workers x max inflight ----- #
+    for ingest_workers in ingest_worker_counts:
+        for max_inflight in max_inflight_values:
+            for workers in (0, max(ordered)):
+                with fresh_miner() as grid_miner:
+                    grid_miner.consume(
+                        build_stream(spec, grid_miner.registry),
+                        ingest_workers=ingest_workers,
+                        max_inflight=max_inflight,
+                    )
+                    result = grid_miner.mine(
+                        support, workers=workers, max_inflight=max_inflight
+                    )
+                patterns = {
+                    frozenset(p.sorted_items()): p.support for p in result
+                }
+                rows.append(
+                    {
+                        "phase": "parity",
+                        "workers": workers,
+                        "ingest_workers": ingest_workers,
+                        "max_inflight": max_inflight,
+                        "patterns": check(patterns),
+                    }
+                )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E11-transport-scaling",
+        "workload": spec.name,
+        "minsup": support,
+        "columns": matrix.num_columns,
+        "worker_counts": list(worker_counts),
+        "shared_memory_available": shared_memory_available(),
+        "pool_spawns": pool_spawns,
+        "rows": rows,
+        "parallel_identical": all_identical,
+        "speedup_monotone": speedup_monotone,
+        "shm_not_slower": shm_not_slower,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -873,4 +1097,5 @@ EXPERIMENTS = {
     "e8": experiment_ingest_scaling,
     "e9": experiment_pipelined_ingest,
     "e10": experiment_journal_history,
+    "e11": experiment_transport_scaling,
 }

@@ -41,6 +41,8 @@ BOOLEAN_KEYS = (
     "inflight_bounded",
     "journal_identical",
     "index_matches_bruteforce",
+    "speedup_monotone",
+    "shm_not_slower",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).

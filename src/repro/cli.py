@@ -8,6 +8,11 @@ Subcommands
 ``generate``
     Generate a synthetic dataset (random graph stream, IBM synthetic, or
     connect4-like) and write it as a FIMI transaction file.
+``gen``
+    Work with the *canonical seeded workloads* (DESIGN.md §11): list
+    them, validate one (determinism digest + parallel-vs-sequential
+    mining parity on a stream prefix) or export its transactions as a
+    FIMI file for ``mine``/``watch``.
 ``mine``
     Mine a FIMI transaction file with a sliding window and one of the five
     algorithms, optionally sharded over worker processes — ``--workers``
@@ -24,7 +29,7 @@ Subcommands
     Expose a journal over HTTP (``/patterns``, ``/history``, ``/topk``,
     ``/stats``) from a threaded stdlib server.
 ``bench``
-    Run one of the paper's experiments (e1-e10) and print its table;
+    Run one of the paper's experiments (e1-e11) and print its table;
     ``--baseline`` compares the outcome against a committed
     ``BENCH_*.json`` with the nightly regression gate.
 
@@ -50,7 +55,17 @@ from repro.datasets.fimi import read_fimi, write_fimi
 from repro.datasets.paper_example import paper_example_batches, paper_example_registry
 from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
 from repro.datasets.synthetic import IBMSyntheticGenerator
+from repro.datasets.workloads import (
+    WORKLOADS,
+    get_workload,
+    stream_snapshots,
+    stream_transactions,
+    validate_workload,
+    workload_names,
+)
 from repro.exceptions import DatasetError, HistoryError, ServiceError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.parallel.api import TRANSPORTS
 from repro.history.journal import DiskJournal, open_journal
 from repro.service.api import QUERY_KINDS, HistoryService
 from repro.service.server import serve_journal
@@ -93,6 +108,44 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--vertices", type=int, default=20, help="graph model vertices")
     generate.add_argument("--fanout", type=float, default=4.0, help="graph model average fan-out")
     generate.add_argument("--seed", type=int, default=42, help="random seed")
+
+    gen = subparsers.add_parser(
+        "gen", help="list, validate or export the canonical seeded workloads"
+    )
+    gen.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="canonical workload name (omit with --list)",
+    )
+    gen.add_argument(
+        "--list", action="store_true", help="list the canonical workloads"
+    )
+    gen.add_argument(
+        "--units",
+        type=int,
+        default=None,
+        help=(
+            "stream prefix to validate/export (default: up to 2000 units "
+            "for validation, the full stream for --output)"
+        ),
+    )
+    gen.add_argument(
+        "--output",
+        default=None,
+        help="write the workload's transactions to this FIMI file",
+    )
+    gen.add_argument(
+        "--no-mine",
+        action="store_true",
+        help="skip the mining-parity leg of validation (digest only)",
+    )
+    gen.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the parallel leg of the parity check",
+    )
 
     mine = subparsers.add_parser("mine", help="mine a FIMI transaction file")
     _add_stream_options(mine)
@@ -189,7 +242,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("bench", help="run one of the paper's experiments")
     bench.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
     bench.add_argument(
-        "--scale", choices=("tiny", "small", "paper"), default="small", help="workload size"
+        "--scale",
+        choices=("tiny", "small", "paper", "large"),
+        default="small",
+        help=(
+            "workload size (e1-e10 accept tiny/small/paper; e11 accepts "
+            "tiny/small/large — large streams a million snapshots)"
+        ),
     )
     bench.add_argument("--json", action="store_true", help="print raw JSON instead of a table")
     bench.add_argument(
@@ -258,6 +317,17 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
             "encode/commit overlap"
         ),
     )
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="auto",
+        help=(
+            "segment transport for parallel runs: auto uses shared memory "
+            "when the host supports it, shm demands it, pickle forces "
+            "payload shipping (the benchmark ablation mode); the mined "
+            "answer is identical for every choice"
+        ),
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -298,6 +368,77 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     path = write_fimi(args.output, transactions)
     print(f"wrote {len(transactions)} transactions to {path}")
     return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    if args.list or args.workload is None:
+        if args.workload is None and not args.list:
+            print(
+                "error: name a canonical workload or pass --list",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE_ERROR
+        for name in workload_names():
+            spec = WORKLOADS[name]
+            print(
+                f"{name}  kind={spec.kind} units={spec.num_units} "
+                f"batch={spec.batch_size} window={spec.window_size} "
+                f"minsup={spec.minsup}"
+            )
+        return 0
+    try:
+        spec = get_workload(args.workload)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    if args.units is not None and args.units < 1:
+        print(f"error: --units must be at least 1, got {args.units}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    if args.workers < 0:
+        print(f"error: --workers must be non-negative, got {args.workers}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    if args.output is not None:
+        # Export as item transactions: graph snapshots are encoded through
+        # a fresh registry (deterministic — symbols follow first occurrence
+        # in the pinned stream), so the file feeds `repro mine`/`watch`.
+        if spec.kind == "graph":
+            registry = EdgeRegistry()
+            units = (
+                registry.encode(snapshot)
+                for snapshot in stream_snapshots(spec, limit=args.units)
+            )
+        else:
+            units = stream_transactions(spec, limit=args.units)
+        count = 0
+
+        def counted():
+            nonlocal count
+            for unit in units:
+                count += 1
+                yield unit
+
+        path = write_fimi(args.output, counted())
+        print(f"wrote {count} transactions of {spec.name} to {path}")
+        return 0
+    validation = validate_workload(
+        spec, units=args.units, mine=not args.no_mine, workers=args.workers
+    )
+    print(
+        f"{validation.name}: validated {validation.units} of "
+        f"{spec.num_units} units"
+    )
+    print(f"digest: {validation.digest}")
+    print(f"deterministic: {validation.deterministic}")
+    if validation.parallel_identical is not None:
+        print(
+            f"parallel mining parity ({args.workers} workers): "
+            f"{validation.parallel_identical} "
+            f"({validation.patterns} patterns at minsup={spec.minsup})"
+        )
+    ok = validation.deterministic and validation.parallel_identical is not False
+    if not ok:
+        print("error: workload validation FAILED", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def _read_transactions(path: str):
@@ -379,22 +520,24 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         storage=args.storage,
         storage_path=args.storage_path,
+        transport=args.transport,
     )
-    if args.ingest_workers > 0:
-        miner.consume(
-            TransactionStream(transactions, batch_size=args.batch_size),
-            ingest_workers=args.ingest_workers,
+    with miner:
+        if args.ingest_workers > 0:
+            miner.consume(
+                TransactionStream(transactions, batch_size=args.batch_size),
+                ingest_workers=args.ingest_workers,
+                max_inflight=args.max_inflight,
+            )
+        else:
+            miner.add_transactions(transactions)
+        minsup = args.minsup if args.minsup < 1 else int(args.minsup)
+        result = miner.mine(
+            minsup,
+            connected_only=_connectivity_for(args),
+            workers=args.workers,
             max_inflight=args.max_inflight,
         )
-    else:
-        miner.add_transactions(transactions)
-    minsup = args.minsup if args.minsup < 1 else int(args.minsup)
-    result = miner.mine(
-        minsup,
-        connected_only=_connectivity_for(args),
-        workers=args.workers,
-        max_inflight=args.max_inflight,
-    )
     if args.format == "json":
         rendered = result_to_json(result, miner.registry)
     elif args.format == "csv":
@@ -437,17 +580,19 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         algorithm=args.algorithm,
         on_slide=journal.append,
+        transport=args.transport,
     )
     minsup = args.minsup if args.minsup < 1 else int(args.minsup)
     try:
-        report = miner.watch(
-            TransactionStream(transactions, batch_size=args.batch_size),
-            minsup,
-            connected_only=_connectivity_for(args),
-            workers=args.workers,
-            ingest_workers=args.ingest_workers if args.ingest_workers > 0 else None,
-            max_inflight=args.max_inflight,
-        )
+        with miner:
+            report = miner.watch(
+                TransactionStream(transactions, batch_size=args.batch_size),
+                minsup,
+                connected_only=_connectivity_for(args),
+                workers=args.workers,
+                ingest_workers=args.ingest_workers if args.ingest_workers > 0 else None,
+                max_inflight=args.max_inflight,
+            )
     except HistoryError as exc:
         # Typically: re-watching into a journal that already holds slides
         # (slide ids restart at 0, breaking the append-only order).
@@ -508,7 +653,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS[args.experiment]
-    outcome = driver(scale=args.scale)
+    try:
+        outcome = driver(scale=args.scale)
+    except DatasetError as exc:
+        # e1-e10 reject "large", e11 rejects "paper" — a usage error.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
     if args.json:
         print(json.dumps(outcome, indent=2, default=str))
     else:
@@ -544,6 +694,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "generate": _cmd_generate,
+        "gen": _cmd_gen,
         "mine": _cmd_mine,
         "watch": _cmd_watch,
         "query": _cmd_query,

@@ -36,7 +36,8 @@ from repro.ingest.api import (
     ingest_snapshots,
     ingest_transactions,
 )
-from repro.parallel.api import mine_window_parallel
+from repro.parallel.api import TRANSPORTS, mine_window_parallel
+from repro.parallel.pool import PersistentWorkerPool
 from repro.graph.graph import GraphSnapshot
 from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
@@ -94,6 +95,10 @@ class StreamSubgraphMiner:
         :meth:`watch` runs it receives one sealed
         :class:`~repro.history.journal.SlideRecord` per window slide.
         Further sinks can be attached with :meth:`add_slide_sink`.
+    transport:
+        Segment transport for parallel runs (DESIGN.md §11): ``"auto"``
+        (shared memory when the host supports it, the default), ``"shm"``
+        (demand shared memory) or ``"pickle"`` (force payload shipping).
     """
 
     def __init__(
@@ -106,9 +111,16 @@ class StreamSubgraphMiner:
         storage_path: Optional[Union[str, Path]] = None,
         storage: Optional[Union[str, WindowStore]] = None,
         on_slide: Optional[SlideSink] = None,
+        transport: str = "auto",
     ) -> None:
         if batch_size <= 0:
             raise StreamError(f"batch_size must be positive, got {batch_size}")
+        if transport not in TRANSPORTS:
+            raise MiningError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        self._transport = transport
+        self._mining_pool: Optional[PersistentWorkerPool] = None
         self._registry = registry if registry is not None else EdgeRegistry()
         self._matrix = DSMatrix(
             window_size=window_size,
@@ -193,6 +205,16 @@ class StreamSubgraphMiner:
         produce a report.
         """
         return self._last_ingest_report
+
+    @property
+    def transport(self) -> str:
+        """The configured segment transport for parallel runs."""
+        return self._transport
+
+    @property
+    def mining_pool(self) -> Optional[PersistentWorkerPool]:
+        """The persistent mining pool, once a parallel mine has spawned it."""
+        return self._mining_pool
 
     @property
     def slide_sinks(self) -> Sequence[SlideSink]:
@@ -309,6 +331,7 @@ class StreamSubgraphMiner:
                 register_new_edges=stream.register_new_edges,
                 max_inflight=max_inflight,
                 on_batch_committed=on_batch_committed,
+                transport=self._transport,
             )
         elif isinstance(stream, TransactionStream):
             report = ingest_transactions(
@@ -319,6 +342,7 @@ class StreamSubgraphMiner:
                 drop_last=stream.drop_last,
                 max_inflight=max_inflight,
                 on_batch_committed=on_batch_committed,
+                transport=self._transport,
             )
         else:
             report = ingest_batches(
@@ -327,6 +351,7 @@ class StreamSubgraphMiner:
                 workers=ingest_workers,
                 max_inflight=max_inflight,
                 on_batch_committed=on_batch_committed,
+                transport=self._transport,
             )
         self._batches_consumed += report.batches
         self._last_ingest_report = report
@@ -511,6 +536,8 @@ class StreamSubgraphMiner:
                 workers=workers,
                 registry=self._registry,
                 max_inflight=max_inflight,
+                transport=self._transport,
+                pool=self._ensure_pool(workers),
             )
             miner.stats = stats  # aggregated shard instrumentation
         else:
@@ -539,6 +566,42 @@ class StreamSubgraphMiner:
     def available_algorithms(self) -> Sequence[str]:
         """Names of the algorithms that can be passed to :meth:`mine`."""
         return tuple(sorted(ALGORITHMS))
+
+    # ------------------------------------------------------------------ #
+    # worker-pool lifecycle (DESIGN.md §11)
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self, workers: int) -> PersistentWorkerPool:
+        """The miner's persistent mining pool, (re)built for ``workers``.
+
+        The pool is spawned lazily on the first parallel mine and reused
+        by every later one — a watch run that mines each of thousands of
+        slides pays the process-spawn cost once, not per slide.  Changing
+        the worker count mid-life retires the old pool first.
+        """
+        pool = self._mining_pool
+        if pool is not None and (pool.closed or pool.workers != workers):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = PersistentWorkerPool(workers)
+            self._mining_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        The miner stays usable afterwards — the next parallel mine simply
+        spawns a fresh pool.
+        """
+        if self._mining_pool is not None:
+            self._mining_pool.close()
+            self._mining_pool = None
+
+    def __enter__(self) -> "StreamSubgraphMiner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -30,11 +30,31 @@ from repro.datasets.stats import (
     transaction_stats,
 )
 from repro.datasets.synthetic import IBMSyntheticGenerator
+from repro.datasets.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    WorkloadValidation,
+    build_stream,
+    get_workload,
+    stream_snapshots,
+    stream_transactions,
+    validate_workload,
+    workload_names,
+)
 
 __all__ = [
     "RandomGraphModel",
     "GraphStreamGenerator",
     "IBMSyntheticGenerator",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "WorkloadValidation",
+    "build_stream",
+    "get_workload",
+    "stream_snapshots",
+    "stream_transactions",
+    "validate_workload",
+    "workload_names",
     "Connect4LikeGenerator",
     "read_fimi",
     "write_fimi",

@@ -26,6 +26,9 @@ from repro.exceptions import DatasetError
 
 Transaction = Tuple[str, ...]
 
+#: How the pattern pool's selection weights decay with pattern rank.
+PATTERN_WEIGHTINGS = ("exponential", "zipf")
+
 
 class IBMSyntheticGenerator:
     """Quest-style T·I·D synthetic transaction generator.
@@ -46,6 +49,14 @@ class IBMSyntheticGenerator:
     corruption_level:
         Mean fraction of a pattern's items dropped when it is inserted into a
         transaction.
+    pattern_weighting:
+        Shape of the pattern-selection weights: ``"exponential"`` (the
+        historical default — a few patterns dominate, the tail vanishes
+        quickly) or ``"zipf"`` (power-law decay ``1/rank^s``, giving the
+        heavy-tailed item skew of real web/transaction streams; the shape
+        the large-scale benchmark workloads use).
+    zipf_exponent:
+        The exponent ``s`` of the ``"zipf"`` weighting (ignored otherwise).
     seed:
         Seed of the internal random generator.
     """
@@ -58,6 +69,8 @@ class IBMSyntheticGenerator:
         num_patterns: int = 100,
         correlation: float = 0.25,
         corruption_level: float = 0.25,
+        pattern_weighting: str = "exponential",
+        zipf_exponent: float = 1.1,
         seed: int = 0,
     ) -> None:
         if num_items < 1:
@@ -70,12 +83,21 @@ class IBMSyntheticGenerator:
             raise DatasetError("correlation must lie in [0, 1]")
         if not (0.0 <= corruption_level < 1.0):
             raise DatasetError("corruption_level must lie in [0, 1)")
+        if pattern_weighting not in PATTERN_WEIGHTINGS:
+            raise DatasetError(
+                f"unknown pattern_weighting {pattern_weighting!r}; "
+                f"expected one of {PATTERN_WEIGHTINGS}"
+            )
+        if zipf_exponent <= 0:
+            raise DatasetError("zipf_exponent must be positive")
         self.num_items = num_items
         self.avg_transaction_length = avg_transaction_length
         self.avg_pattern_length = avg_pattern_length
         self.num_patterns = num_patterns
         self.correlation = correlation
         self.corruption_level = corruption_level
+        self.pattern_weighting = pattern_weighting
+        self.zipf_exponent = zipf_exponent
         self._rng = random.Random(seed)
         self._patterns, self._pattern_weights = self._build_patterns()
 
@@ -115,8 +137,16 @@ class IBMSyntheticGenerator:
                 pattern = (self._item(self._rng.randrange(self.num_items)),)
             patterns.append(pattern)
             previous = list(pattern)
-        # Exponentially decaying pattern weights (a few patterns dominate).
-        weights = [math.exp(-index / max(1, self.num_patterns / 5)) for index in range(self.num_patterns)]
+        if self.pattern_weighting == "zipf":
+            # Power-law decay: the tail stays fat, so large windows keep
+            # meeting mid-rank patterns (heavy-tailed item skew).
+            weights = [
+                1.0 / ((index + 1) ** self.zipf_exponent)
+                for index in range(self.num_patterns)
+            ]
+        else:
+            # Exponentially decaying pattern weights (a few patterns dominate).
+            weights = [math.exp(-index / max(1, self.num_patterns / 5)) for index in range(self.num_patterns)]
         return patterns, weights
 
     @property

@@ -31,11 +31,16 @@ from repro.ingest.worker import (
     initialize_ingest_worker,
 )
 from repro.parallel.pipeline import PipelineExecutor
+from repro.parallel.pool import effective_workers
 from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
+from repro.storage.shm import shared_memory_available
 from repro.stream.batch import Batch
 
 MatrixLike = Union[DSMatrix, WindowStore]
+
+#: Accepted segment transports (mirrors :data:`repro.parallel.api.TRANSPORTS`).
+TRANSPORTS = ("auto", "shm", "pickle")
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,8 @@ class IngestReport:
     max_inflight: int = 1
     #: High-water mark of submitted-but-uncommitted chunks actually seen.
     peak_inflight: int = 0
+    #: How worker results travelled back: ``"shm"`` or ``"pickle"``.
+    transport: str = "pickle"
 
 
 def _store_of(matrix: MatrixLike) -> WindowStore:
@@ -68,6 +75,7 @@ def ingest_transactions(
     drop_last: bool = False,
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
+    transport: str = "auto",
 ) -> IngestReport:
     """Batch, count and commit raw transactions through ingest workers."""
     planner = IngestPlanner(batch_size, chunk_batches=chunk_batches)
@@ -79,6 +87,7 @@ def ingest_transactions(
         workers=workers,
         max_inflight=max_inflight,
         on_batch_committed=on_batch_committed,
+        transport=transport,
     )
 
 
@@ -92,6 +101,7 @@ def ingest_snapshots(
     chunk_batches: int = 1,
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
+    transport: str = "auto",
 ) -> IngestReport:
     """Encode, count and commit graph snapshots through ingest workers.
 
@@ -110,6 +120,7 @@ def ingest_snapshots(
         register_new_edges=register_new_edges,
         max_inflight=max_inflight,
         on_batch_committed=on_batch_committed,
+        transport=transport,
     )
 
 
@@ -120,6 +131,7 @@ def ingest_batches(
     chunk_batches: int = 1,
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
+    transport: str = "auto",
 ) -> IngestReport:
     """Count and commit ready-made batches through ingest workers.
 
@@ -135,6 +147,7 @@ def ingest_batches(
         workers=workers,
         max_inflight=max_inflight,
         on_batch_committed=on_batch_committed,
+        transport=transport,
     )
 
 
@@ -147,6 +160,7 @@ def _run(
     register_new_edges: bool = True,
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
+    transport: str = "auto",
 ) -> IngestReport:
     """Pipeline chunks through workers, committing outcomes in stream order.
 
@@ -157,6 +171,13 @@ def _run(
     pattern-history subsystem's per-slide hook (it runs in the caller's
     process and may be arbitrarily heavy; workers keep encoding later
     chunks underneath it).
+
+    Single-chunk plans (and ``workers=0``) run in-process — the pool-skip
+    heuristic of DESIGN.md §11; the committed window is byte-identical
+    either way.  ``transport`` chooses how encoded payloads travel back
+    from real worker processes: ``"auto"`` ships them through per-chunk
+    shared-memory blocks when the host supports it, ``"shm"`` demands
+    that, ``"pickle"`` forces the original copy-back path.
     """
     if workers < 0:
         raise IngestError(f"ingest workers must be non-negative, got {workers}")
@@ -164,6 +185,19 @@ def _run(
         # Same contract as the executor's own check, surfaced as the
         # ingestion API's exception type like the workers validation above.
         raise IngestError(f"max_inflight must be at least 1, got {max_inflight}")
+    if transport not in TRANSPORTS:
+        raise IngestError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    effective = effective_workers(workers, len(chunks))
+    if transport == "shm" and not shared_memory_available():
+        raise IngestError(
+            "transport='shm' requested but shared memory is unavailable "
+            "on this host"
+        )
+    use_shm = (
+        transport != "pickle" and effective >= 1 and shared_memory_available()
+    )
     window = _store_of(store)
     base_segment_id = window.next_segment_id
     context = uuid.uuid4().hex
@@ -175,6 +209,7 @@ def _run(
             batches=chunk.batches,
             context=context,
             register_new_edges=register_new_edges,
+            use_shared_memory=use_shm,
         )
         for chunk in chunks
     ]
@@ -184,7 +219,7 @@ def _run(
         register_new_edges=register_new_edges,
         on_batch_committed=on_batch_committed,
     )
-    executor = PipelineExecutor(workers, max_inflight=max_inflight)
+    executor = PipelineExecutor(effective, max_inflight=max_inflight)
     try:
         # The registry snapshot ships once per worker via the pool
         # initializer, not once per chunk task; workers never mutate it.
@@ -208,4 +243,5 @@ def _run(
         execution_mode=stats.execution_mode,
         max_inflight=executor.max_inflight,
         peak_inflight=stats.peak_inflight,
+        transport="shm" if use_shm else "pickle",
     )

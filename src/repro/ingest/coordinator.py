@@ -25,9 +25,15 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.exceptions import EdgeRegistryError, IngestError
 from repro.graph.edge import Edge
 from repro.graph.edge_registry import EdgeRegistry
-from repro.ingest.worker import ChunkOutcome, is_provisional, provisional_symbol
+from repro.ingest.worker import (
+    ChunkOutcome,
+    SegmentDraft,
+    is_provisional,
+    provisional_symbol,
+)
 from repro.storage.backend import WindowStore
 from repro.storage.segments import Segment
+from repro.storage.shm import read_shared_block, unlink_block
 
 
 class WindowCoordinator:
@@ -98,35 +104,61 @@ class WindowCoordinator:
                 f"expected chunk {self._next_chunk_id}"
             )
         mapping = self._merge_new_edges(outcome.new_edges)
-        for draft in outcome.drafts:
-            rows = draft.rows
-            payload = draft.payload
-            if any(is_provisional(item) for item in rows):
-                rows = {
-                    mapping.get(item, item): bits for item, bits in rows.items()
-                }
-                payload = None
-                unresolved = sorted(item for item in rows if is_provisional(item))
-                if unresolved:
-                    raise IngestError(
-                        f"chunk {outcome.chunk_id} references "
-                        f"{len(unresolved)} provisional items with no "
-                        "matching new_edges entry"
-                    )
-            # The worker's payload (when the rows were final) seeds the
-            # segment's serialisation cache: persistence and later handle
-            # shipping reuse those exact bytes instead of re-serialising.
-            segment = Segment(
-                draft.segment_id, draft.num_columns, rows, payload=payload
-            )
-            self.columns_evicted += self._store.append_segment(
-                segment, payload=payload
-            )
-            self.batches_committed += 1
-            self.columns_committed += draft.num_columns
-            if self._on_batch_committed is not None:
-                self._on_batch_committed()
+        try:
+            for draft in outcome.drafts:
+                segment, payload = self._materialise(outcome.chunk_id, draft, mapping)
+                self.columns_evicted += self._store.append_segment(
+                    segment, payload=payload
+                )
+                self.batches_committed += 1
+                self.columns_committed += draft.num_columns
+                if self._on_batch_committed is not None:
+                    self._on_batch_committed()
+        finally:
+            # The chunk's shared-memory block (when the worker used one)
+            # is consumed by this commit — unlink it even when a commit
+            # step fails, so aborted runs do not strand /dev/shm blocks.
+            if outcome.shm_name is not None:
+                unlink_block(outcome.shm_name)
         self._next_chunk_id += 1
+
+    def _materialise(
+        self,
+        chunk_id: int,
+        draft: SegmentDraft,
+        mapping: Dict[str, str],
+    ) -> Tuple[Segment, Optional[bytes]]:
+        """One draft → the segment to append plus its verbatim payload."""
+        rows = draft.rows
+        payload = draft.payload
+        if draft.shm is not None:
+            name, offset, size = draft.shm
+            payload = read_shared_block(name, offset, size)
+        if rows is None:
+            # Payload-only transport shapes: the serialisation is the
+            # single source of truth; decoding it rebuilds the rows and
+            # seeds the segment's payload cache with the exact bytes.
+            if payload is None:
+                raise IngestError(
+                    f"chunk {chunk_id} shipped a draft with neither rows "
+                    "nor a payload"
+                )
+            return Segment.from_bytes(payload), payload
+        if any(is_provisional(item) for item in rows):
+            rows = {mapping.get(item, item): bits for item, bits in rows.items()}
+            payload = None
+            unresolved = sorted(item for item in rows if is_provisional(item))
+            if unresolved:
+                raise IngestError(
+                    f"chunk {chunk_id} references "
+                    f"{len(unresolved)} provisional items with no "
+                    "matching new_edges entry"
+                )
+        # The worker's payload (when the rows were final) seeds the
+        # segment's serialisation cache: persistence and later handle
+        # shipping reuse those exact bytes instead of re-serialising.
+        segment = Segment(draft.segment_id, draft.num_columns, rows, payload=payload)
+        return segment, payload
 
     def _merge_new_edges(
         self, new_edges: Tuple[Edge, ...]

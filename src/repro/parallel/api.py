@@ -17,11 +17,12 @@ from typing import Collection, Dict, FrozenSet, List, Optional, Tuple, Type, Uni
 
 from repro.core.algorithms import ALGORITHMS
 from repro.core.algorithms.base import MiningAlgorithm, MiningStats
-from repro.exceptions import ParallelMiningError
+from repro.exceptions import ParallelMiningError, SharedMemoryError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.parallel.merge import merge_pattern_counts_into, merge_stats
 from repro.parallel.pipeline import PipelineExecutor
 from repro.parallel.planner import ShardPlanner
+from repro.parallel.pool import PersistentWorkerPool, effective_workers
 from repro.parallel.worker import (
     MiningShardTask,
     ShardOutcome,
@@ -33,10 +34,21 @@ from repro.parallel.worker import (
 )
 from repro.storage.backend import DiskWindowStore, WindowStore
 from repro.storage.dsmatrix import DSMatrix
+from repro.storage.segments import SegmentHandle
+from repro.storage.shm import (
+    SharedSegmentArena,
+    publish_segments,
+    shared_memory_available,
+)
 
 Items = FrozenSet[str]
 PatternCounts = Dict[Items, int]
 MatrixLike = Union[DSMatrix, WindowStore]
+
+#: Accepted segment transports: ``"auto"`` uses shared memory when the
+#: host supports it, ``"shm"`` demands it, ``"pickle"`` forces payload
+#: shipping (the ablation mode of the transport benchmark).
+TRANSPORTS = ("auto", "shm", "pickle")
 
 
 def _store_of(matrix: MatrixLike) -> WindowStore:
@@ -47,6 +59,35 @@ def _shard_count(workers: int, num_shards: Optional[int]) -> int:
     if num_shards is not None:
         return num_shards
     return max(1, workers)
+
+
+def _check_transport(transport: str) -> None:
+    if transport not in TRANSPORTS:
+        raise ParallelMiningError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+
+
+def _publish_window(
+    handles: Tuple[SegmentHandle, ...], transport: str, workers: int
+) -> Tuple[Optional[SharedSegmentArena], Tuple[SegmentHandle, ...]]:
+    """Wrap the window's handles in a shared-memory arena when asked and useful.
+
+    ``transport="shm"`` insists: an unavailable shm subsystem raises
+    instead of silently measuring the pickle transport.  ``"auto"``
+    degrades to the original handles (in-process runs also skip the
+    arena — the caller's own memory already holds the payloads).
+    """
+    if transport == "pickle" or workers < 1:
+        return None, handles
+    if not shared_memory_available():
+        if transport == "shm":
+            raise ParallelMiningError(
+                "transport='shm' requested but shared memory is unavailable "
+                "on this host"
+            )
+        return None, handles
+    return publish_segments(handles)
 
 
 def _resolve_algorithm_class(
@@ -83,15 +124,17 @@ def mine_window_parallel(
     registry: Optional[EdgeRegistry] = None,
     num_shards: Optional[int] = None,
     max_inflight: Optional[int] = None,
+    transport: str = "auto",
+    pool: Optional[PersistentWorkerPool] = None,
 ) -> Tuple[PatternCounts, MiningStats]:
     """Mine the window by pipelining item shards over worker processes.
 
-    The window travels as segment handles (paths or payload bytes, never a
-    live store), each worker runs the algorithm's shard-aware entry point
-    over its owned items, and shard results are merged **incrementally as
-    shards finish** (in shard order) into exactly the sequential pattern
-    set — at most ``max_inflight`` unmerged shard results are resident at
-    any moment.
+    The window travels as segment handles (paths, payload bytes or
+    shared-memory spans — never a live store), each worker runs the
+    algorithm's shard-aware entry point over its owned items, and shard
+    results are merged **incrementally as shards finish** (in shard order)
+    into exactly the sequential pattern set — at most ``max_inflight``
+    unmerged shard results are resident at any moment.
 
     Parameters
     ----------
@@ -104,7 +147,8 @@ def mine_window_parallel(
         Absolute minimum support.
     workers:
         ``0`` for the deterministic in-process reference mode, ``n >= 1``
-        for a process pool of ``n`` workers.
+        for a process pool of ``n`` workers.  Single-shard plans run
+        in-process regardless (:func:`effective_workers`).
     registry:
         Edge registry, required by the direct algorithm.
     num_shards:
@@ -112,6 +156,14 @@ def mine_window_parallel(
     max_inflight:
         Bound on submitted-but-unmerged shards; defaults to
         ``2 * workers`` (minimum 1).
+    transport:
+        ``"auto"`` (shared memory when available), ``"shm"`` (required) or
+        ``"pickle"`` (payload shipping — the benchmark ablation mode).
+        An shm block that cannot be attached mid-run falls back to one
+        deterministic pickle-transport re-run.
+    pool:
+        Optional persistent worker pool to schedule onto (DESIGN.md §11).
+        Without one, a run-scoped pool is spawned and torn down as before.
 
     Returns
     -------
@@ -119,6 +171,7 @@ def mine_window_parallel(
         The merged pattern -> support mapping and the aggregated
         instrumentation of all shards.
     """
+    _check_transport(transport)
     store = _store_of(matrix)
     name = algorithm if isinstance(algorithm, str) else algorithm.name
     algorithm_cls = _resolve_algorithm_class(algorithm)
@@ -134,44 +187,83 @@ def mine_window_parallel(
         if isinstance(store, DiskWindowStore) and store.layout == "segmented"
         else None
     )
-    window = WindowTask(
-        window_size=store.window_size,
-        handles=tuple(store.segment_handles()),
-        known_items=tuple(store.items()),
-        store_path=store_path,
-    )
-    context = uuid.uuid4().hex
-    tasks = [
-        MiningShardTask(
-            shard_id=shard.shard_id,
-            algorithm=name,
-            minsup=minsup,
-            owned_items=shard.items,
-            context=context,
-        )
-        for shard in planner.plan_items(store.items())
-    ]
-    patterns: PatternCounts = {}
-    stats_parts: List[Dict[str, int]] = []
+    known_items = tuple(store.items())
+    shards = list(planner.plan_items(known_items))
+    effective = effective_workers(workers, len(shards))
+    base_handles = tuple(store.segment_handles())
+    arena, handles = _publish_window(base_handles, transport, effective)
+    # A persistent pool cannot run per-run initializers, so its runs
+    # attach the window (and registry) to every shard task; the workers'
+    # per-context cache still rebuilds the window only once per process.
+    attach_to_tasks = pool is not None and effective >= 1
 
-    def _merge_outcome(outcome: ShardOutcome) -> None:
-        merge_pattern_counts_into(patterns, outcome.patterns)
-        stats_parts.append(outcome.stats)
+    def _execute(
+        window_handles: Tuple[SegmentHandle, ...],
+    ) -> Tuple[PatternCounts, List[Dict[str, int]]]:
+        context = uuid.uuid4().hex
+        window = WindowTask(
+            window_size=store.window_size,
+            handles=window_handles,
+            known_items=known_items,
+            store_path=store_path,
+        )
+        tasks = [
+            MiningShardTask(
+                shard_id=shard.shard_id,
+                algorithm=name,
+                minsup=minsup,
+                owned_items=shard.items,
+                context=context,
+                window=window if attach_to_tasks else None,
+                registry=registry if attach_to_tasks else None,
+            )
+            for shard in shards
+        ]
+        patterns: PatternCounts = {}
+        stats_parts: List[Dict[str, int]] = []
+
+        def _merge_outcome(outcome: ShardOutcome) -> None:
+            merge_pattern_counts_into(patterns, outcome.patterns)
+            stats_parts.append(outcome.stats)
+
+        executor = PipelineExecutor(
+            effective,
+            max_inflight=max_inflight,
+            pool=pool if attach_to_tasks else None,
+        )
+        try:
+            if attach_to_tasks:
+                executor.run(run_mining_shard, tasks, _merge_outcome)
+            else:
+                # The window and registry ship once per worker via the pool
+                # initializer, not once per shard task; each shard's
+                # patterns fold into the running union the moment its
+                # predecessors have merged.
+                executor.run(
+                    run_mining_shard,
+                    tasks,
+                    _merge_outcome,
+                    initializer=initialize_mining_worker,
+                    initargs=(context, window, registry),
+                )
+        finally:
+            # In-process runs installed the window in *this* process; drop it.
+            clear_mining_worker(context)
+        return patterns, stats_parts
 
     try:
-        # The window and registry ship once per worker via the pool
-        # initializer, not once per shard task; each shard's patterns fold
-        # into the running union the moment its predecessors have merged.
-        PipelineExecutor(workers, max_inflight=max_inflight).run(
-            run_mining_shard,
-            tasks,
-            _merge_outcome,
-            initializer=initialize_mining_worker,
-            initargs=(context, window, registry),
-        )
+        try:
+            patterns, stats_parts = _execute(handles)
+        except SharedMemoryError:
+            # The arena vanished mid-run (shm pressure, external cleanup).
+            # Shards are deterministic, so one pickle-transport re-run
+            # from scratch returns the identical answer.
+            if arena is None:
+                raise
+            patterns, stats_parts = _execute(base_handles)
     finally:
-        # In-process runs installed the window in *this* process; drop it.
-        clear_mining_worker(context)
+        if arena is not None:
+            arena.close()
     stats = merge_stats(stats_parts)
     stats.patterns_found = len(patterns)
     return patterns, stats
@@ -182,6 +274,7 @@ def count_supports_parallel(
     workers: int,
     num_shards: Optional[int] = None,
     max_inflight: Optional[int] = None,
+    transport: str = "auto",
 ) -> Dict[str, int]:
     """Compute window-wide per-item supports from segment-aligned shards.
 
@@ -189,16 +282,37 @@ def count_supports_parallel(
     added into the running total as shards finish.  The merged counter
     equals ``matrix.item_frequencies()`` restricted to items that occur in
     the window (zero-support items of a grow-only universe never appear in
-    any segment).
+    any segment).  Counting reads the serialised bytes directly through
+    the bulk popcount kernel; like mining, segment payloads travel via
+    shared memory when the transport allows it.
     """
+    _check_transport(transport)
     store = _store_of(matrix)
     planner = ShardPlanner(_shard_count(workers, num_shards))
-    shards = planner.plan_segments(store.segment_handles())
-    merged: Counter = Counter()
-    PipelineExecutor(workers, max_inflight=max_inflight).run(
-        count_segment_shard, shards, lambda part: merged.update(part)
-    )
-    return dict(merged)
+    base_handles = tuple(store.segment_handles())
+    shards = list(planner.plan_segments(base_handles))
+    effective = effective_workers(workers, len(shards))
+    arena, handles = _publish_window(base_handles, transport, effective)
+
+    def _count(plan_handles: Tuple[SegmentHandle, ...]) -> Dict[str, int]:
+        merged: Counter = Counter()
+        PipelineExecutor(effective, max_inflight=max_inflight).run(
+            count_segment_shard,
+            planner.plan_segments(plan_handles),
+            lambda part: merged.update(part),
+        )
+        return dict(merged)
+
+    try:
+        try:
+            return _count(handles)
+        except SharedMemoryError:
+            if arena is None:
+                raise
+            return _count(base_handles)
+    finally:
+        if arena is not None:
+            arena.close()
 
 
 def frequent_items_parallel(

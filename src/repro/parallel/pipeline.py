@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple, TypeVar
 
 from repro.exceptions import ParallelMiningError
-from repro.parallel.pool import process_pools_available
+from repro.parallel.pool import PersistentWorkerPool, process_pools_available
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -78,9 +78,22 @@ class PipelineExecutor:
         Maximum number of submitted-but-uncommitted tasks.  Defaults to
         ``2 * workers`` (minimum 1); ``1`` degenerates to lock-step
         submit/commit, larger values trade memory for overlap.
+    pool:
+        Optional :class:`~repro.parallel.pool.PersistentWorkerPool` to
+        schedule onto instead of a run-scoped executor (DESIGN.md §11).
+        The pool is *borrowed*: this executor never shuts it down, and a
+        broken executor is reported back via ``pool.mark_broken()``.
+        Because a persistent pool's workers outlive the run, per-run
+        ``initializer``/``initargs`` cannot be used with one — runs must
+        ship their state on the tasks themselves.
     """
 
-    def __init__(self, workers: int, max_inflight: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        max_inflight: Optional[int] = None,
+        pool: Optional[PersistentWorkerPool] = None,
+    ) -> None:
         if workers < 0:
             raise ParallelMiningError(
                 f"workers must be non-negative, got {workers}"
@@ -93,6 +106,7 @@ class PipelineExecutor:
             )
         self._workers = workers
         self._max_inflight = max_inflight
+        self._pool = pool
         #: Stats of the last :meth:`run` call.
         self.last_stats = PipelineStats()
 
@@ -129,6 +143,11 @@ class PipelineExecutor:
         if self._workers == 0 or not process_pools_available():
             self._run_in_process(fn, iterator, consumer, initializer, initargs, stats)
         else:
+            if self._pool is not None and initializer is not None:
+                raise ParallelMiningError(
+                    "a persistent pool cannot run per-run initializers; "
+                    "attach the run's state to its tasks instead"
+                )
             self._run_pool(fn, iterator, consumer, initializer, initargs, stats)
         return stats
 
@@ -163,68 +182,30 @@ class PipelineExecutor:
         stats: PipelineStats,
     ) -> None:
         stats.execution_mode = "pipelined-pool"
-        next_commit = 0  # next task index owed to the consumer
-        inflight: Dict[Future[Result], int] = {}
-        ready: Dict[int, Result] = {}  # completed out-of-order results
         pending_tasks: Dict[int, Task] = {}  # uncommitted task payloads
-        exhausted = False
         try:
-            with ProcessPoolExecutor(
-                max_workers=self._workers,
-                initializer=initializer,
-                initargs=initargs,
-            ) as executor:
-                try:
-                    while True:
-                        # Grant credits: keep at most max_inflight tasks
-                        # submitted-but-uncommitted (executing, queued, or
-                        # completed and waiting for a predecessor).
-                        while (
-                            not exhausted
-                            and stats.tasks - stats.committed < self._max_inflight
-                        ):
-                            try:
-                                task = next(iterator)
-                            except StopIteration:
-                                exhausted = True
-                                break
-                            # Count the task before submitting: if submit
-                            # itself dies (broken pool), the recovery math
-                            # below still sees a consistent pending set.
-                            index = stats.tasks
-                            pending_tasks[index] = task
-                            stats.tasks += 1
-                            inflight[executor.submit(fn, task)] = index
-                        stats.peak_inflight = max(
-                            stats.peak_inflight, stats.tasks - stats.committed
-                        )
-                        if not inflight and not ready:
-                            break
-                        if inflight:
-                            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                            for future in done:
-                                ready[inflight.pop(future)] = future.result()
-                        # Commit the contiguous prefix: each commit releases
-                        # a credit, so the submit loop refills immediately.
-                        while next_commit in ready:
-                            result = ready.pop(next_commit)
-                            pending_tasks.pop(next_commit)
-                            consumer(result)
-                            next_commit += 1
-                            stats.committed += 1
-                except BaseException:
-                    # A task (or the consumer) failed: nothing submitted
-                    # after the failure may commit.  Cancel what has not
-                    # started so shutdown does not drain a doomed queue.
-                    for future in inflight:
-                        future.cancel()
-                    raise
+            if self._pool is not None:
+                # Borrowed persistent executor: never shut down here, and
+                # the workers were initialised (if at all) long ago — run
+                # state travels on the tasks.
+                self._drive(
+                    self._pool.executor(), fn, iterator, consumer, stats, pending_tasks
+                )
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as executor:
+                    self._drive(executor, fn, iterator, consumer, stats, pending_tasks)
         except BrokenProcessPool:
             # Pool infrastructure died mid-run (e.g. an OOM-killed worker).
             # Committed results are final — re-run the uncommitted suffix
             # (retained task payloads, then the untouched remainder of the
             # plan) deterministically in this process.  Task exceptions are
-            # NOT caught here: they propagate from future.result() above.
+            # NOT caught here: they propagate from future.result() below.
+            if self._pool is not None:
+                self._pool.mark_broken()
             suffix = [pending_tasks[index] for index in sorted(pending_tasks)]
             stats.tasks -= len(suffix)
             self._run_in_process(
@@ -235,3 +216,62 @@ class PipelineExecutor:
                 initargs,
                 stats,
             )
+
+    def _drive(
+        self,
+        executor: ProcessPoolExecutor,
+        fn: Callable[[Task], Result],
+        iterator: Iterator[Task],
+        consumer: Callable[[Result], None],
+        stats: PipelineStats,
+        pending_tasks: Dict[int, Task],
+    ) -> None:
+        next_commit = 0  # next task index owed to the consumer
+        inflight: Dict[Future[Result], int] = {}
+        ready: Dict[int, Result] = {}  # completed out-of-order results
+        exhausted = False
+        try:
+            while True:
+                # Grant credits: keep at most max_inflight tasks
+                # submitted-but-uncommitted (executing, queued, or
+                # completed and waiting for a predecessor).
+                while (
+                    not exhausted
+                    and stats.tasks - stats.committed < self._max_inflight
+                ):
+                    try:
+                        task = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    # Count the task before submitting: if submit
+                    # itself dies (broken pool), the recovery math
+                    # in _run_pool still sees a consistent pending set.
+                    index = stats.tasks
+                    pending_tasks[index] = task
+                    stats.tasks += 1
+                    inflight[executor.submit(fn, task)] = index
+                stats.peak_inflight = max(
+                    stats.peak_inflight, stats.tasks - stats.committed
+                )
+                if not inflight and not ready:
+                    break
+                if inflight:
+                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        ready[inflight.pop(future)] = future.result()
+                # Commit the contiguous prefix: each commit releases
+                # a credit, so the submit loop refills immediately.
+                while next_commit in ready:
+                    result = ready.pop(next_commit)
+                    pending_tasks.pop(next_commit)
+                    consumer(result)
+                    next_commit += 1
+                    stats.committed += 1
+        except BaseException:
+            # A task (or the consumer) failed: nothing submitted
+            # after the failure may commit.  Cancel what has not
+            # started so shutdown does not drain a doomed queue.
+            for future in inflight:
+                future.cancel()
+            raise

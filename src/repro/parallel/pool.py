@@ -35,6 +35,20 @@ def _probe(value: int) -> int:
     return value
 
 
+def effective_workers(workers: int, num_tasks: int) -> int:
+    """The pool-skip heuristic (DESIGN.md §11): workers actually worth using.
+
+    A plan with at most one task gains nothing from a pool — it pays one
+    process round trip to run exactly the sequential work — so it runs
+    in-process (``0``); larger plans never get more workers than tasks.
+    The in-process mode is byte-identical to the pool mode, so this only
+    changes *where* the work runs, never the answer.
+    """
+    if workers <= 0 or num_tasks <= 1:
+        return 0
+    return min(workers, num_tasks)
+
+
 def process_pools_available() -> bool:
     """Whether this interpreter can run a working process pool.
 
@@ -93,8 +107,10 @@ class WorkerPool:
         instead of once per shard task.
 
         ``workers >= 1`` always uses a real pool (even for one task), so a
-        one-worker run honestly measures pool spawn and transfer overhead —
-        it is the baseline of the strong-scaling experiment.
+        one-worker run honestly measures pool spawn and transfer overhead.
+        The high-level mining/ingest APIs apply the pool-skip heuristic
+        (DESIGN.md §11) *before* reaching an executor, so this honesty
+        contract only binds direct users of this class.
         """
         materialised = list(tasks)
         if (
@@ -129,3 +145,77 @@ class WorkerPool:
         if initializer is not None:
             initializer(*initargs)
         return [fn(task) for task in tasks]
+
+
+class PersistentWorkerPool:
+    """A reusable process pool that outlives individual runs (DESIGN.md §11).
+
+    ``ProcessPoolExecutor`` creation costs one process spawn per worker;
+    paying it per mining call is what made small parallel runs lose to the
+    sequential reference.  This pool spawns its executor lazily on first
+    use and keeps it alive across runs — a miner that mines every window
+    slide amortises the spawn over the whole watch — until :meth:`close`
+    shuts it down.
+
+    Because the executor persists, per-run state cannot ship through a
+    pool initializer (initializers bind at executor creation).  Runs on a
+    persistent pool therefore attach their state to the tasks themselves;
+    the workers' per-context caches keep that cheap (the window is rebuilt
+    once per worker per run, not once per task).
+
+    A run that finds the pool's infrastructure broken calls
+    :meth:`mark_broken`; the dead executor is discarded and the next use
+    spawns a fresh one.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ParallelMiningError(
+                f"a persistent pool needs at least 1 worker, got {workers}"
+            )
+        self._workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        #: How many executors this pool has spawned (1 after first use;
+        #: increments only when a broken executor is replaced).
+        self.spawn_count = 0
+
+    @property
+    def workers(self) -> int:
+        """The configured worker count."""
+        return self._workers
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, spawning (or respawning) it when needed."""
+        if self._closed:
+            raise ParallelMiningError("the persistent worker pool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+            self.spawn_count += 1
+        return self._executor
+
+    def mark_broken(self) -> None:
+        """Discard a broken executor so the next run gets a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -36,10 +36,18 @@ Items = FrozenSet[str]
 PatternCounts = Dict[Items, int]
 
 # Per-worker-process state, installed by initialize_mining_worker (which the
-# pool runs once per worker) and read by run_mining_shard for every task.
-# Keyed by the run's context token so concurrent in-process runs (two miners
-# mined from two threads) cannot clobber each other's window.
+# pool runs once per worker) or self-installed by the first shard task of a
+# run to reach this process (persistent pools have no per-run initializer,
+# DESIGN.md §11).  Keyed by the run's context token so concurrent in-process
+# runs (two miners mined from two threads) cannot clobber each other's
+# window.
 _WORKER_WINDOWS: Dict[str, Tuple[WindowStore, Optional[EdgeRegistry]]] = {}
+
+#: Bound on cached per-context windows.  A persistent pool's workers see a
+#: fresh context every mining run (one per window slide under ``watch``);
+#: evicting the oldest contexts keeps a long-lived worker's memory
+#: proportional to the window, not to the stream.
+MAX_WORKER_CONTEXTS = 4
 
 
 @dataclass(frozen=True)
@@ -118,7 +126,16 @@ def initialize_mining_worker(
     run's shard tasks carry; concurrent in-process runs therefore keep
     separate windows instead of overwriting a shared slot.
     """
-    _WORKER_WINDOWS[context] = (rebuild_window(window), registry)
+    _remember_window(context, rebuild_window(window), registry)
+
+
+def _remember_window(
+    context: str, store: WindowStore, registry: Optional[EdgeRegistry]
+) -> None:
+    """Cache one run's window under its context, evicting the oldest runs."""
+    _WORKER_WINDOWS[context] = (store, registry)
+    while len(_WORKER_WINDOWS) > MAX_WORKER_CONTEXTS:
+        _WORKER_WINDOWS.pop(next(iter(_WORKER_WINDOWS)))
 
 
 def clear_mining_worker(context: str) -> None:
@@ -127,14 +144,25 @@ def clear_mining_worker(context: str) -> None:
 
 
 def run_mining_shard(task: MiningShardTask) -> ShardOutcome:
-    """Worker entry point: mine the patterns owned by the task's items."""
-    if task.window is not None:
-        store: Optional[WindowStore] = rebuild_window(task.window)
-        registry = task.registry
-    else:
+    """Worker entry point: mine the patterns owned by the task's items.
+
+    The window comes from the context cache when a previous task (or the
+    pool initializer) installed it; otherwise a task-attached
+    :class:`WindowTask` is rebuilt — and, when the task names a context,
+    cached for the run's remaining shards.  That self-install path is how
+    persistent pools ship per-run state without initializers.
+    """
+    store: Optional[WindowStore] = None
+    registry: Optional[EdgeRegistry] = None
+    if task.context:
         store, registry = _WORKER_WINDOWS.get(task.context, (None, None))
-        if task.registry is not None:
-            registry = task.registry
+    if store is None and task.window is not None:
+        store = rebuild_window(task.window)
+        registry = task.registry
+        if task.context:
+            _remember_window(task.context, store, registry)
+    if task.registry is not None:
+        registry = task.registry
     if store is None:
         raise ParallelMiningError(
             "no window available: run initialize_mining_worker with this "
@@ -160,5 +188,5 @@ def count_segment_shard(shard: SegmentShard) -> Dict[str, int]:
     """
     counts: Counter = Counter()
     for handle in shard.handles:
-        counts.update(handle.load().item_counts())
+        counts.update(handle.load_counts())
     return dict(counts)

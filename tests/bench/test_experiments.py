@@ -10,6 +10,7 @@ from repro.bench.experiments import (
     experiment_runtime_fig2,
     experiment_scalability,
     experiment_storage_backends,
+    experiment_transport_scaling,
     scale_parameters,
 )
 from repro.exceptions import DatasetError
@@ -38,6 +39,7 @@ class TestScaleParameters:
             "e8",
             "e9",
             "e10",
+            "e11",
         }
 
 
@@ -81,6 +83,32 @@ class TestExperimentDrivers:
         )
         assert len(outcome["rows"]) == 2
         assert all(row["total_runtime_s"] >= 0 for row in outcome["rows"])
+
+    def test_e11_transport_scaling(self):
+        outcome = experiment_transport_scaling(
+            scale="tiny",
+            worker_counts=(1, 2),
+            ingest_worker_counts=(0, 2),
+            max_inflight_values=(1,),
+            output_path=None,
+        )
+        # Every scaling, ablation and parity cell mined the same answer.
+        assert outcome["parallel_identical"] is True
+        assert outcome["workload"] == "random-graph[smoke]"
+        phases = {row["phase"] for row in outcome["rows"]}
+        assert phases == {"ingest", "scaling", "ablation", "pool", "parity"}
+        pool_rows = [r for r in outcome["rows"] if r["phase"] == "pool"]
+        assert [r["call"] for r in pool_rows] == ["first", "repeat"]
+        # One miner served both pool calls: at most one executor spawn.
+        assert outcome["pool_spawns"] <= 1
+        scaling_workers = [
+            r["workers"] for r in outcome["rows"] if r["phase"] == "scaling"
+        ]
+        assert scaling_workers == [0, 1, 2]
+
+    def test_e11_unknown_scale(self):
+        with pytest.raises(DatasetError):
+            experiment_transport_scaling(scale="huge", output_path=None)
 
     def test_e6_storage_backends(self):
         outcome = experiment_storage_backends(

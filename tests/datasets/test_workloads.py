@@ -1,0 +1,155 @@
+"""Canonical workload registry: specs, determinism, and validation."""
+
+import itertools
+
+import pytest
+
+from repro.datasets.synthetic import IBMSyntheticGenerator
+from repro.datasets.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    stream_snapshots,
+    stream_transactions,
+    validate_workload,
+    workload_names,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_families_and_sizes(self):
+        assert set(workload_names()) == {
+            "random-graph[smoke]",
+            "random-graph[medium]",
+            "random-graph[large]",
+            "zipf-transactions[smoke]",
+            "zipf-transactions[medium]",
+            "zipf-transactions[large]",
+        }
+
+    def test_names_match_keys(self):
+        for name, spec in WORKLOADS.items():
+            assert spec.name == name
+
+    def test_large_workloads_are_million_unit(self):
+        for family in ("random-graph", "zipf-transactions"):
+            spec = get_workload(f"{family}[large]")
+            assert spec.num_units == 1_000_000
+            assert spec.num_batches == 100
+
+    def test_unknown_workload(self):
+        with pytest.raises(DatasetError):
+            get_workload("random-graph[galactic]")
+
+
+def _spec(**overrides):
+    fields = dict(
+        name="x",
+        kind="graph",
+        num_units=10,
+        batch_size=5,
+        window_size=2,
+        minsup=0.2,
+    )
+    fields.update(overrides)
+    return WorkloadSpec(**fields)
+
+
+class TestWorkloadSpec:
+    def test_rejects_bad_kind(self):
+        with pytest.raises(DatasetError):
+            _spec(kind="tabular")
+
+    def test_rejects_nonpositive_units(self):
+        with pytest.raises(DatasetError):
+            _spec(num_units=0)
+
+    def test_rejects_bad_minsup(self):
+        with pytest.raises(DatasetError):
+            _spec(minsup=0.0)
+
+    def test_num_batches_rounds_up(self):
+        assert _spec(num_units=11, batch_size=5).num_batches == 3
+
+
+class TestStreams:
+    def test_graph_stream_is_lazy(self):
+        # Taking a prefix of the million-snapshot stream must not cost a
+        # million snapshots.
+        spec = get_workload("random-graph[large]")
+        first = list(itertools.islice(stream_snapshots(spec), 5))
+        assert len(first) == 5
+        assert all(snapshot.sorted_edges() for snapshot in first)
+
+    def test_limit_bounds_the_stream(self):
+        spec = get_workload("zipf-transactions[smoke]")
+        assert len(list(stream_transactions(spec, limit=7))) == 7
+
+    def test_streams_are_reproducible(self):
+        spec = get_workload("random-graph[smoke]")
+        one = [s.sorted_edges() for s in stream_snapshots(spec, limit=20)]
+        two = [s.sorted_edges() for s in stream_snapshots(spec, limit=20)]
+        assert one == two
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(DatasetError):
+            list(stream_transactions(get_workload("random-graph[smoke]")))
+        with pytest.raises(DatasetError):
+            list(stream_snapshots(get_workload("zipf-transactions[smoke]")))
+
+
+class TestZipfWeighting:
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(DatasetError):
+            IBMSyntheticGenerator(
+                num_items=20, num_patterns=5, pattern_weighting="uniform"
+            )
+
+    def test_zipf_skews_toward_head_patterns(self):
+        counts = {}
+        for weighting in ("exponential", "zipf"):
+            generator = IBMSyntheticGenerator(
+                num_items=50,
+                num_patterns=10,
+                pattern_weighting=weighting,
+                zipf_exponent=2.0,
+                seed=13,
+            )
+            transactions = list(generator.transactions(400))
+            counts[weighting] = sum(len(t) for t in transactions)
+        # Both weightings generate the same number of transactions; the
+        # distributions differ, which is all the registry relies on.
+        assert counts["exponential"] > 0 and counts["zipf"] > 0
+
+
+class TestValidateWorkload:
+    def test_smoke_graph_workload_validates(self):
+        spec = get_workload("random-graph[smoke]")
+        validation = validate_workload(spec, workers=2)
+        assert validation.units == spec.num_units
+        assert validation.deterministic is True
+        assert validation.parallel_identical is True
+        assert validation.patterns > 0
+
+    def test_smoke_transaction_workload_validates(self):
+        spec = get_workload("zipf-transactions[smoke]")
+        validation = validate_workload(spec, units=200, workers=2)
+        assert validation.units == 200
+        assert validation.deterministic is True
+        assert validation.parallel_identical is True
+        assert validation.patterns > 0
+
+    def test_digest_is_stable_across_calls(self):
+        spec = get_workload("random-graph[smoke]")
+        one = validate_workload(spec, units=50, mine=False)
+        two = validate_workload(spec, units=50, mine=False)
+        assert one.digest == two.digest
+        assert one.parallel_identical is None
+        assert one.patterns == -1
+
+    def test_large_validation_defaults_to_a_prefix(self):
+        spec = get_workload("random-graph[large]")
+        validation = validate_workload(spec, mine=False)
+        assert validation.units == 2_000
+        assert validation.deterministic is True

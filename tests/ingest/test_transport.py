@@ -1,0 +1,116 @@
+"""Segment transport selection in the ingest pipeline (DESIGN.md §11)."""
+
+import glob
+
+import pytest
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.datasets.random_graphs import GraphStreamGenerator, RandomGraphModel
+from repro.exceptions import IngestError
+from repro.graph.edge_registry import EdgeRegistry
+from repro.ingest.api import ingest_snapshots
+from repro.storage.shm import shared_memory_available
+from repro.stream.stream import GraphStream
+
+TRANSPORTS = ("auto", "shm", "pickle")
+
+
+def synthetic_snapshots(seed=7, count=95):
+    model = RandomGraphModel(num_vertices=10, avg_fanout=3.0, seed=seed)
+    generator = GraphStreamGenerator(
+        model, avg_edges_per_snapshot=4.0, seed=seed + 1
+    )
+    return list(generator.snapshots(count))
+
+
+def build_miner(registry, transport="auto"):
+    return StreamSubgraphMiner(
+        window_size=3,
+        batch_size=15,
+        algorithm="vertical",
+        registry=registry,
+        transport=transport,
+    )
+
+
+def window_fingerprint(miner):
+    return (
+        dict(miner.matrix.item_frequencies()),
+        miner.matrix.boundaries(),
+        miner.matrix.items(),
+        miner.batches_consumed,
+    )
+
+
+class TestIngestTransport:
+    def test_transports_produce_identical_windows(self):
+        snapshots = synthetic_snapshots()
+        reference_registry = EdgeRegistry()
+        reference = build_miner(reference_registry)
+        reference.consume(
+            GraphStream(snapshots, registry=reference_registry, batch_size=15)
+        )
+        for transport in TRANSPORTS:
+            if transport == "shm" and not shared_memory_available():
+                continue
+            for workers in (0, 2):
+                registry = EdgeRegistry()
+                miner = build_miner(registry, transport=transport)
+                miner.consume(
+                    GraphStream(snapshots, registry=registry, batch_size=15),
+                    ingest_workers=workers,
+                )
+                assert window_fingerprint(miner) == window_fingerprint(
+                    reference
+                ), f"transport={transport} workers={workers} diverged"
+        assert glob.glob("/dev/shm/psm_*") == []
+
+    def test_report_records_transport(self):
+        snapshots = synthetic_snapshots()
+
+        def report_for(workers, transport):
+            registry = EdgeRegistry()
+            miner = build_miner(registry)
+            return ingest_snapshots(
+                miner.matrix,
+                snapshots,
+                batch_size=15,
+                registry=registry,
+                workers=workers,
+                transport=transport,
+            )
+
+        assert report_for(0, "auto").transport == "pickle"
+        assert report_for(2, "pickle").transport == "pickle"
+        if shared_memory_available():
+            assert report_for(2, "auto").transport == "shm"
+            assert report_for(2, "shm").transport == "shm"
+
+    def test_forced_shm_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.ingest.api.shared_memory_available", lambda: False
+        )
+        registry = EdgeRegistry()
+        miner = build_miner(registry)
+        with pytest.raises(IngestError):
+            ingest_snapshots(
+                miner.matrix,
+                synthetic_snapshots(count=30),
+                batch_size=15,
+                registry=registry,
+                workers=2,
+                transport="shm",
+            )
+
+    def test_unknown_transport_rejected(self):
+        registry = EdgeRegistry()
+        miner = build_miner(registry)
+        with pytest.raises(IngestError):
+            ingest_snapshots(
+                miner.matrix,
+                synthetic_snapshots(count=30),
+                batch_size=15,
+                registry=registry,
+                workers=0,
+                transport="telegraph",
+            )

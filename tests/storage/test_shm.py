@@ -1,0 +1,156 @@
+"""Tests of the shared-memory segment transport (DESIGN.md §11)."""
+
+import glob
+
+import pytest
+
+from repro.exceptions import SharedMemoryError, StorageError
+from repro.storage.bitvector import popcount_bytes
+from repro.storage.segments import (
+    Segment,
+    SegmentHandle,
+    segment_counts_from_bytes,
+)
+from repro.storage.shm import (
+    SharedSegmentArena,
+    publish_block,
+    publish_segments,
+    read_shared_block,
+    shared_memory_available,
+    unlink_block,
+)
+
+
+def _no_shm_leaks():
+    return glob.glob("/dev/shm/psm_*") == []
+
+
+def _segment(segment_id=0, num_columns=5):
+    rows = {"a": 0b10110, "b": 0b00111, "c": 0b01000}
+    return Segment(segment_id, num_columns, rows)
+
+
+class TestPopcountBytes:
+    def test_empty(self):
+        assert popcount_bytes(b"") == 0
+
+    def test_matches_per_byte_counts(self):
+        data = bytes(range(256)) * 17
+        assert popcount_bytes(data) == sum(b.bit_count() for b in data)
+
+    def test_crosses_stride_boundaries(self):
+        data = b"\xff" * (1 << 17)  # two full strides
+        assert popcount_bytes(data) == 8 * len(data)
+
+    def test_accepts_memoryview(self):
+        assert popcount_bytes(memoryview(b"\x0f\xf0")) == 8
+
+
+class TestSegmentCountsFromBytes:
+    def test_matches_segment_counts(self):
+        segment = _segment()
+        counts = segment_counts_from_bytes(segment.to_bytes())
+        expected = {
+            item: bin(segment.row_bits(item)).count("1")
+            for item in segment.items()
+            if segment.row_bits(item)
+        }
+        assert counts == expected
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(StorageError):
+            segment_counts_from_bytes(b"XXXX" + b"\x00" * 16)
+
+
+class TestPublishBlock:
+    def test_roundtrip_and_unlink(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        payloads = [b"alpha", b"", b"gamma-gamma"]
+        name, spans = publish_block(payloads)
+        try:
+            assert [read_shared_block(name, o, s) for o, s in spans] == payloads
+        finally:
+            unlink_block(name)
+        assert _no_shm_leaks()
+
+    def test_unlink_is_idempotent(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        name, _spans = publish_block([b"x"])
+        unlink_block(name)
+        unlink_block(name)  # second call is a no-op
+        assert _no_shm_leaks()
+
+    def test_attach_after_unlink_raises(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        name, spans = publish_block([b"payload"])
+        unlink_block(name)
+        with pytest.raises(SharedMemoryError):
+            read_shared_block(name, *spans[0])
+
+
+class TestSharedSegmentArena:
+    def test_handles_roundtrip(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        segments = [_segment(i) for i in range(3)]
+        handles = tuple(SegmentHandle.from_segment(s) for s in segments)
+        with SharedSegmentArena(handles) as arena:
+            assert len(arena.handles) == len(handles)
+            for handle, segment in zip(arena.handles, segments):
+                assert handle.shm_name == arena.name
+                loaded = handle.load()
+                assert loaded.to_bytes() == segment.to_bytes()
+                assert handle.load_counts() == segment_counts_from_bytes(
+                    segment.to_bytes()
+                )
+        assert arena.closed
+        assert _no_shm_leaks()
+
+    def test_close_is_idempotent(self):
+        if not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        handles = (SegmentHandle.from_segment(_segment()),)
+        arena = SharedSegmentArena(handles)
+        arena.close()
+        arena.close()
+        assert _no_shm_leaks()
+
+    def test_publish_segments_passthrough_without_payloads(self, tmp_path):
+        segment = _segment()
+        path = segment.write(tmp_path / "seg.bin")
+        handles = (SegmentHandle.from_path(segment, path),)
+        arena, out = publish_segments(handles)
+        assert arena is None
+        assert out == handles
+
+
+class TestSegmentHandleShapes:
+    def test_exactly_one_shape_required(self):
+        with pytest.raises(StorageError):
+            SegmentHandle(segment_id=0, num_columns=5)
+        with pytest.raises(StorageError):
+            SegmentHandle(
+                segment_id=0,
+                num_columns=5,
+                payload=b"x",
+                shm_name="psm_x",
+                shm_size=1,
+            )
+
+    def test_load_counts_from_payload(self):
+        segment = _segment()
+        handle = SegmentHandle.from_segment(segment)
+        assert handle.load_counts() == segment_counts_from_bytes(
+            segment.to_bytes()
+        )
+
+    def test_load_counts_from_path(self, tmp_path):
+        segment = _segment()
+        path = segment.write(tmp_path / "seg.bin")
+        handle = SegmentHandle.from_path(segment, path)
+        assert handle.load_counts() == segment_counts_from_bytes(
+            segment.to_bytes()
+        )

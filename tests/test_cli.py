@@ -216,6 +216,95 @@ class TestGenerateAndMine:
         assert (storage_dir / "manifest.json").exists()
 
 
+class TestGen:
+    def test_list_prints_canonical_workloads(self, capsys):
+        assert main(["gen", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in (
+            "random-graph[smoke]",
+            "random-graph[large]",
+            "zipf-transactions[large]",
+        ):
+            assert name in output
+        assert "units=1000000" in output
+
+    def test_requires_workload_or_list(self, capsys):
+        assert main(["gen"]) == EXIT_USAGE_ERROR
+
+    def test_unknown_workload(self, capsys):
+        assert main(["gen", "random-graph[galactic]"]) == EXIT_USAGE_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_units(self, capsys):
+        code = main(["gen", "random-graph[smoke]", "--units", "0"])
+        assert code == EXIT_USAGE_ERROR
+
+    def test_validate_reports_determinism_and_parity(self, capsys):
+        code = main(
+            ["gen", "random-graph[smoke]", "--units", "60", "--workers", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "validated 60 of 200 units" in output
+        assert "deterministic: True" in output
+        assert "parallel mining parity (2 workers): True" in output
+
+    def test_no_mine_skips_parity(self, capsys):
+        code = main(
+            ["gen", "zipf-transactions[smoke]", "--units", "40", "--no-mine"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "digest: " in output
+        assert "parity" not in output
+
+    def test_export_then_mine_end_to_end(self, tmp_path, capsys):
+        target = tmp_path / "workload.fimi"
+        code = main(
+            ["gen", "random-graph[smoke]", "--units", "60",
+             "--output", str(target)]
+        )
+        assert code == 0
+        assert "wrote 60 transactions" in capsys.readouterr().out
+        assert len(read_fimi(target)) == 60
+        assert main(
+            ["mine", str(target), "--batch-size", "20", "--window", "2",
+             "--minsup", "3", "--workers", "2"]
+        ) == 0
+
+    def test_export_transactions_respects_units(self, tmp_path):
+        target = tmp_path / "txn.fimi"
+        code = main(
+            ["gen", "zipf-transactions[smoke]", "--units", "25",
+             "--output", str(target)]
+        )
+        assert code == 0
+        assert len(read_fimi(target)) == 25
+
+
+class TestMineTransport:
+    @pytest.mark.parametrize("transport", ["auto", "pickle", "shm"])
+    def test_mine_accepts_transport(self, transport, tmp_path, capsys):
+        from repro.storage.shm import shared_memory_available
+
+        if transport == "shm" and not shared_memory_available():
+            pytest.skip("no shared memory on this host")
+        target = tmp_path / "graph.fimi"
+        main(["generate", str(target), "--kind", "graph", "--count", "60",
+              "--seed", "5"])
+        capsys.readouterr()
+        assert main(
+            ["mine", str(target), "--batch-size", "20", "--window", "2",
+             "--minsup", "4", "--workers", "2", "--transport", transport]
+        ) == 0
+
+    def test_unknown_transport_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "x.fimi", "--transport", "telepathy"]
+            )
+
+
 class TestMineStats:
     def test_stats_flag_prints_cache_summary(self, tmp_path, capsys):
         target = tmp_path / "graph.fimi"
