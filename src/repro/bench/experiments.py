@@ -1085,6 +1085,183 @@ def experiment_transport_scaling(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E12 — checkpoint/recovery ablation (DESIGN.md §12)
+# ---------------------------------------------------------------------- #
+def experiment_checkpoint_recovery(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    seed: int = 42,
+    checkpoint_every: int = 2,
+    crash_after_slides: int = 7,
+    output_path: Optional[Union[str, Path]] = "BENCH_e12.json",
+) -> Dict[str, object]:
+    """Crash/recovery ablation of the checkpoint subsystem (DESIGN.md §12).
+
+    Four phases on the same stream (the batch size is halved versus the
+    scale preset so even ``tiny`` yields ~10 slides to crash in):
+
+    * **no-checkpoint** — the plain journalled watch, the wall-clock
+      reference;
+    * **checkpointed** — the identical watch sealing a snapshot every
+      ``checkpoint_every`` slides; ``overhead_ratio`` (checkpointed over
+      plain wall-clock) is the snapshot tax the nightly gate budgets, and
+      ``snapshot_kb`` the retained on-disk snapshot footprint;
+    * **hydrate** — a simulated crash after ``crash_after_slides`` slides,
+      then the restore path end to end: load + validate the latest
+      snapshot, roll the journal back to the checkpointed slide, rebuild
+      the miner;
+    * **replay** — the resumed watch over the un-checkpointed stream
+      suffix only; ``restore_identical`` asserts the continued
+      ``journal.dat`` is byte-identical to the uninterrupted run's — the
+      §12 crash-recovery guarantee, and the boolean regression key.
+
+    Like E7-E11, the outcome is written to ``output_path``
+    (``BENCH_e12.json`` by default, pass ``None`` to skip) for the CI
+    artifact and the nightly regression gate.
+    """
+    from repro.checkpoint import CheckpointManager, Checkpointer
+    from repro.history.journal import DiskJournal, truncate_journal
+
+    workload = default_edge_workload(scale, seed=seed)
+    batch_size = max(5, workload.batch_size // 2)
+    window_size = workload.window_size
+    support = (
+        minsup
+        if minsup is not None
+        else max(2, int(batch_size * window_size * 0.05))
+    )
+    transactions = list(workload.transactions)
+
+    def journalled_watch(journal, units, resume_from=None, miner=None):
+        if miner is None:
+            miner = StreamSubgraphMiner(
+                window_size=window_size,
+                batch_size=batch_size,
+                algorithm="vertical",
+                on_slide=journal.append,
+            )
+        with Timer() as timer:
+            report = miner.watch(
+                TransactionStream(units, batch_size=batch_size),
+                support,
+                connected_only=False,
+                resume_from=resume_from,
+            )
+        return miner, report.slides, timer.elapsed
+
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-checkpoint-") as tmp:
+        root = Path(tmp)
+
+        # --- reference: uninterrupted watch, no snapshots -------------- #
+        ref_journal = DiskJournal(root / "ref")
+        _, slides, base_s = journalled_watch(ref_journal, transactions)
+        ref_journal.close()
+        rows.append(
+            {"mode": "no-checkpoint", "slides": slides, "watch_s": round(base_s, 4)}
+        )
+
+        # --- overhead: the same watch sealing periodic snapshots ------- #
+        chk_journal = DiskJournal(root / "overhead-journal")
+        chk_miner = StreamSubgraphMiner(
+            window_size=window_size,
+            batch_size=batch_size,
+            algorithm="vertical",
+            on_slide=chk_journal.append,
+        )
+        overhead_manager = CheckpointManager(root / "overhead-snapshots", keep=3)
+        overhead_checkpointer = Checkpointer(
+            overhead_manager, chk_miner, journal=chk_journal, every=checkpoint_every
+        )
+        chk_miner.add_slide_sink(overhead_checkpointer)
+        _, slides, chk_s = journalled_watch(chk_journal, transactions, miner=chk_miner)
+        chk_journal.close()
+        snapshot_bytes = sum(
+            entry.stat().st_size
+            for entry in (root / "overhead-snapshots").rglob("*")
+            if entry.is_file()
+        )
+        rows.append(
+            {
+                "mode": "checkpointed",
+                "slides": slides,
+                "snapshots": overhead_checkpointer.snapshots_sealed,
+                "watch_s": round(chk_s, 4),
+                "overhead_ratio": round(chk_s / base_s, 3) if base_s else None,
+                "snapshot_kb": round(snapshot_bytes / 1024.0, 1),
+            }
+        )
+
+        # --- crash: watch only a stream prefix, snapshots enabled ------ #
+        live_journal = DiskJournal(root / "live")
+        live_miner = StreamSubgraphMiner(
+            window_size=window_size,
+            batch_size=batch_size,
+            algorithm="vertical",
+            on_slide=live_journal.append,
+        )
+        manager = CheckpointManager(root / "snapshots", keep=3)
+        live_miner.add_slide_sink(
+            Checkpointer(manager, live_miner, journal=live_journal, every=checkpoint_every)
+        )
+        prefix = transactions[: crash_after_slides * batch_size]
+        journalled_watch(live_journal, prefix, miner=live_miner)
+        live_journal.close()
+
+        # --- restore: load + validate snapshot, roll back, rebuild ---- #
+        with Timer() as restore_timer:
+            checkpoint = manager.latest()
+            if checkpoint is None:
+                raise DatasetError(
+                    "E12 crashed before the first snapshot sealed; raise "
+                    "crash_after_slides or lower checkpoint_every"
+                )
+            truncate_journal(root / "live", checkpoint.slide_id)
+            resumed_journal = DiskJournal(root / "live")
+            resumed_miner = StreamSubgraphMiner.hydrate(
+                checkpoint, algorithm="vertical", on_slide=resumed_journal.append
+            )
+        rows.append(
+            {
+                "mode": "hydrate",
+                "checkpoint_slide": checkpoint.slide_id,
+                "runtime_s": round(restore_timer.elapsed, 4),
+            }
+        )
+
+        # --- replay: only the un-checkpointed suffix ------------------- #
+        _, slides, replay_s = journalled_watch(
+            resumed_journal, transactions, resume_from=checkpoint, miner=resumed_miner
+        )
+        resumed_journal.close()
+        rows.append(
+            {"mode": "replay", "slides": slides, "watch_s": round(replay_s, 4)}
+        )
+
+        restore_identical = (root / "ref" / "journal.dat").read_bytes() == (
+            root / "live" / "journal.dat"
+        ).read_bytes()
+
+    outcome: Dict[str, object] = {
+        "experiment": "E12-checkpoint-recovery",
+        "workload": workload.name,
+        "minsup": support,
+        "batch_size": batch_size,
+        "checkpoint_every": checkpoint_every,
+        "crash_after_slides": crash_after_slides,
+        "rows": rows,
+        "restore_identical": restore_identical,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -1098,4 +1275,5 @@ EXPERIMENTS = {
     "e9": experiment_pipelined_ingest,
     "e10": experiment_journal_history,
     "e11": experiment_transport_scaling,
+    "e12": experiment_checkpoint_recovery,
 }

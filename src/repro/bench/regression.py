@@ -43,6 +43,7 @@ BOOLEAN_KEYS = (
     "index_matches_bruteforce",
     "speedup_monotone",
     "shm_not_slower",
+    "restore_identical",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).
@@ -68,6 +69,7 @@ VOLATILE_KEYS = RUNTIME_KEYS + (
     "max_fptree_nodes",
     "overhead_ratio",
     "journal_kb",
+    "snapshot_kb",
     "queries_per_s",
 )
 

@@ -1,0 +1,15 @@
+"""Crash-safe miner checkpoints: coordinated snapshot/restore (DESIGN.md §12)."""
+
+from repro.checkpoint.snapshot import (
+    CHECKPOINT_FORMAT,
+    Checkpoint,
+    CheckpointManager,
+    Checkpointer,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "Checkpoint",
+    "CheckpointManager",
+    "Checkpointer",
+]

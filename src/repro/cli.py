@@ -21,7 +21,13 @@ Subcommands
 ``watch``
     Mine a FIMI stream continuously — after every batch commit the fresh
     window is mined and the per-slide answer is sealed into an append-only
-    pattern journal (DESIGN.md §10).
+    pattern journal (DESIGN.md §10).  ``--checkpoint-dir`` seals crash-safe
+    snapshots every ``--checkpoint-every`` slides and ``--resume`` restarts
+    from the latest one; ``--retain-hot/--retain-warm/--cold-sample-every``
+    bound the journal with tiered retention (DESIGN.md §12).
+``supervise``
+    Watchdog for a long-running ``watch``/``serve`` child: restart it with
+    exponential backoff when it dies abnormally, within a restart budget.
 ``query``
     Run one query (support history, sub/super-pattern match, top-k,
     first/last-frequent provenance, stats) against a journal directory.
@@ -29,7 +35,7 @@ Subcommands
     Expose a journal over HTTP (``/patterns``, ``/history``, ``/topk``,
     ``/stats``) from a threaded stdlib server.
 ``bench``
-    Run one of the paper's experiments (e1-e11) and print its table;
+    Run one of the paper's experiments (e1-e12) and print its table;
     ``--baseline`` compares the outcome against a committed
     ``BENCH_*.json`` with the nightly regression gate.
 
@@ -41,12 +47,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+import time
+from typing import Optional, Sequence, Union
 
 from repro import __version__
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.regression import compare_outcomes
 from repro.bench.report import format_table
+from repro.checkpoint import Checkpoint, CheckpointManager, Checkpointer
 from repro.core.algorithms import ALGORITHMS
 from repro.core.export import result_to_csv, result_to_json
 from repro.core.miner import StreamSubgraphMiner
@@ -63,12 +71,14 @@ from repro.datasets.workloads import (
     validate_workload,
     workload_names,
 )
-from repro.exceptions import DatasetError, HistoryError, ServiceError
+from repro.exceptions import CheckpointError, DatasetError, HistoryError, ServiceError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.parallel.api import TRANSPORTS
-from repro.history.journal import DiskJournal, open_journal
+from repro.history.journal import DiskJournal, open_journal, truncate_journal
+from repro.history.retention import RetentionPolicy, TieredJournal
 from repro.service.api import QUERY_KINDS, HistoryService
 from repro.service.server import serve_journal
+from repro.service.supervisor import RestartPolicy, Supervisor, SupervisorError
 from repro.storage.backend import STORE_BACKENDS
 from repro.stream.stream import TransactionStream
 
@@ -210,6 +220,107 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="journal all frequent edge collections (skip the connectivity filter)",
     )
+    watch.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory crash-safe snapshots are sealed into; enables "
+            "--resume after a crash (DESIGN.md §12)"
+        ),
+    )
+    watch.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="seal a snapshot every N slides (with --checkpoint-dir)",
+    )
+    watch.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        help="retained snapshot generations (older ones are pruned)",
+    )
+    watch.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore from the latest valid snapshot in --checkpoint-dir, "
+            "roll the journal back to the checkpointed slide, and replay "
+            "only the un-checkpointed stream suffix — the continued "
+            "journal.dat is byte-identical to an uninterrupted run"
+        ),
+    )
+    watch.add_argument(
+        "--retain-hot",
+        type=int,
+        default=0,
+        help=(
+            "cap on slide records kept resident in memory "
+            "(0 = unbounded, the default)"
+        ),
+    )
+    watch.add_argument(
+        "--retain-warm",
+        type=int,
+        default=0,
+        help=(
+            "cap on full-fidelity records kept in the journal files; older "
+            "slides are summarised into archive.jsonl and compacted away "
+            "(0 = never compact, the default)"
+        ),
+    )
+    watch.add_argument(
+        "--cold-sample-every",
+        type=int,
+        default=10,
+        help=(
+            "with --retain-warm: every N-th archived slide keeps its full "
+            "pattern map (others keep aggregates only)"
+        ),
+    )
+    watch.add_argument(
+        "--throttle-ms",
+        type=int,
+        default=0,
+        help=(
+            "sleep this many milliseconds after each slide (0 = no throttle; "
+            "used by the kill/restart CI gate to widen the crash window)"
+        ),
+    )
+
+    supervise = subparsers.add_parser(
+        "supervise",
+        help="keep a crashing watch/serve child alive with backoff restarts",
+    )
+    supervise.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="restart budget before the supervisor gives up",
+    )
+    supervise.add_argument(
+        "--backoff", type=float, default=0.5, help="initial restart delay in seconds"
+    )
+    supervise.add_argument(
+        "--backoff-factor",
+        type=float,
+        default=2.0,
+        help="multiplier applied to the delay after every restart",
+    )
+    supervise.add_argument(
+        "--max-backoff", type=float, default=30.0, help="delay ceiling in seconds"
+    )
+    supervise.add_argument(
+        "--stable-after",
+        type=float,
+        default=30.0,
+        help="uptime in seconds after which the restart budget resets",
+    )
+    supervise.add_argument(
+        "child",
+        nargs=argparse.REMAINDER,
+        help="child repro command after `--`, e.g. `-- watch data.fimi ...`",
+    )
 
     query = subparsers.add_parser(
         "query", help="run one query against a pattern journal"
@@ -246,8 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("tiny", "small", "paper", "large"),
         default="small",
         help=(
-            "workload size (e1-e10 accept tiny/small/paper; e11 accepts "
-            "tiny/small/large — large streams a million snapshots)"
+            "workload size (e1-e10 and e12 accept tiny/small/paper; e11 "
+            "accepts tiny/small/large — large streams a million snapshots)"
         ),
     )
     bench.add_argument("--json", action="store_true", help="print raw JSON instead of a table")
@@ -563,6 +674,54 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fail_json(message: str, code: int) -> int:
+    """One machine-parseable error line on stderr (never a traceback)."""
+    print(
+        json.dumps({"error": message, "exit_code": code}, sort_keys=True),
+        file=sys.stderr,
+    )
+    return code
+
+
+def _validate_watch_flags(args: argparse.Namespace) -> Optional[int]:
+    """Checkpoint/retention/throttle flag checks → exit code on misuse."""
+    if args.resume and args.checkpoint_dir is None:
+        print(
+            "error: --resume needs --checkpoint-dir (snapshots to restore from)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
+    for flag, value, floor in (
+        ("--checkpoint-every", args.checkpoint_every, 1),
+        ("--checkpoint-keep", args.checkpoint_keep, 1),
+        ("--cold-sample-every", args.cold_sample_every, 1),
+        ("--retain-hot", args.retain_hot, 0),
+        ("--retain-warm", args.retain_warm, 0),
+        ("--throttle-ms", args.throttle_ms, 0),
+    ):
+        if value < floor:
+            print(
+                f"error: {flag} must be at least {floor}, got {value}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE_ERROR
+    return None
+
+
+def _open_watch_journal(
+    args: argparse.Namespace,
+) -> Union[DiskJournal, TieredJournal]:
+    """The watch journal — tiered when any retention bound was asked for."""
+    if args.retain_hot or args.retain_warm:
+        policy = RetentionPolicy(
+            hot_slides=args.retain_hot or None,
+            warm_slides=args.retain_warm or None,
+            cold_sample_every=args.cold_sample_every,
+        )
+        return TieredJournal(args.journal, policy)
+    return DiskJournal(args.journal)
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     transactions, error = _read_transactions(args.input)
     if error is not None:
@@ -570,18 +729,79 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     error = _validate_parallel_flags(args)
     if error is not None:
         return error
+    error = _validate_watch_flags(args)
+    if error is not None:
+        return error
+
+    manager: Optional[CheckpointManager] = None
+    checkpoint: Optional[Checkpoint] = None
+    if args.checkpoint_dir is not None:
+        try:
+            manager = CheckpointManager(args.checkpoint_dir, keep=args.checkpoint_keep)
+        except (CheckpointError, OSError) as exc:
+            return _fail_json(
+                f"cannot open checkpoint dir: {exc}", EXIT_INPUT_ERROR
+            )
+    if args.resume and manager is not None:
+        checkpoint = manager.latest()
+        if checkpoint is not None and (
+            checkpoint.window_size != args.window
+            or checkpoint.batch_size != args.batch_size
+        ):
+            print(
+                "error: checkpoint was sealed with "
+                f"--window {checkpoint.window_size} --batch-size "
+                f"{checkpoint.batch_size}; resume with the same flags",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE_ERROR
+        # Roll the journal back to exactly the checkpointed slide (or to
+        # empty when no snapshot was sealed yet) so the replayed suffix
+        # appends where the snapshot left off — never double-appends.
+        try:
+            truncate_journal(
+                args.journal, checkpoint.slide_id if checkpoint is not None else -1
+            )
+        except (HistoryError, OSError) as exc:
+            return _fail_json(
+                f"cannot roll back journal for resume: {exc}", EXIT_INPUT_ERROR
+            )
+
     try:
-        journal = DiskJournal(args.journal)
-    except HistoryError as exc:
-        print(f"error: cannot open journal: {exc}", file=sys.stderr)
-        return EXIT_INPUT_ERROR
-    miner = StreamSubgraphMiner(
-        window_size=args.window,
-        batch_size=args.batch_size,
-        algorithm=args.algorithm,
-        on_slide=journal.append,
-        transport=args.transport,
-    )
+        journal = _open_watch_journal(args)
+    except (HistoryError, OSError) as exc:
+        return _fail_json(f"cannot open journal: {exc}", EXIT_INPUT_ERROR)
+
+    try:
+        if checkpoint is not None:
+            miner = StreamSubgraphMiner.hydrate(
+                checkpoint,
+                algorithm=args.algorithm,
+                on_slide=journal.append,
+                transport=args.transport,
+            )
+        else:
+            miner = StreamSubgraphMiner(
+                window_size=args.window,
+                batch_size=args.batch_size,
+                algorithm=args.algorithm,
+                on_slide=journal.append,
+                transport=args.transport,
+            )
+    except CheckpointError as exc:
+        journal.close()
+        return _fail_json(f"cannot restore checkpoint: {exc}", EXIT_INPUT_ERROR)
+    checkpointer: Optional[Checkpointer] = None
+    if manager is not None:
+        # After the journal sink, so every sealed snapshot's journal
+        # bookkeeping already includes the checkpointed slide.
+        checkpointer = Checkpointer(
+            manager, miner, journal=journal, every=args.checkpoint_every
+        )
+        miner.add_slide_sink(checkpointer)
+    if args.throttle_ms:
+        miner.add_slide_sink(lambda record: time.sleep(args.throttle_ms / 1000.0))
+
     minsup = args.minsup if args.minsup < 1 else int(args.minsup)
     try:
         with miner:
@@ -592,24 +812,70 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 ingest_workers=args.ingest_workers if args.ingest_workers > 0 else None,
                 max_inflight=args.max_inflight,
+                resume_from=checkpoint,
             )
     except HistoryError as exc:
         # Typically: re-watching into a journal that already holds slides
         # (slide ids restart at 0, breaking the append-only order).
         print(f"error: cannot journal this stream: {exc}", file=sys.stderr)
         return EXIT_USAGE_ERROR
+    except CheckpointError as exc:
+        print(f"error: cannot resume from checkpoint: {exc}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
     finally:
         journal.close()
     last = report.last_record
+    resumed = (
+        f" (resumed from slide {checkpoint.slide_id})" if checkpoint is not None else ""
+    )
     if last is None:
-        print(f"journalled 0 slides to {journal.path} (empty stream)")
+        print(f"journalled 0 slides to {journal.path} (empty stream){resumed}")
         return 0
     print(
         f"journalled {report.slides} slides to {journal.path} "
         f"({len(journal)} records total, {last.pattern_count} patterns at "
-        f"slide {last.slide_id}, minsup={last.minsup})"
+        f"slide {last.slide_id}, minsup={last.minsup}){resumed}"
     )
+    if checkpointer is not None and checkpointer.snapshots_sealed:
+        sealed = checkpointer.last_checkpoint
+        assert sealed is not None
+        print(
+            f"sealed {checkpointer.snapshots_sealed} snapshot(s) in "
+            f"{args.checkpoint_dir} (latest: slide {sealed.slide_id})"
+        )
     return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    child = list(args.child)
+    if child and child[0] == "--":
+        child = child[1:]
+    if not child:
+        print(
+            "error: supervise needs a child command after `--`, "
+            "e.g. repro supervise -- watch data.fimi --journal j",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
+    if child[0] not in ("watch", "serve"):
+        print(
+            f"error: supervise runs long-lived watch/serve children, got {child[0]!r}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE_ERROR
+    try:
+        policy = RestartPolicy(
+            max_restarts=args.max_restarts,
+            backoff_s=args.backoff,
+            backoff_factor=args.backoff_factor,
+            max_backoff_s=args.max_backoff,
+            stable_after_s=args.stable_after,
+        )
+    except SupervisorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+    command = [sys.executable, "-m", "repro", *child]
+    return Supervisor(command, policy).run()
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -645,9 +911,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         serve_journal(args.journal, host=args.host, port=args.port, on_bound=announce)
-    except HistoryError as exc:
-        print(f"error: cannot open journal: {exc}", file=sys.stderr)
-        return EXIT_INPUT_ERROR
+    except (HistoryError, OSError) as exc:
+        return _fail_json(f"cannot open journal: {exc}", EXIT_INPUT_ERROR)
     return 0
 
 
@@ -697,6 +962,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "gen": _cmd_gen,
         "mine": _cmd_mine,
         "watch": _cmd_watch,
+        "supervise": _cmd_supervise,
         "query": _cmd_query,
         "serve": _cmd_serve,
         "bench": _cmd_bench,

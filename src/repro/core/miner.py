@@ -21,13 +21,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.core.algorithms import ALGORITHMS, get_algorithm
 from repro.core.algorithms.base import MiningAlgorithm, resolve_minsup
 from repro.core.patterns import MiningResult
 from repro.core.postprocess import filter_connected_patterns
-from repro.exceptions import MiningError, StreamError
+from repro.exceptions import CheckpointError, MiningError, StreamError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.history.journal import SlideRecord
 from repro.ingest.api import (
@@ -39,10 +39,13 @@ from repro.ingest.api import (
 from repro.parallel.api import TRANSPORTS, mine_window_parallel
 from repro.parallel.pool import PersistentWorkerPool
 from repro.graph.graph import GraphSnapshot
-from repro.storage.backend import WindowStore
+from repro.storage.backend import MemoryWindowStore, WindowStore
 from repro.storage.dsmatrix import DSMatrix
 from repro.stream.batch import Batch
-from repro.stream.stream import GraphStream, TransactionStream
+from repro.stream.stream import GraphStream, TransactionStream, skip_stream_prefix
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (checkpoint imports nothing back)
+    from repro.checkpoint.snapshot import Checkpoint
 
 #: A per-slide sink: receives the sealed record of every window slide.
 SlideSink = Callable[[SlideRecord], None]
@@ -173,6 +176,11 @@ class StreamSubgraphMiner:
     def window_size(self) -> int:
         """The sliding-window size ``w``."""
         return self._matrix.window_size
+
+    @property
+    def batch_size(self) -> int:
+        """Transactions per batch when feeding raw snapshots/transactions."""
+        return self._batch_size
 
     @property
     def batches_consumed(self) -> int:
@@ -357,6 +365,50 @@ class StreamSubgraphMiner:
         self._last_ingest_report = report
 
     # ------------------------------------------------------------------ #
+    # hydration: resume from a sealed checkpoint (DESIGN.md §12)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def hydrate(
+        cls,
+        checkpoint: "Checkpoint",
+        algorithm: Union[str, MiningAlgorithm] = "vertical_direct",
+        batch_size: Optional[int] = None,
+        on_slide: Optional[SlideSink] = None,
+        transport: str = "auto",
+    ) -> "StreamSubgraphMiner":
+        """Rebuild a miner from a validated checkpoint.
+
+        The window is reconstituted from the checkpointed segments (same
+        segment ids, so the store's auto-numbering continues exactly where
+        the crashed run stopped), the registry from the checkpointed
+        registration order, and ``batches_consumed`` from the checkpoint —
+        everything :meth:`watch` with ``resume_from=checkpoint`` needs to
+        replay only the un-checkpointed stream suffix.
+        """
+        store = MemoryWindowStore.from_segments(
+            checkpoint.window_size,
+            checkpoint.segments,
+            known_items=checkpoint.known_items,
+        )
+        if store.num_columns != checkpoint.num_columns:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} rebuilt into {store.num_columns} "
+                f"window columns, but its manifest recorded "
+                f"{checkpoint.num_columns}"
+            )
+        miner = cls(
+            window_size=checkpoint.window_size,
+            batch_size=batch_size if batch_size is not None else checkpoint.batch_size,
+            algorithm=algorithm,
+            registry=checkpoint.registry,
+            storage=store,
+            on_slide=on_slide,
+            transport=transport,
+        )
+        miner._batches_consumed = checkpoint.batches_consumed
+        return miner
+
+    # ------------------------------------------------------------------ #
     # watching: mine-at-every-slide with per-slide sinks (DESIGN.md §10)
     # ------------------------------------------------------------------ #
     def watch(
@@ -369,6 +421,7 @@ class StreamSubgraphMiner:
         workers: int = 0,
         ingest_workers: Optional[int] = None,
         max_inflight: Optional[int] = None,
+        resume_from: Optional["Checkpoint"] = None,
     ) -> WatchReport:
         """Consume a stream, mining the window after **every** batch commit.
 
@@ -386,8 +439,28 @@ class StreamSubgraphMiner:
         while workers keep encoding later batches — so the sealed records
         (and a disk journal's bytes) are identical for every
         ``workers × ingest_workers × max_inflight`` combination.
+
+        ``resume_from`` takes the :class:`~repro.checkpoint.Checkpoint`
+        this miner was hydrated from (:meth:`hydrate`) and consumes the
+        *same source stream* the crashed run was watching, skipping the
+        already-committed batch prefix — the continuation seals records
+        (and journal bytes) identical to an uninterrupted run.
         """
         self.flush_pending()
+        if resume_from is not None:
+            if resume_from.window_size != self.window_size:
+                raise CheckpointError(
+                    f"checkpoint window size {resume_from.window_size} does "
+                    f"not match this miner's window size {self.window_size}"
+                )
+            if self._matrix.next_segment_id != resume_from.batches_consumed:
+                raise CheckpointError(
+                    f"miner state does not match the checkpoint (next segment "
+                    f"{self._matrix.next_segment_id}, checkpoint consumed "
+                    f"{resume_from.batches_consumed} batches); hydrate() the "
+                    "miner from the checkpoint first"
+                )
+            stream = skip_stream_prefix(stream, resume_from.batches_consumed)
         report_slides = 0
         last_record: Optional[SlideRecord] = None
 

@@ -68,6 +68,10 @@ class HistoryError(ReproError):
     """Raised by the pattern-history journal and its query engine."""
 
 
+class CheckpointError(ReproError):
+    """Raised when a miner checkpoint cannot be sealed, loaded or resumed."""
+
+
 class ServiceError(ReproError):
     """Raised when the history serving front end is configured incorrectly."""
 

@@ -189,6 +189,50 @@ class EdgeRegistry:
         return [self.vertices_of(item) for item in sorted(items)]
 
     # ------------------------------------------------------------------ #
+    # serialisation (checkpoints, DESIGN.md §12)
+    # ------------------------------------------------------------------ #
+    def to_state(self) -> Dict[str, object]:
+        """Serialise the registry to a JSON-safe state mapping.
+
+        The edge → symbol pairs are emitted in **registration order** — the
+        order is load-bearing: auto-generated symbols depend on how many
+        edges were registered before, so replaying the state through
+        :meth:`from_state` reproduces the exact future symbol assignment a
+        resumed stream will observe.  Vertex ids must round-trip through
+        JSON exactly, so only ``str``/``int``/``float``/``bool`` vertices
+        are supported (tuples would come back as lists).
+        """
+        edges: List[List[object]] = []
+        for edge, item in self._edge_to_item.items():
+            for vertex in (edge.u, edge.v):
+                if not isinstance(vertex, (str, int, float)):
+                    raise EdgeRegistryError(
+                        f"cannot serialise registry: vertex {vertex!r} of edge "
+                        f"{edge!r} is not JSON-safe (str/int/float/bool only)"
+                    )
+            edges.append([edge.u, edge.v, edge.label, item])
+        return {"frozen": self._frozen, "edges": edges}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "EdgeRegistry":
+        """Rebuild a registry from :meth:`to_state` output (order preserved)."""
+        registry = cls()
+        edges = state.get("edges")
+        if not isinstance(edges, list):
+            raise EdgeRegistryError(f"malformed registry state: {state!r}")
+        for entry in edges:
+            try:
+                u, v, label, item = entry
+            except (TypeError, ValueError):
+                raise EdgeRegistryError(
+                    f"malformed registry state entry: {entry!r}"
+                ) from None
+            registry.register(Edge(u, v, label), item)
+        if state.get("frozen"):
+            registry.freeze()
+        return registry
+
+    # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod

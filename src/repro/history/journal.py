@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     BinaryIO,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -58,8 +59,12 @@ MANIFEST_NAME = "journal.json"
 DATA_NAME = "journal.dat"
 #: File name of the append-only record log next to the manifest.
 LOG_NAME = "journal.log"
+#: File name of the compaction intent marker (present only mid-compaction).
+COMPACT_MARKER_NAME = "journal.compact.json"
 #: Format tag written into journal manifests.
 JOURNAL_FORMAT = "repro-journal/1"
+#: Format tag written into compaction markers.
+COMPACT_FORMAT = "repro-journal-compact/1"
 #: Bytes used for each pattern's support counter in the record row block.
 SUPPORT_BYTES = 4
 
@@ -354,8 +359,15 @@ class DiskJournal(PatternJournal):
 
     kind = "disk"
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self, path: Union[str, Path], max_resident: Optional[int] = None
+    ) -> None:
         super().__init__()
+        if max_resident is not None and max_resident < 1:
+            raise HistoryError(
+                f"max_resident must be at least 1, got {max_resident}"
+            )
+        self._max_resident = max_resident
         self._path = Path(path)
         if self._path.exists() and not self._path.is_dir():
             raise HistoryError(
@@ -371,7 +383,9 @@ class DiskJournal(PatternJournal):
         self._data_size = 0
         manifest = self._read_manifest_if_present(self._path)
         if manifest is not None:
+            self._recover_compaction()
             self._resume_from_log()
+            self._trim_resident()
         else:
             self._write_manifest()
 
@@ -382,6 +396,25 @@ class DiskJournal(PatternJournal):
     def path(self) -> Optional[Path]:
         """The journal directory."""
         return self._path
+
+    @property
+    def data_size(self) -> int:
+        """Bytes currently referenced in ``journal.dat`` (excludes orphans)."""
+        return self._data_size
+
+    @property
+    def max_resident(self) -> Optional[int]:
+        """Bound on in-memory records (the retention hot tier), if any."""
+        return self._max_resident
+
+    def _trim_resident(self) -> None:
+        """Drop the oldest in-memory records beyond the hot-tier bound.
+
+        Only the resident cache shrinks — the records stay on disk (until a
+        :meth:`compact` retires them) and reload on the next open.
+        """
+        if self._max_resident is not None and len(self._records) > self._max_resident:
+            del self._records[: len(self._records) - self._max_resident]
 
     def _persist(self, record: SlideRecord) -> None:
         payload = record.to_bytes()
@@ -407,6 +440,7 @@ class DiskJournal(PatternJournal):
         }
         self._log_handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._log_handle.flush()
+        self._trim_resident()
 
     def close(self) -> None:
         """Release the append handles (appends reopen them transparently)."""
@@ -497,6 +531,111 @@ class DiskJournal(PatternJournal):
                 data_handle.truncate(end)
         self._data_size = end
 
+    # ------------------------------------------------------------------ #
+    # compaction (the retention warm → cold hand-off, DESIGN.md §12)
+    # ------------------------------------------------------------------ #
+    def compact(
+        self,
+        keep_last: int,
+        on_aged: Optional[
+            "Callable[[List[Tuple[SlideRecord, Dict[str, object]]]], None]"
+        ] = None,
+    ) -> int:
+        """Retire all but the newest ``keep_last`` records from disk.
+
+        The aged ``(record, log-entry)`` pairs are handed to ``on_aged``
+        (oldest first) *before* any file is touched — a tiered journal
+        archives them there, so a crash at any point loses nothing (a crash
+        after archiving but before the swap re-ages the same records on the
+        next attempt; the archiver deduplicates by slide id).  The swap
+        itself is staged behind an intent marker: marker → data swap → log
+        swap → marker removal, with :meth:`_recover_compaction` completing
+        or abandoning a half-done swap on the next open.  Returns the
+        number of records retired.
+        """
+        if keep_last < 0:
+            raise HistoryError(f"keep_last must be non-negative, got {keep_last}")
+        entries = _parse_log_entries(self._path / LOG_NAME)
+        if len(entries) <= keep_last:
+            return 0
+        split = len(entries) - keep_last
+        aged_entries, kept = entries[:split], entries[split:]
+        data_path = self._path / DATA_NAME
+        data = data_path.read_bytes() if data_path.exists() else b""
+        aged = [
+            (
+                SlideRecord.from_bytes(
+                    data[entry["offset"] : entry["offset"] + entry["length"]],
+                    timings=entry.get("timings"),
+                ),
+                entry,
+            )
+            for entry in aged_entries
+        ]
+        if on_aged is not None:
+            on_aged(aged)
+        base = kept[0]["offset"] if kept else len(data)
+        keep_first = kept[0]["slide_id"] if kept else None
+        self.close()  # release the append handles before the file swap
+        marker = {
+            "format": COMPACT_FORMAT,
+            "data_size_before": len(data),
+            "base_offset": base,
+            "keep_first_slide_id": keep_first,
+        }
+        _atomic_write(
+            self._path,
+            COMPACT_MARKER_NAME,
+            json.dumps(marker, sort_keys=True).encode("utf-8"),
+        )
+        # Data before log: recovery distinguishes the crash windows by the
+        # data file's size and the log's first slide id (see
+        # _recover_compaction), which requires this order.
+        _atomic_write(self._path, DATA_NAME, data[base:])
+        _atomic_write(self._path, LOG_NAME, _render_log(kept, rebase=base))
+        (self._path / COMPACT_MARKER_NAME).unlink()
+        self._data_size = len(data) - base
+        return len(aged)
+
+    def _recover_compaction(self) -> None:
+        """Complete (or abandon) a compaction interrupted by a crash."""
+        marker_path = self._path / COMPACT_MARKER_NAME
+        if not marker_path.exists():
+            return
+        try:
+            marker = json.loads(marker_path.read_text(encoding="utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HistoryError(
+                f"corrupt compaction marker in {self._path}"
+            ) from exc
+        data_path = self._path / DATA_NAME
+        size = data_path.stat().st_size if data_path.exists() else 0
+        before = int(marker["data_size_before"])
+        base = int(marker["base_offset"])
+        if size == before:
+            # Crash before the data swap: both files are still the
+            # pre-compaction originals — abandon the attempt.
+            marker_path.unlink()
+            return
+        if size != before - base:
+            raise HistoryError(
+                f"unrecoverable compaction state in {self._path}: data file "
+                f"is {size} bytes, expected {before} (before) or "
+                f"{before - base} (after)"
+            )
+        # The data swap landed.  If the crash hit before the log swap the
+        # log still lists the retired records at pre-swap offsets — filter
+        # and rebase it now.
+        entries = _parse_log_entries(self._path / LOG_NAME)
+        keep_first = marker["keep_first_slide_id"]
+        if keep_first is None:
+            kept = []
+        else:
+            kept = [entry for entry in entries if entry["slide_id"] >= keep_first]
+        if len(kept) != len(entries):
+            _atomic_write(self._path, LOG_NAME, _render_log(kept, rebase=base))
+        marker_path.unlink()
+
     @classmethod
     def open(cls, path: Union[str, Path]) -> "DiskJournal":
         """Reopen an existing journal directory (appends continue from it)."""
@@ -516,6 +655,110 @@ class DiskJournal(PatternJournal):
     def timings(self) -> Dict[int, Dict[str, float]]:
         """Per-slide timing metadata, keyed by slide id."""
         return {record.slide_id: dict(record.timings) for record in self._records}
+
+
+def _parse_log_entries(log_path: Path) -> List[Dict[str, object]]:
+    """Parse a ``journal.log`` into its entry dicts (empty for no file)."""
+    if not log_path.exists():
+        return []
+    entries: List[Dict[str, object]] = []
+    with open(log_path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise HistoryError(
+                    f"corrupt journal log entry at {log_path}:{line_number}"
+                ) from exc
+    return entries
+
+
+def _render_log(entries: List[Dict[str, object]], rebase: int = 0) -> bytes:
+    """Serialise log entries back to JSONL, shifting offsets by ``-rebase``."""
+    lines = []
+    for entry in entries:
+        if rebase:
+            entry = dict(entry, offset=entry["offset"] - rebase)
+        lines.append(json.dumps(entry, sort_keys=True) + "\n")
+    return "".join(lines).encode("utf-8")
+
+
+def _atomic_write(directory: Path, name: str, payload: bytes) -> None:
+    """Durably replace ``directory/name`` via write-temp → fsync → rename."""
+    temp = directory / (name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, directory / name)
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry table (best effort on exotic filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def truncate_journal(path: Union[str, Path], slide_id: int) -> Tuple[int, int]:
+    """Roll a closed journal directory back to ``slide_id`` (resume support).
+
+    Every record *after* ``slide_id`` is dropped — the log is rewritten
+    atomically to the kept prefix and the data file is truncated to the
+    kept records' end, so replaying the stream suffix from a checkpoint at
+    ``slide_id`` re-appends the dropped records byte-identically
+    (DESIGN.md §12).  Truncation is keyed by slide id, not byte offset, so
+    it also holds after a retention compaction rebased the offsets.  With
+    ``slide_id < 0`` the journal is reset to empty (a resume that found no
+    checkpoint restarts the stream from scratch).
+
+    Returns ``(records_kept, data_size)``.  Raises
+    :class:`~repro.exceptions.HistoryError` when the journal does not hold
+    ``slide_id`` (compacted away or lost) — a checkpoint can then not be
+    resumed against it.
+    """
+    directory = Path(path)
+    if DiskJournal._read_manifest_if_present(directory) is None:
+        if slide_id < 0:
+            return 0, 0  # nothing journalled yet — a fresh start is a no-op
+        raise HistoryError(
+            f"no pattern journal found at {directory}; cannot resume a "
+            f"checkpoint at slide {slide_id} without its journal prefix"
+        )
+    entries = _parse_log_entries(directory / LOG_NAME)
+    kept = [entry for entry in entries if int(entry["slide_id"]) <= slide_id]
+    if slide_id >= 0 and not any(
+        int(entry["slide_id"]) == slide_id for entry in kept
+    ):
+        raise HistoryError(
+            f"journal at {directory} holds no record for slide {slide_id}; "
+            "it was compacted away or never written — cannot resume there"
+        )
+    end = max(
+        (int(entry["offset"]) + int(entry["length"]) for entry in kept),
+        default=0,
+    )
+    if len(kept) != len(entries):
+        # Log first, then data: a crash in between leaves an unreferenced
+        # data tail, which the next open's orphan recovery drops.
+        _atomic_write(directory, LOG_NAME, _render_log(kept))
+    data_path = directory / DATA_NAME
+    if data_path.exists() and data_path.stat().st_size > end:
+        with open(data_path, "r+b") as handle:
+            handle.truncate(end)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return len(kept), end
 
 
 def open_journal(path: Union[str, Path]) -> DiskJournal:

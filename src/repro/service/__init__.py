@@ -4,9 +4,18 @@
 methods returning JSON-able dictionaries — and
 :mod:`repro.service.server` wraps it in a stdlib ``ThreadingHTTPServer``
 exposing ``/patterns``, ``/history``, ``/topk`` and ``/stats``.
+:class:`~repro.service.supervisor.Supervisor` is the ``repro supervise``
+watchdog that keeps a crash-prone watch/serve child alive (DESIGN.md §12).
 """
 
 from repro.service.api import HistoryService
 from repro.service.server import build_server, serve_journal
+from repro.service.supervisor import RestartPolicy, Supervisor
 
-__all__ = ["HistoryService", "build_server", "serve_journal"]
+__all__ = [
+    "HistoryService",
+    "RestartPolicy",
+    "Supervisor",
+    "build_server",
+    "serve_journal",
+]

@@ -1,0 +1,199 @@
+"""Watchdog for long-running ``repro watch``/``repro serve`` children.
+
+``repro supervise -- watch ...`` keeps a crash-prone child alive: it
+spawns the child, waits, and restarts it with exponential backoff when it
+dies abnormally.  Combined with ``--checkpoint-dir`` + ``--resume`` on
+the child, a SIGKILL'd watch resumes from its latest sealed snapshot and
+continues producing the exact journal bytes an uninterrupted run would
+have written (DESIGN.md §12).
+
+Policy, not mechanism, lives in :class:`RestartPolicy`:
+
+* a **restart budget** (``max_restarts``) bounds crash loops — once the
+  budget is spent the supervisor gives up and propagates the child's
+  last exit code;
+* **exponential backoff** (``backoff_s`` × ``backoff_factor``, capped at
+  ``max_backoff_s``) spaces restarts so a hard crash loop does not spin;
+* a child that stays up for ``stable_after_s`` is considered recovered:
+  the budget and the backoff both reset, so one bad patch a week does
+  not eventually exhaust a fixed lifetime budget.
+
+A child that exits 0 is finished work, not a crash — the supervisor
+stops and exits 0.  Everything the supervisor does is narrated as one
+JSON line per event on the emit hook (stderr by default), machine-
+parseable by the same convention as the CLI's error lines.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+
+
+class SupervisorError(ReproError):
+    """Raised for unusable supervisor configuration."""
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """When and how fast a crashed child is restarted."""
+
+    max_restarts: int = 5
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    stable_after_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise SupervisorError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        if self.backoff_s < 0:
+            raise SupervisorError(
+                f"backoff_s must be non-negative, got {self.backoff_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise SupervisorError(
+                f"backoff_factor must be at least 1.0, got {self.backoff_factor}"
+            )
+        if self.max_backoff_s < self.backoff_s:
+            raise SupervisorError(
+                "max_backoff_s must be at least backoff_s "
+                f"({self.max_backoff_s} < {self.backoff_s})"
+            )
+        if self.stable_after_s < 0:
+            raise SupervisorError(
+                f"stable_after_s must be non-negative, got {self.stable_after_s}"
+            )
+
+
+def _emit_stderr(event: dict) -> None:
+    sys.stderr.write(json.dumps(event, sort_keys=True) + "\n")
+    sys.stderr.flush()
+
+
+class Supervisor:
+    """Spawn a child command and restart it on abnormal exits.
+
+    ``spawn``, ``sleep`` and ``clock`` are injectable so the restart
+    logic is unit-testable without real processes or real waiting; the
+    defaults run actual subprocesses.
+    """
+
+    def __init__(
+        self,
+        command: Sequence[str],
+        policy: Optional[RestartPolicy] = None,
+        emit: Optional[Callable[[dict], None]] = None,
+        spawn: Callable[..., "subprocess.Popen[bytes]"] = subprocess.Popen,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not command:
+            raise SupervisorError("supervised command must not be empty")
+        self._command: List[str] = list(command)
+        self._policy = policy if policy is not None else RestartPolicy()
+        self._emit = emit if emit is not None else _emit_stderr
+        self._spawn = spawn
+        self._sleep = sleep
+        self._clock = clock
+        self._restarts_used = 0
+        self._attempts = 0
+
+    @property
+    def command(self) -> List[str]:
+        """The supervised command line."""
+        return list(self._command)
+
+    @property
+    def policy(self) -> RestartPolicy:
+        """The restart policy in force."""
+        return self._policy
+
+    @property
+    def restarts_used(self) -> int:
+        """Restarts consumed from the current budget window."""
+        return self._restarts_used
+
+    @property
+    def attempts(self) -> int:
+        """Total child launches, including the first."""
+        return self._attempts
+
+    def run(self) -> int:
+        """Supervise until the child exits cleanly or the budget is spent.
+
+        Returns the exit code the supervisor process should propagate:
+        0 for a clean child exit, the child's last exit code when the
+        restart budget is exhausted (``128 + signum`` for signal deaths,
+        matching shell convention).
+        """
+        policy = self._policy
+        backoff = policy.backoff_s
+        while True:
+            self._attempts += 1
+            started = self._clock()
+            self._emit(
+                {
+                    "event": "start",
+                    "attempt": self._attempts,
+                    "command": self._command,
+                }
+            )
+            child = self._spawn(self._command)
+            returncode = child.wait()
+            uptime = self._clock() - started
+            exit_code = 128 - returncode if returncode < 0 else returncode
+            self._emit(
+                {
+                    "event": "exit",
+                    "attempt": self._attempts,
+                    "returncode": returncode,
+                    "exit_code": exit_code,
+                    "uptime_s": round(uptime, 3),
+                }
+            )
+            if returncode == 0:
+                return 0
+            if uptime >= policy.stable_after_s and self._restarts_used:
+                # The child ran long enough to count as recovered before
+                # this crash: forgive past restarts and restart the
+                # backoff ladder from its base.
+                self._emit(
+                    {
+                        "event": "budget-reset",
+                        "uptime_s": round(uptime, 3),
+                        "restarts_forgiven": self._restarts_used,
+                    }
+                )
+                self._restarts_used = 0
+                backoff = policy.backoff_s
+            if self._restarts_used >= policy.max_restarts:
+                self._emit(
+                    {
+                        "event": "budget-exhausted",
+                        "restarts_used": self._restarts_used,
+                        "max_restarts": policy.max_restarts,
+                        "exit_code": exit_code,
+                    }
+                )
+                return exit_code
+            self._restarts_used += 1
+            self._emit(
+                {
+                    "event": "restart",
+                    "restart": self._restarts_used,
+                    "max_restarts": policy.max_restarts,
+                    "backoff_s": round(backoff, 3),
+                }
+            )
+            if backoff > 0:
+                self._sleep(backoff)
+            backoff = min(backoff * policy.backoff_factor, policy.max_backoff_s)

@@ -9,7 +9,8 @@ sliding window and the storage structures consume.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from itertools import islice
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.exceptions import StreamError
 from repro.graph.edge_registry import EdgeRegistry
@@ -98,6 +99,45 @@ class TransactionStream:
 
     def __iter__(self) -> Iterator[Batch]:
         return self.batches()
+
+
+def skip_stream_prefix(
+    stream: Union["GraphStream", "TransactionStream", Iterable[Batch]],
+    batches: int,
+) -> Union["GraphStream", "TransactionStream", Iterator[Batch]]:
+    """Drop the first ``batches`` full batches of a stream (resume support).
+
+    This is how a hydrated miner replays only the un-checkpointed suffix
+    (DESIGN.md §12): the checkpoint records how many batches were already
+    committed, and the resumed ``watch`` consumes the same source stream
+    with that prefix skipped.  For the raw-unit stream types the skip is
+    ``batches × batch_size`` units (batch alignment depends only on input
+    order, so the remaining units regroup into the exact same batches the
+    uninterrupted run would have committed next); for a plain batch
+    iterable the first ``batches`` elements are dropped.
+
+    A ``GraphStream`` keeps its registry: the checkpointed registry
+    already contains every edge of the skipped prefix, so encoding resumes
+    with identical symbol assignment.
+    """
+    if batches < 0:
+        raise StreamError(f"cannot skip {batches} batches")
+    if batches == 0:
+        return stream
+    if isinstance(stream, GraphStream):
+        return GraphStream(
+            islice(stream.raw_snapshots, batches * stream.batch_size, None),
+            registry=stream.registry,
+            batch_size=stream.batch_size,
+            register_new_edges=stream.register_new_edges,
+        )
+    if isinstance(stream, TransactionStream):
+        return TransactionStream(
+            islice(stream.raw_transactions, batches * stream.batch_size, None),
+            batch_size=stream.batch_size,
+            drop_last=stream.drop_last,
+        )
+    return islice(iter(stream), batches, None)
 
 
 class GraphStream:

@@ -40,6 +40,7 @@ class TestScaleParameters:
             "e9",
             "e10",
             "e11",
+            "e12",
         }
 
 

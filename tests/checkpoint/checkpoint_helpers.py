@@ -1,0 +1,26 @@
+"""Shared helpers for the checkpoint suite (DESIGN.md §12)."""
+
+from __future__ import annotations
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.datasets.synthetic import IBMSyntheticGenerator
+
+#: Window/batch geometry shared by the suite: 200 transactions in batches
+#: of 10 yields 20 slides — enough to crash in, replay, and still differ
+#: from the window size.
+BATCH_SIZE = 10
+WINDOW_SIZE = 3
+MINSUP = 3
+
+
+def make_transactions(count=200, seed=11):
+    return IBMSyntheticGenerator(seed=seed).generate(count)
+
+
+def make_miner(on_slide=None, algorithm="vertical"):
+    return StreamSubgraphMiner(
+        window_size=WINDOW_SIZE,
+        batch_size=BATCH_SIZE,
+        algorithm=algorithm,
+        on_slide=on_slide,
+    )

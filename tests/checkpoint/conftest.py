@@ -1,0 +1,10 @@
+"""Fixtures for the checkpoint suite (helpers live in checkpoint_helpers)."""
+
+import pytest
+
+from checkpoint_helpers import make_transactions
+
+
+@pytest.fixture(scope="session")
+def transactions():
+    return make_transactions()

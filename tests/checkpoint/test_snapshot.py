@@ -1,0 +1,197 @@
+"""Unit tests for the snapshot layer: seal, validate, load, prune."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import CheckpointManager, Checkpointer
+from repro.checkpoint.snapshot import MANIFEST_NAME, REGISTRY_NAME
+from repro.exceptions import CheckpointError
+from repro.history.journal import MemoryJournal
+from repro.stream.stream import TransactionStream
+
+from checkpoint_helpers import BATCH_SIZE, MINSUP, make_miner, make_transactions
+
+
+def warm_miner(batches=5):
+    miner = make_miner()
+    miner.add_transactions(make_transactions(count=batches * BATCH_SIZE))
+    return miner
+
+
+class TestSeal:
+    def test_seal_writes_manifest_segments_and_registry(self, tmp_path):
+        miner = warm_miner()
+        manager = CheckpointManager(tmp_path / "chk")
+        checkpoint = manager.seal(miner)
+        assert checkpoint.path == tmp_path / "chk" / "chk-00000004"
+        assert checkpoint.slide_id == 4
+        assert checkpoint.batches_consumed == 5
+        assert (checkpoint.path / MANIFEST_NAME).exists()
+        assert (checkpoint.path / REGISTRY_NAME).exists()
+        segment_files = sorted((checkpoint.path / "segments").iterdir())
+        # Only the window-resident segments are snapshotted.
+        assert len(segment_files) == len(miner.matrix.segments())
+
+    def test_seal_empty_window_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "chk")
+        with pytest.raises(CheckpointError):
+            manager.seal(make_miner())
+
+    def test_reseal_same_slide_is_idempotent(self, tmp_path):
+        miner = warm_miner()
+        manager = CheckpointManager(tmp_path / "chk")
+        first = manager.seal(miner)
+        manifest_bytes = (first.path / MANIFEST_NAME).read_bytes()
+        again = manager.seal(miner)
+        assert again.slide_id == first.slide_id
+        assert (first.path / MANIFEST_NAME).read_bytes() == manifest_bytes
+        assert len(manager.snapshot_paths()) == 1
+
+    def test_seal_replaces_a_partial_snapshot(self, tmp_path):
+        miner = warm_miner()
+        manager = CheckpointManager(tmp_path / "chk")
+        checkpoint = manager.seal(miner)
+        # A crash mid-prune leaves a directory without a manifest; the
+        # next seal of the same slide must replace it, not trust it.
+        (checkpoint.path / MANIFEST_NAME).unlink()
+        resealed = manager.seal(miner)
+        assert (resealed.path / MANIFEST_NAME).exists()
+        assert manager.load(resealed.path).slide_id == checkpoint.slide_id
+
+    def test_seal_records_journal_position(self, tmp_path):
+        journal = MemoryJournal()
+        miner = make_miner(on_slide=journal.append)
+        miner.watch(
+            TransactionStream(make_transactions(count=50), batch_size=BATCH_SIZE),
+            MINSUP,
+            connected_only=False,
+        )
+        checkpoint = CheckpointManager(tmp_path / "chk").seal(miner, journal=journal)
+        # The journal sink ran for every slide before the seal, so the
+        # sealed position includes the checkpointed slide itself.
+        assert checkpoint.journal_records == len(journal) == 5
+
+    def test_manager_validates_construction(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+        rogue = tmp_path / "file"
+        rogue.write_text("x")
+        with pytest.raises(CheckpointError):
+            CheckpointManager(rogue)
+
+
+class TestLoad:
+    def test_load_round_trips_the_sealed_state(self, tmp_path):
+        miner = warm_miner()
+        manager = CheckpointManager(tmp_path / "chk")
+        sealed = manager.seal(miner)
+        loaded = manager.load(sealed.path)
+        assert loaded.slide_id == sealed.slide_id
+        assert loaded.window_size == sealed.window_size
+        assert loaded.batch_size == sealed.batch_size
+        assert loaded.num_columns == sealed.num_columns
+        assert loaded.known_items == sealed.known_items
+        assert [s.to_bytes() for s in loaded.segments] == [
+            s.to_bytes() for s in sealed.segments
+        ]
+
+    def test_missing_manifest_is_a_partial_snapshot(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "chk")
+        sealed = manager.seal(warm_miner())
+        (sealed.path / MANIFEST_NAME).unlink()
+        with pytest.raises(CheckpointError, match="partial snapshot"):
+            manager.load(sealed.path)
+
+    def test_digest_mismatch_is_detected(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "chk")
+        sealed = manager.seal(warm_miner())
+        segment_file = next((sealed.path / "segments").iterdir())
+        segment_file.write_bytes(segment_file.read_bytes() + b"\x00")
+        with pytest.raises(CheckpointError, match="digest"):
+            manager.load(sealed.path)
+
+    def test_missing_file_is_detected(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "chk")
+        sealed = manager.seal(warm_miner())
+        (sealed.path / REGISTRY_NAME).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            manager.load(sealed.path)
+
+    def test_unsupported_format_is_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "chk")
+        sealed = manager.seal(warm_miner())
+        manifest = json.loads((sealed.path / MANIFEST_NAME).read_text())
+        manifest["format"] = "repro-checkpoint/999"
+        (sealed.path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="format"):
+            manager.load(sealed.path)
+
+
+class TestLatestAndPrune:
+    def seal_slides(self, tmp_path, keep=3):
+        journal = MemoryJournal()
+        miner = make_miner(on_slide=journal.append)
+        manager = CheckpointManager(tmp_path / "chk", keep=keep)
+        checkpointer = Checkpointer(manager, miner, journal=journal, every=2)
+        miner.add_slide_sink(checkpointer)
+        miner.watch(
+            TransactionStream(make_transactions(count=100), batch_size=BATCH_SIZE),
+            MINSUP,
+            connected_only=False,
+        )
+        return manager, checkpointer
+
+    def test_prune_keeps_only_the_newest(self, tmp_path):
+        manager, checkpointer = self.seal_slides(tmp_path, keep=2)
+        # 10 slides at every=2 seals 5 snapshots (slides 1,3,5,7,9) but
+        # only the newest `keep` survive pruning.
+        assert checkpointer.snapshots_sealed == 5
+        assert [p.name for p in manager.snapshot_paths()] == [
+            "chk-00000007",
+            "chk-00000009",
+        ]
+
+    def test_latest_skips_invalid_snapshots(self, tmp_path):
+        manager, _ = self.seal_slides(tmp_path, keep=3)
+        newest = manager.snapshot_paths()[-1]
+        (newest / MANIFEST_NAME).unlink()
+        latest = manager.latest()
+        assert latest is not None
+        assert latest.slide_id == 7  # the newest snapshot that validates
+
+    def test_latest_on_empty_root_is_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "chk").latest() is None
+
+    def test_hidden_temp_directories_are_never_scanned(self, tmp_path):
+        manager, _ = self.seal_slides(tmp_path, keep=3)
+        leftover = manager.root / ".chk-00000099.tmp-1234"
+        leftover.mkdir()
+        assert leftover not in manager.snapshot_paths()
+        assert manager.latest().slide_id == 9
+
+
+class TestCheckpointer:
+    def test_cadence_counts_slides_not_slide_ids(self, tmp_path):
+        miner = make_miner()
+        manager = CheckpointManager(tmp_path / "chk", keep=10)
+        checkpointer = Checkpointer(manager, miner, every=3)
+        miner.add_slide_sink(checkpointer)
+        miner.watch(
+            TransactionStream(make_transactions(count=100), batch_size=BATCH_SIZE),
+            MINSUP,
+            connected_only=False,
+        )
+        # 10 slides at every=3: sealed after the 3rd, 6th and 9th slide.
+        assert checkpointer.snapshots_sealed == 3
+        assert [p.name for p in manager.snapshot_paths()] == [
+            "chk-00000002",
+            "chk-00000005",
+            "chk-00000008",
+        ]
+        assert checkpointer.last_checkpoint.slide_id == 8
+
+    def test_every_must_be_positive(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "chk")
+        with pytest.raises(CheckpointError):
+            Checkpointer(manager, make_miner(), every=0)

@@ -1,0 +1,127 @@
+"""Unit tests for the watch supervisor: budget, backoff, resets, signals.
+
+The spawn/sleep/clock hooks are injected with fakes, so the restart logic
+is exercised without real processes or real waiting.
+"""
+
+import pytest
+
+from repro.service.supervisor import RestartPolicy, Supervisor, SupervisorError
+
+
+class FakeChild:
+    def __init__(self, returncode):
+        self.returncode = returncode
+
+    def wait(self):
+        return self.returncode
+
+
+class Harness:
+    """Scripted children + a clock that advances a set uptime per run."""
+
+    def __init__(self, returncodes, uptimes=None):
+        self.returncodes = list(returncodes)
+        self.uptimes = list(uptimes) if uptimes is not None else None
+        self.spawned = []
+        self.sleeps = []
+        self.events = []
+        self._now = 0.0
+
+    def spawn(self, command):
+        self.spawned.append(list(command))
+        return FakeChild(self.returncodes[len(self.spawned) - 1])
+
+    def clock(self):
+        # Called twice per attempt (start, exit): advance by the scripted
+        # uptime on the second call of each pair.
+        if self.uptimes is not None and len(self.spawned) <= len(self.uptimes):
+            uptime = self.uptimes[len(self.spawned) - 1] / 2.0
+        else:
+            uptime = 0.0
+        self._now += uptime
+        return self._now
+
+    def supervisor(self, **policy_kwargs):
+        return Supervisor(
+            ["repro", "watch", "x"],
+            RestartPolicy(**policy_kwargs),
+            emit=self.events.append,
+            spawn=self.spawn,
+            sleep=self.sleeps.append,
+            clock=self.clock,
+        )
+
+
+class TestSupervisor:
+    def test_clean_exit_stops_without_restarting(self):
+        harness = Harness([0])
+        assert harness.supervisor().run() == 0
+        assert len(harness.spawned) == 1
+        assert harness.sleeps == []
+        assert [event["event"] for event in harness.events] == ["start", "exit"]
+
+    def test_restart_budget_then_propagate_exit_code(self):
+        harness = Harness([1, 1, 1, 1])
+        code = harness.supervisor(max_restarts=3, stable_after_s=1e9).run()
+        assert code == 1
+        assert len(harness.spawned) == 4  # first launch + 3 restarts
+        assert harness.events[-1]["event"] == "budget-exhausted"
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        harness = Harness([1] * 6)
+        harness.supervisor(
+            max_restarts=5, backoff_s=0.5, backoff_factor=2.0,
+            max_backoff_s=3.0, stable_after_s=1e9,
+        ).run()
+        assert harness.sleeps == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_signal_death_maps_to_shell_exit_code(self):
+        harness = Harness([-9])
+        code = harness.supervisor(max_restarts=0).run()
+        assert code == 137  # 128 + SIGKILL
+
+    def test_stable_uptime_resets_budget_and_backoff(self):
+        # Crash, restart, run stably, crash again: the stable run forgives
+        # the spent restart, so the second crash restarts (fresh budget,
+        # base backoff) instead of exhausting a max_restarts=1 budget.
+        harness = Harness([1, 1, 0], uptimes=[0.0, 100.0, 0.0])
+        code = harness.supervisor(
+            max_restarts=1, backoff_s=0.5, backoff_factor=2.0,
+            max_backoff_s=30.0, stable_after_s=30.0,
+        ).run()
+        assert code == 0
+        assert len(harness.spawned) == 3
+        assert "budget-reset" in [event["event"] for event in harness.events]
+        # Backoff restarted from its base after the stable run.
+        assert harness.sleeps == [0.5, 0.5]
+
+    def test_events_carry_the_command_and_attempt(self):
+        harness = Harness([0])
+        harness.supervisor().run()
+        start = harness.events[0]
+        assert start["command"] == ["repro", "watch", "x"]
+        assert start["attempt"] == 1
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(SupervisorError):
+            Supervisor([])
+
+
+class TestRestartPolicy:
+    def test_validation(self):
+        with pytest.raises(SupervisorError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(SupervisorError):
+            RestartPolicy(backoff_s=-0.1)
+        with pytest.raises(SupervisorError):
+            RestartPolicy(backoff_factor=0.5)
+        with pytest.raises(SupervisorError):
+            RestartPolicy(backoff_s=5.0, max_backoff_s=1.0)
+        with pytest.raises(SupervisorError):
+            RestartPolicy(stable_after_s=-1.0)
+
+    def test_defaults_are_usable(self):
+        policy = RestartPolicy()
+        assert policy.max_restarts == 5
+        assert policy.backoff_s == 0.5

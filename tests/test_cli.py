@@ -469,6 +469,159 @@ class TestWatchQueryServe:
             server.server_close()
 
 
+class TestWatchCheckpointAndRetention:
+    def _generate(self, tmp_path):
+        source = tmp_path / "graph.fimi"
+        main(["generate", str(source), "--kind", "graph", "--count", "200", "--seed", "5"])
+        return source
+
+    def _watch(self, tmp_path, source, journal, extra=()):
+        args = [
+            "watch", str(source), "--batch-size", "10", "--window", "3",
+            "--minsup", "3", "--journal", str(tmp_path / journal),
+        ]
+        return main(args + list(extra))
+
+    def test_crash_resume_is_byte_identical(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        assert self._watch(tmp_path, source, "ref") == 0
+        # A "crashed" run: only the stream prefix, sealing snapshots.
+        prefix = tmp_path / "prefix.fimi"
+        prefix.write_text(
+            "".join(source.read_text().splitlines(keepends=True)[:70])
+        )
+        chk = ["--checkpoint-dir", str(tmp_path / "chk"), "--checkpoint-every", "2"]
+        assert self._watch(tmp_path, prefix, "live", extra=chk) == 0
+        assert "sealed 3 snapshot(s)" in capsys.readouterr().out
+        # Resume over the full stream converges on the reference bytes.
+        assert self._watch(tmp_path, source, "live", extra=chk + ["--resume"]) == 0
+        assert "resumed from slide 5" in capsys.readouterr().out
+        assert (tmp_path / "live" / "journal.dat").read_bytes() == (
+            tmp_path / "ref" / "journal.dat"
+        ).read_bytes()
+
+    def test_retention_flags_bound_the_journal(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        assert (
+            self._watch(
+                tmp_path, source, "tiered",
+                extra=["--retain-warm", "5", "--retain-hot", "3",
+                       "--cold-sample-every", "4"],
+            )
+            == 0
+        )
+        assert "20 records total" in capsys.readouterr().out
+        archive = tmp_path / "tiered" / "archive.jsonl"
+        lines = [json.loads(line) for line in archive.read_text().splitlines()]
+        assert len(lines) == 15  # 20 slides - 5 warm
+        assert sum(1 for line in lines if "patterns" in line) == 4
+
+    def test_resume_requires_checkpoint_dir(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        code = self._watch(tmp_path, source, "j", extra=["--resume"])
+        assert code == EXIT_USAGE_ERROR
+        assert "--resume needs --checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_rejects_mismatched_geometry(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        chk = ["--checkpoint-dir", str(tmp_path / "chk"), "--checkpoint-every", "2"]
+        assert self._watch(tmp_path, source, "live", extra=chk) == 0
+        capsys.readouterr()
+        code = main([
+            "watch", str(source), "--batch-size", "20", "--window", "3",
+            "--minsup", "3", "--journal", str(tmp_path / "live"),
+            "--resume", *chk,
+        ])
+        assert code == EXIT_USAGE_ERROR
+        assert "resume with the same flags" in capsys.readouterr().err
+
+    def test_bad_retention_flag_is_a_usage_error(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        code = self._watch(tmp_path, source, "j", extra=["--checkpoint-every", "0"])
+        assert code == EXIT_USAGE_ERROR
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_unwritable_journal_is_one_json_error_line(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        code = self._watch(tmp_path, source, "blocker/journal")
+        assert code == EXIT_INPUT_ERROR
+        err_lines = capsys.readouterr().err.strip().splitlines()
+        assert len(err_lines) == 1
+        payload = json.loads(err_lines[0])
+        assert "cannot open journal" in payload["error"]
+        assert payload["exit_code"] == EXIT_INPUT_ERROR
+
+    def test_unwritable_checkpoint_dir_is_one_json_error_line(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x")
+        code = self._watch(
+            tmp_path, source, "j",
+            extra=["--checkpoint-dir", str(blocker / "chk")],
+        )
+        assert code == EXIT_INPUT_ERROR
+        payload = json.loads(capsys.readouterr().err.strip())
+        assert "cannot open checkpoint dir" in payload["error"]
+
+    def test_serve_error_is_one_json_error_line(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "missing")])
+        assert code == EXIT_INPUT_ERROR
+        payload = json.loads(capsys.readouterr().err.strip())
+        assert "cannot open journal" in payload["error"]
+        assert payload["exit_code"] == EXIT_INPUT_ERROR
+
+
+class TestSupervise:
+    def test_supervise_needs_a_child(self, capsys):
+        assert main(["supervise"]) == EXIT_USAGE_ERROR
+        assert "needs a child command" in capsys.readouterr().err
+
+    def test_supervise_only_runs_watch_or_serve(self, capsys):
+        assert main(["supervise", "--", "mine", "x"]) == EXIT_USAGE_ERROR
+        assert "watch/serve" in capsys.readouterr().err
+
+    def test_supervise_validates_the_policy(self, capsys):
+        code = main(["supervise", "--max-restarts", "-1", "--", "watch", "x"])
+        assert code == EXIT_USAGE_ERROR
+        assert "max_restarts" in capsys.readouterr().err
+
+    def test_supervise_runs_a_real_child_to_completion(self, tmp_path, capsys):
+        source = tmp_path / "graph.fimi"
+        main(["generate", str(source), "--kind", "graph", "--count", "60", "--seed", "5"])
+        capsys.readouterr()
+        code = main([
+            "supervise", "--max-restarts", "0", "--",
+            "watch", str(source), "--batch-size", "20", "--window", "2",
+            "--minsup", "4", "--journal", str(tmp_path / "journal"),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().err.strip().splitlines()
+        ]
+        assert [event["event"] for event in events] == ["start", "exit"]
+        assert (tmp_path / "journal" / "journal.dat").exists()
+
+    def test_supervise_propagates_a_failing_child(self, tmp_path, capsys):
+        # A watch over a missing input fails fast with exit 3; a budget of
+        # one restart retries once, then propagates the child's code.
+        code = main([
+            "supervise", "--max-restarts", "1", "--backoff", "0.01", "--",
+            "watch", str(tmp_path / "nope.fimi"),
+            "--journal", str(tmp_path / "journal"),
+        ])
+        assert code == EXIT_INPUT_ERROR
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().err.strip().splitlines()
+        ]
+        assert [event["event"] for event in events] == [
+            "start", "exit", "restart", "start", "exit", "budget-exhausted",
+        ]
+
+
 class TestMineInputErrors:
     def test_missing_input_file_exits_with_stable_code(self, tmp_path, capsys):
         missing = tmp_path / "nope.fimi"
