@@ -6,7 +6,8 @@ after every batch commit the fresh window is mined and the per-slide answer is
 sealed into an append-only pattern journal (DESIGN.md §10).  The journal's
 index then answers the questions the one-shot miner cannot — how a pattern's
 support evolved over the stream, when it first became frequent, and what was
-on top at any past slide.
+on top at any past slide.  Queries are composable algebra expressions
+(DESIGN.md §13) evaluated under the cost-based planner.
 
 Run with::
 
@@ -14,7 +15,7 @@ Run with::
 """
 
 from repro import StreamSubgraphMiner, TransactionStream
-from repro.history import JournalIndex, MemoryJournal
+from repro.history import JournalIndex, MemoryJournal, algebra
 
 
 def drifting_stream():
@@ -58,7 +59,7 @@ def main() -> None:
 
     # Support over time: the old hot pair fades, the new one takes over.
     for pair in (("login", "search"), ("login", "checkout")):
-        curve = index.support_history(pair)
+        curve = algebra.evaluate(algebra.history(*pair), index).curve
         rendered = " ".join(f"{support:2d}" for _, support in curve)
         print(f"support of {pair}: {rendered}")
 
@@ -70,8 +71,13 @@ def main() -> None:
     print(f"(login, search) was last frequent at slide {drift_out}")
 
     # Top of the final window vs the top while the window was still early.
-    first_top = index.top_k(1, slide_id=1)[0]
-    last_top = index.top_k(1)[0]
+    last = index.last_slide_id
+    first_top = algebra.evaluate(
+        algebra.top_k(1, where=algebra.slides(1, 1)), index
+    ).matches[0]
+    last_top = algebra.evaluate(
+        algebra.top_k(1, where=algebra.slides(last, last)), index
+    ).matches[0]
     print(f"top pattern at slide 1: {first_top[1]} (support {first_top[2]})")
     print(f"top pattern at the last slide: {last_top[1]} (support {last_top[2]})")
 

@@ -1262,6 +1262,245 @@ def experiment_checkpoint_recovery(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E13 — query-algebra planner ablation (DESIGN.md §13)
+# ---------------------------------------------------------------------- #
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty value list (deterministic)."""
+    ordered = sorted(values)
+    position = int(round(fraction * (len(ordered) - 1)))
+    return ordered[min(position, len(ordered) - 1)]
+
+
+def experiment_query_algebra(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    seed: int = 42,
+    repeats: int = 3,
+    queries_per_family: int = 8,
+    output_path: Optional[Union[str, Path]] = "BENCH_e13.json",
+) -> Dict[str, object]:
+    """Planner ablation for the pattern-history query algebra (DESIGN.md §13).
+
+    The E10 workload is watched into a journal, then a deterministic
+    workload of algebra queries — six families covering containment
+    conjunctions, support filters, slide ranges, unions, provenance joins,
+    top-k and history curves — is evaluated three ways:
+
+    * **planner** — the cost-based plan (smallest-posting-first driver);
+    * **naive** — left-to-right driver choice (``optimize=False``), the
+      ablation baseline the planner must not lose to;
+    * **brute** — :func:`~repro.history.algebra.brute_force_query` over
+      the raw records, the correctness oracle.
+
+    Regression keys: ``planner_matches_bruteforce`` (planner *and* naive
+    agree with the oracle on every query), ``planner_not_slower_than_naive``
+    (best-of-``repeats`` total wall-clock, 10% slack), and the
+    deterministic Q-Error percentiles ``qerror_p50``/``qerror_p95`` taken
+    from the planner's per-query Explain output.  The ``super-adversarial``
+    family orders conjuncts largest-posting-first on purpose: naive
+    evaluation drives from the biggest posting list, the planner must
+    reorder.
+    """
+    from repro.history import algebra
+    from repro.history.journal import MemoryJournal, SlideRecord
+    from repro.history.query import JournalIndex
+
+    workload = default_edge_workload(scale, seed=seed)
+    support = minsup if minsup is not None else _default_minsup(workload)
+
+    journal = MemoryJournal()
+    miner = StreamSubgraphMiner(
+        window_size=workload.window_size,
+        batch_size=workload.batch_size,
+        algorithm="vertical",
+        on_slide=journal.append,
+    )
+    miner.watch(
+        TransactionStream(workload.transactions, batch_size=workload.batch_size),
+        support,
+        connected_only=False,
+    )
+    index = JournalIndex.from_journal(journal)
+    records: Tuple[SlideRecord, ...] = journal.records()
+    slide_ids = index.slide_ids()
+    total_rows = sum(index.row_count(slide) for slide in slide_ids)
+
+    # Items sorted rarest-first by posting length: the planner's raw material.
+    universe = sorted(index.items(), key=lambda item: (index.posting_total(item), item))
+    if not universe:
+        raise DatasetError(
+            f"workload {workload.name!r} journalled no patterns at minsup={support}"
+        )
+    rare = universe
+    common = list(reversed(universe))
+
+    def pick(pool: Sequence[str], position: int) -> str:
+        return pool[position % len(pool)]
+
+    def slide_range(position: int) -> Tuple[int, int]:
+        lo = slide_ids[position % len(slide_ids)]
+        hi = slide_ids[min(len(slide_ids) - 1, (position % len(slide_ids)) + 2)]
+        return (lo, hi) if lo <= hi else (hi, lo)
+
+    count = queries_per_family
+    families: Dict[str, List[algebra.Query]] = {
+        # Adversarial conjunct order: the common (largest-posting) item is
+        # written first, so naive drives from it; the planner must reorder
+        # to the rare item's posting list.
+        "super-adversarial": [
+            algebra.select(
+                algebra.and_(
+                    algebra.contains(pick(common, i)),
+                    algebra.contains(pick(rare, i)),
+                )
+            )
+            for i in range(count)
+        ],
+        "support-filter": [
+            algebra.select(
+                algebra.and_(
+                    algebra.support_gte(support + (i % 3)),
+                    algebra.contains(pick(common, i)),
+                )
+            )
+            for i in range(count)
+        ],
+        "sub-range": [
+            algebra.select(
+                algebra.and_(
+                    algebra.contained_in(
+                        *(pick(common, i + offset) for offset in range(4))
+                    ),
+                    algebra.slides(*slide_range(i)),
+                )
+            )
+            for i in range(count)
+        ],
+        "or-union": [
+            algebra.select(
+                algebra.or_(
+                    algebra.contains(pick(rare, i)),
+                    algebra.contains(pick(rare, i + 1)),
+                )
+            )
+            for i in range(count)
+        ],
+        "provenance": [
+            algebra.select(
+                algebra.and_(
+                    algebra.contains(pick(common, i)),
+                    algebra.became_frequent_within(2, of=(pick(common, i + 1),)),
+                )
+            )
+            for i in range(count)
+        ],
+        "topk": [
+            algebra.top_k(5, where=algebra.contains(pick(common, i)))
+            for i in range(count)
+        ],
+        "history": [
+            algebra.history(pick(common, i)) for i in range(count)
+        ],
+    }
+
+    rows: List[Dict[str, object]] = []
+    q_errors: List[float] = []
+    matches_bruteforce = True
+    planner_total = 0.0
+    naive_total = 0.0
+
+    for family, queries in families.items():
+        planner_scanned = 0
+        naive_scanned = 0
+        matches_total = 0
+        for query in queries:
+            planner_eval = algebra.evaluate(query, index, optimize=True)
+            naive_eval = algebra.evaluate(query, index, optimize=False)
+            oracle = algebra.brute_force_query(query, records)
+            if isinstance(query, algebra.History):
+                planner_result: object = planner_eval.curve
+                naive_result: object = naive_eval.curve
+            else:
+                planner_result = planner_eval.matches
+                naive_result = naive_eval.matches
+            if planner_result != oracle or naive_result != oracle:
+                matches_bruteforce = False
+            matches_total += len(oracle)  # type: ignore[arg-type]
+            planner_scanned += int(planner_eval.explain["scanned"])  # type: ignore[call-overload]
+            naive_scanned += int(naive_eval.explain["scanned"])  # type: ignore[call-overload]
+            q_errors.append(float(planner_eval.explain["q_error"]))  # type: ignore[arg-type]
+
+        def timed(run) -> float:
+            best: Optional[float] = None
+            for _ in range(repeats):
+                with Timer() as timer:
+                    run()
+                best = timer.elapsed if best is None else min(best, timer.elapsed)
+            return best or 0.0
+
+        planner_s = timed(
+            lambda: [algebra.evaluate(q, index, optimize=True) for q in queries]
+        )
+        naive_s = timed(
+            lambda: [algebra.evaluate(q, index, optimize=False) for q in queries]
+        )
+        brute_s = timed(
+            lambda: [algebra.brute_force_query(q, records) for q in queries]
+        )
+        planner_total += planner_s
+        naive_total += naive_s
+        shared = {
+            "family": family,
+            "queries": len(queries),
+            "matches": matches_total,
+        }
+        rows.append(
+            {
+                **shared,
+                "mode": "planner",
+                "scanned": planner_scanned,
+                "query_total_s": round(planner_s, 4),
+            }
+        )
+        rows.append(
+            {
+                **shared,
+                "mode": "naive",
+                "scanned": naive_scanned,
+                "query_total_s": round(naive_s, 4),
+            }
+        )
+        rows.append(
+            {
+                **shared,
+                "mode": "brute",
+                "scanned": total_rows * len(queries),
+                "query_total_s": round(brute_s, 4),
+            }
+        )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E13-query-algebra",
+        "workload": workload.name,
+        "minsup": support,
+        "families": len(families),
+        "queries": sum(len(queries) for queries in families.values()),
+        "qerror_p50": round(_percentile(q_errors, 0.50), 3),
+        "qerror_p95": round(_percentile(q_errors, 0.95), 3),
+        "rows": rows,
+        "planner_matches_bruteforce": matches_bruteforce,
+        "planner_not_slower_than_naive": planner_total <= naive_total * 1.10,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -1276,4 +1515,5 @@ EXPERIMENTS = {
     "e10": experiment_journal_history,
     "e11": experiment_transport_scaling,
     "e12": experiment_checkpoint_recovery,
+    "e13": experiment_query_algebra,
 }

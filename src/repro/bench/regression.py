@@ -44,6 +44,8 @@ BOOLEAN_KEYS = (
     "speedup_monotone",
     "shm_not_slower",
     "restore_identical",
+    "planner_matches_bruteforce",
+    "planner_not_slower_than_naive",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).

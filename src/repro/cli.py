@@ -29,13 +29,18 @@ Subcommands
     Watchdog for a long-running ``watch``/``serve`` child: restart it with
     exponential backoff when it dies abnormally, within a restart budget.
 ``query``
-    Run one query (support history, sub/super-pattern match, top-k,
-    first/last-frequent provenance, stats) against a journal directory.
+    Query a journal directory: ``--expr`` evaluates one composable JSON
+    algebra expression (DESIGN.md §13) under the cost-based planner and
+    prints the answer with its ``explain`` payload; the named ``--query``
+    modes (support history, sub/super-pattern match, top-k,
+    first/last-frequent provenance, stats) remain as canned plans.
 ``serve``
-    Expose a journal over HTTP (``/patterns``, ``/history``, ``/topk``,
-    ``/stats``) from a threaded stdlib server.
+    Expose a journal over HTTP from a threaded stdlib server:
+    ``POST /query`` takes a JSON algebra expression; the legacy GET
+    endpoints (``/patterns``, ``/history``, ``/topk``) still answer but
+    are deprecated; ``/stats`` summarises the journal.
 ``bench``
-    Run one of the paper's experiments (e1-e12) and print its table;
+    Run one of the paper's experiments (e1-e13) and print its table;
     ``--baseline`` compares the outcome against a committed
     ``BENCH_*.json`` with the nightly regression gate.
 
@@ -48,7 +53,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro import __version__
 from repro.bench.experiments import EXPERIMENTS
@@ -71,7 +76,13 @@ from repro.datasets.workloads import (
     validate_workload,
     workload_names,
 )
-from repro.exceptions import CheckpointError, DatasetError, HistoryError, ServiceError
+from repro.exceptions import (
+    AlgebraError,
+    CheckpointError,
+    DatasetError,
+    HistoryError,
+    ServiceError,
+)
 from repro.graph.edge_registry import EdgeRegistry
 from repro.parallel.api import TRANSPORTS
 from repro.history.journal import DiskJournal, open_journal, truncate_journal
@@ -342,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--slide", type=int, default=None, help="restrict the query to one slide id"
     )
     query.add_argument("-k", type=int, default=10, help="result size for --query topk")
+    query.add_argument(
+        "--expr",
+        default=None,
+        help="composable algebra expression as JSON (overrides --query/--items; "
+        'e.g. \'{"select": {"where": {"contains": ["a", "b"]}}}\' — see '
+        "README 'Querying the journal')",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="serve a pattern journal over HTTP (JSON endpoints)"
@@ -878,12 +896,40 @@ def _cmd_supervise(args: argparse.Namespace) -> int:
     return Supervisor(command, policy).run()
 
 
+def _fail_query_json(message: str, code: str, path: Optional[str] = None) -> int:
+    """One structured algebra-error line on stderr (PR 7 JSON convention)."""
+    error: Dict[str, object] = {
+        "error": message,
+        "code": code,
+        "exit_code": EXIT_USAGE_ERROR,
+    }
+    if path is not None:
+        error["path"] = path
+    print(json.dumps(error, sort_keys=True), file=sys.stderr)
+    return EXIT_USAGE_ERROR
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     try:
         journal = open_journal(args.journal)
     except HistoryError as exc:
         print(f"error: cannot open journal: {exc}", file=sys.stderr)
         return EXIT_INPUT_ERROR
+    if args.expr is not None:
+        try:
+            expression = json.loads(args.expr)
+        except json.JSONDecodeError as exc:
+            return _fail_query_json(
+                f"--expr is not valid JSON: {exc}", code="invalid-json"
+            )
+        try:
+            payload = HistoryService(journal).query(expression)
+        except AlgebraError as exc:
+            return _fail_query_json(str(exc), code=exc.code, path=exc.path)
+        except (HistoryError, ServiceError) as exc:
+            return _fail_query_json(str(exc), code="bad-query")
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
     items = (
         [item for item in args.items.split(",") if item]
         if args.items is not None

@@ -68,6 +68,22 @@ class HistoryError(ReproError):
     """Raised by the pattern-history journal and its query engine."""
 
 
+class AlgebraError(HistoryError):
+    """Raised for a malformed pattern-history algebra expression.
+
+    Carries the dotted ``path`` of the offending node (``"$"`` is the
+    expression root, e.g. ``"$.select.where.and[1].contains"``) so the
+    service front ends can point a client at exactly what to fix, and a
+    stable machine-readable ``code`` for structured JSON errors.
+    """
+
+    code = "malformed-expression"
+
+    def __init__(self, message: str, path: str = "$") -> None:
+        super().__init__(message)
+        self.path = path
+
+
 class CheckpointError(ReproError):
     """Raised when a miner checkpoint cannot be sealed, loaded or resumed."""
 

@@ -4,11 +4,16 @@ The miner answers "what is frequent in the *current* window"; this package
 retains those answers.  A :class:`~repro.history.journal.PatternJournal`
 holds one sealed :class:`~repro.history.journal.SlideRecord` per window
 slide (memory or disk backend, mirroring the §3 segment design), and a
-:class:`~repro.history.query.JournalIndex` answers sub-/super-pattern
-matches, support histories, top-k-at-slide and first/last-frequent
-provenance queries over it without rescanning every record.
+:class:`~repro.history.query.JournalIndex` answers queries over it
+without rescanning every record.  The query surface is the composable
+algebra of :mod:`repro.history.algebra` (DESIGN.md §13): predicates over
+journalled rows compiled to posting-list plans under a cost-based
+planner, with the index's legacy one-shot methods (``super_patterns``,
+``sub_patterns``, ``support_history``, ``top_k``) kept as deprecated
+shims over the equivalent compiled plans.
 """
 
+from repro.history import algebra
 from repro.history.journal import (
     DiskJournal,
     MemoryJournal,
@@ -25,4 +30,5 @@ __all__ = [
     "DiskJournal",
     "open_journal",
     "JournalIndex",
+    "algebra",
 ]

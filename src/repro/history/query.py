@@ -22,13 +22,23 @@ instance across reader threads without locking.  Rebuild (or
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import HistoryError
 from repro.history.journal import PatternJournal, SlideRecord
 
 #: One query hit: (slide id, sorted item tuple, support).
 Match = Tuple[int, Tuple[str, ...], int]
+
+
+def _warn_deprecated(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use the query algebra (repro.history.algebra) "
+        f"instead: {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _normalise_items(items: Iterable[str]) -> Tuple[str, ...]:
@@ -99,6 +109,47 @@ class JournalIndex:
         return len(self._order)
 
     # ------------------------------------------------------------------ #
+    # posting accessors (the algebra compiler's raw material)
+    # ------------------------------------------------------------------ #
+    def has_slide(self, slide_id: int) -> bool:
+        """Is ``slide_id`` an indexed slide?"""
+        return slide_id in self._slides
+
+    def posting_total(self, item: str) -> int:
+        """Total posting length of ``item`` across every slide.
+
+        This is the planner's selectivity estimate: it is already known
+        at index-build time, so ordering intersections smallest-first
+        costs nothing extra.
+        """
+        posting = self._postings.get(item)
+        if not posting:
+            return 0
+        return sum(len(entries) for entries in posting.values())
+
+    def posting(self, item: str, slide_id: int) -> Sequence[Tuple[str, ...]]:
+        """The patterns containing ``item`` at one slide (read-only view)."""
+        return self._postings.get(item, {}).get(slide_id, ())
+
+    def row_count(self, slide_id: int) -> int:
+        """Number of journalled pattern rows at one slide (0 if unknown)."""
+        return len(self._slides.get(slide_id, ()))
+
+    def iter_patterns_at(self, slide_id: int) -> Iterator[Tuple[Tuple[str, ...], int]]:
+        """Iterate the (items, support) rows of one slide (full-scan path)."""
+        return iter(self._slides.get(slide_id, {}).items())
+
+    def support_at(self, slide_id: int, items: Iterable[str]) -> Optional[int]:
+        """Support of an exact itemset at one slide, or None when absent."""
+        slide = self._slides.get(slide_id)
+        if slide is None:
+            return None
+        key = items if isinstance(items, tuple) else tuple(items)
+        if key in slide:  # fast path: canonical (sorted) tuples, the hot loop
+            return slide[key]
+        return slide.get(tuple(sorted(key)))
+
+    # ------------------------------------------------------------------ #
     # pattern-match queries
     # ------------------------------------------------------------------ #
     def _query_slides(self, slide_id: Optional[int]) -> List[int]:
@@ -108,55 +159,51 @@ class JournalIndex:
             raise HistoryError(f"slide {slide_id} is not in the journal")
         return [slide_id]
 
+    def _canned_match(
+        self, items: Iterable[str], slide_id: Optional[int], mode: str
+    ) -> List[Match]:
+        """Run one legacy containment query as a compiled algebra plan."""
+        from repro.history import algebra
+
+        query = _normalise_items(items)
+        self._query_slides(slide_id)  # preserve the unknown-slide error
+        where: "algebra.Predicate"
+        if mode == "super":
+            where = algebra.contains(*query)
+        else:
+            where = algebra.contained_in(*query)
+        if slide_id is not None:
+            where = algebra.and_(where, algebra.slides(slide_id, slide_id))
+        return algebra.evaluate(algebra.select(where), self).matches
+
     def super_patterns(
         self, items: Iterable[str], slide_id: Optional[int] = None
     ) -> List[Match]:
         """Patterns that contain every query item (optionally at one slide).
 
-        Candidates come from the *rarest* query item's posting list — only
-        patterns containing that item are subset-checked, never the whole
-        slide.
+        .. deprecated:: use the algebra instead —
+           ``evaluate(select(contains(*items)), index)``; this shim runs
+           exactly that compiled plan.
         """
-        query = _normalise_items(items)
-        wanted: FrozenSet[str] = frozenset(query)
-        postings = [self._postings.get(item) for item in query]
-        if any(posting is None for posting in postings):
-            return []
-        rarest = min(
-            (posting for posting in postings if posting is not None),
-            key=lambda posting: sum(len(entries) for entries in posting.values()),
+        _warn_deprecated(
+            "JournalIndex.super_patterns", "evaluate(select(contains(*items)), index)"
         )
-        matches: List[Match] = []
-        for slide in self._query_slides(slide_id):
-            for candidate in rarest.get(slide, ()):
-                if wanted.issubset(candidate):
-                    matches.append((slide, candidate, self._slides[slide][candidate]))
-        return matches
+        return self._canned_match(items, slide_id, "super")
 
     def sub_patterns(
         self, items: Iterable[str], slide_id: Optional[int] = None
     ) -> List[Match]:
         """Patterns contained in the query itemset (optionally at one slide).
 
-        Candidates are the union of the query items' posting lists; every
-        pattern made only of query items is a subset hit.
+        .. deprecated:: use the algebra instead —
+           ``evaluate(select(contained_in(*items)), index)``; this shim
+           runs exactly that compiled plan.
         """
-        query = _normalise_items(items)
-        allowed: FrozenSet[str] = frozenset(query)
-        matches: List[Match] = []
-        for slide in self._query_slides(slide_id):
-            seen: set = set()
-            for item in query:
-                for candidate in self._postings.get(item, {}).get(slide, ()):
-                    if candidate in seen:
-                        continue
-                    seen.add(candidate)
-                    if allowed.issuperset(candidate):
-                        matches.append(
-                            (slide, candidate, self._slides[slide][candidate])
-                        )
-        matches.sort(key=lambda match: (match[0], len(match[1]), match[1]))
-        return matches
+        _warn_deprecated(
+            "JournalIndex.sub_patterns",
+            "evaluate(select(contained_in(*items)), index)",
+        )
+        return self._canned_match(items, slide_id, "sub")
 
     # ------------------------------------------------------------------ #
     # history and provenance
@@ -168,11 +215,18 @@ class JournalIndex:
         the curve always has one point per journalled slide — trend
         detection never has to guess whether a gap means "absent" or
         "unknown".
+
+        .. deprecated:: use the algebra instead —
+           ``evaluate(history(*items), index).curve``; this shim runs
+           exactly that plan.
         """
+        from repro.history import algebra
+
+        _warn_deprecated(
+            "JournalIndex.support_history", "evaluate(history(*items), index).curve"
+        )
         query = _normalise_items(items)
-        return [
-            (slide, self._slides[slide].get(query, 0)) for slide in self._order
-        ]
+        return algebra.evaluate(algebra.history(*query), self).curve
 
     def first_frequent(self, items: Iterable[str]) -> Optional[int]:
         """The first slide at which the exact itemset was frequent."""
@@ -196,18 +250,27 @@ class JournalIndex:
     # ranking and stats
     # ------------------------------------------------------------------ #
     def top_k(self, k: int, slide_id: Optional[int] = None) -> List[Match]:
-        """The ``k`` highest-support patterns of one slide (default: newest)."""
+        """The ``k`` highest-support patterns of one slide (default: newest).
+
+        .. deprecated:: use the algebra instead —
+           ``evaluate(top_k(k, where=slides(s, s)), index)``; this shim
+           runs exactly that plan.
+        """
+        from repro.history import algebra
+
+        _warn_deprecated(
+            "JournalIndex.top_k", "evaluate(top_k(k, where=slides(s, s)), index)"
+        )
         if k < 1:
             raise HistoryError(f"k must be at least 1, got {k}")
         if slide_id is None:
             if not self._order:
                 return []
             slide_id = self._order[-1]
-        patterns = self.patterns_at(slide_id)
-        ranked = sorted(
-            patterns.items(), key=lambda entry: (-entry[1], len(entry[0]), entry[0])
-        )
-        return [(slide_id, items, support) for items, support in ranked[:k]]
+        elif slide_id not in self._slides:
+            raise HistoryError(f"slide {slide_id} is not in the journal")
+        expression = algebra.top_k(k, where=algebra.slides(slide_id, slide_id))
+        return algebra.evaluate(expression, self).matches
 
     def stats(self) -> Dict[str, object]:
         """Shape summary of the indexed journal (the ``/stats`` payload)."""

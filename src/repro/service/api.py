@@ -1,22 +1,32 @@
 """Library surface of the continuous-query service.
 
 :class:`HistoryService` wraps one journal plus its
-:class:`~repro.history.query.JournalIndex` and exposes the four query
-endpoints as plain methods returning JSON-able dictionaries — the HTTP
-front end (:mod:`repro.service.server`) and the ``repro query`` CLI are
-thin shells over these methods, so library users get the exact payloads a
-deployment would serve.
+:class:`~repro.history.query.JournalIndex` and exposes the query surface
+as plain methods returning JSON-able dictionaries — the HTTP front end
+(:mod:`repro.service.server`) and the ``repro query`` CLI are thin shells
+over these methods, so library users get the exact payloads a deployment
+would serve.
 
-The service is read-only and the index immutable once built, so one
-instance can be shared by any number of reader threads without locking —
-that is what makes the ``ThreadingHTTPServer`` front end safe.
+The primary entry point is :meth:`HistoryService.query`: one composable
+algebra expression (:mod:`repro.history.algebra`, DESIGN.md §13), JSON in
+and JSON out, evaluated under the cost-based planner with an ``explain``
+payload.  The legacy endpoints (``patterns``/``history``/``topk``) are
+kept for one release as canned plans: each builds its algebra expression
+via :meth:`HistoryService.canned_query` and evaluates it through exactly
+the same compiler, so the legacy payloads are byte-identical to what the
+hand-rolled access paths produced.
+
+The service is read-only between :meth:`refresh` calls and the index is
+shared by any number of reader threads without locking — that is what
+makes the ``ThreadingHTTPServer`` front end safe.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.exceptions import HistoryError, ServiceError
+from repro.exceptions import AlgebraError, HistoryError, ServiceError
+from repro.history import algebra
 from repro.history.journal import PatternJournal
 from repro.history.query import JournalIndex, Match
 
@@ -49,12 +59,98 @@ class HistoryService:
         return self._index
 
     def refresh(self) -> None:
-        """Re-index the journal (pick up records appended since creation)."""
-        self._index = JournalIndex.from_journal(self._journal)
+        """Index records appended to the journal since the last (re)build.
+
+        Only the unseen journal suffix is indexed (``JournalIndex.extend``)
+        — a refresh after one new slide costs one record, not a full
+        rebuild.  Call it from the writer side (e.g. an ``on_slide``
+        hook); readers keep using the same index object throughout.
+        """
+        last = self._index.last_slide_id
+        records = self._journal.records()
+        if last is not None:
+            records = tuple(
+                record for record in records if record.slide_id > last
+            )
+        self._index.extend(records)
 
     # ------------------------------------------------------------------ #
-    # endpoints
+    # the algebra surface
     # ------------------------------------------------------------------ #
+    def query(
+        self,
+        expression: Union[Mapping[str, object], algebra.Query],
+        optimize: bool = True,
+    ) -> Dict[str, object]:
+        """Evaluate one algebra expression (JSON form or AST) → payload.
+
+        The payload always carries the echoed ``query``, the result
+        (``matches``/``count`` or ``history`` + provenance) and the
+        planner's ``explain`` (plan, estimated vs actual rows and
+        postings, Q-Error).  Malformed expressions raise
+        :class:`~repro.exceptions.AlgebraError` with the offending node
+        path — the front ends turn that into a structured 400.
+        """
+        if isinstance(expression, algebra.QUERY_SHAPES):
+            parsed = expression
+        elif isinstance(expression, Mapping):
+            parsed = algebra.parse_query(expression)
+        else:
+            raise AlgebraError(
+                f"expected a JSON object expression, got {type(expression).__name__}"
+            )
+        return algebra.evaluate(parsed, self._index, optimize=optimize).payload()
+
+    def canned_query(
+        self,
+        kind: str,
+        items: Optional[Iterable[str]] = None,
+        slide: Optional[int] = None,
+        k: int = 10,
+    ) -> algebra.Query:
+        """The algebra expression a legacy endpoint compiles to.
+
+        This is the migration map made executable: ``super``/``sub``/
+        ``exact`` (the ``/patterns`` modes), ``topk`` and
+        ``support-history`` each return the expression whose evaluation
+        reproduces the legacy answer byte-for-byte.
+        """
+        if kind in PATTERN_MODES:
+            query = sorted(set(items or ()))
+            if not query:
+                raise ServiceError("the patterns endpoint needs at least one item")
+            where: algebra.Predicate
+            if kind == "super":
+                where = algebra.contains(*query)
+            elif kind == "sub":
+                where = algebra.contained_in(*query)
+            else:  # exact = contains AND contained_in
+                where = algebra.and_(
+                    algebra.contains(*query), algebra.contained_in(*query)
+                )
+            if slide is not None:
+                where = algebra.and_(where, algebra.slides(slide, slide))
+            return algebra.select(where)
+        if kind == "topk":
+            target = slide if slide is not None else self._index.last_slide_id
+            slide_filter: Optional[algebra.Predicate] = (
+                algebra.slides(target, target) if target is not None else None
+            )
+            return algebra.top_k(k, where=slide_filter)
+        if kind in ("history", "support-history"):
+            query = sorted(set(items or ()))
+            if not query:
+                raise ServiceError("the history endpoint needs at least one item")
+            return algebra.history(*query)
+        raise ServiceError(f"no canned plan for query kind {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # legacy endpoints (canned plans, kept for one release)
+    # ------------------------------------------------------------------ #
+    def _require_slide(self, slide: Optional[int]) -> None:
+        if slide is not None and not self._index.has_slide(slide):
+            raise HistoryError(f"slide {slide} is not in the journal")
+
     def patterns(
         self,
         items: Iterable[str],
@@ -69,18 +165,9 @@ class HistoryService:
         query = sorted(set(items))
         if not query:
             raise ServiceError("the patterns endpoint needs at least one item")
-        if mode == "super":
-            matches = self._index.super_patterns(query, slide_id=slide)
-        elif mode == "sub":
-            matches = self._index.sub_patterns(query, slide_id=slide)
-        else:
-            matches = [
-                (match_slide, match_items, support)
-                for match_slide, match_items, support in self._index.super_patterns(
-                    query, slide_id=slide
-                )
-                if match_items == tuple(query)
-            ]
+        self._require_slide(slide)
+        expression = self.canned_query(mode, items=query, slide=slide)
+        matches = algebra.evaluate(expression, self._index).matches
         return {
             "query": {"items": query, "mode": mode, "slide": slide},
             "matches": _match_payload(matches),
@@ -92,22 +179,26 @@ class HistoryService:
         query = sorted(set(items))
         if not query:
             raise ServiceError("the history endpoint needs at least one item")
-        curve = self._index.support_history(query)
+        expression = self.canned_query("history", items=query)
+        evaluation = algebra.evaluate(expression, self._index)
         return {
             "query": {"items": query},
             "history": [
-                {"slide": slide, "support": support} for slide, support in curve
+                {"slide": slide, "support": support}
+                for slide, support in evaluation.curve
             ],
-            "first_frequent": self._index.first_frequent(query),
-            "last_frequent": self._index.last_frequent(query),
-            "peak_support": max((support for _, support in curve), default=0),
+            "first_frequent": evaluation.first_frequent,
+            "last_frequent": evaluation.last_frequent,
+            "peak_support": evaluation.peak_support,
         }
 
     def topk(self, k: int = 10, slide: Optional[int] = None) -> Dict[str, object]:
         """The ``k`` highest-support patterns of one slide (default: newest)."""
         if k < 1:
             raise ServiceError(f"k must be at least 1, got {k}")
-        matches = self._index.top_k(k, slide_id=slide)
+        self._require_slide(slide)
+        expression = self.canned_query("topk", slide=slide, k=k)
+        matches = algebra.evaluate(expression, self._index).matches
         return {
             "query": {"k": k, "slide": slide},
             "matches": _match_payload(matches),
@@ -129,19 +220,22 @@ class HistoryService:
     # ------------------------------------------------------------------ #
     def run_query(
         self,
-        query: str,
+        query: str = "stats",
         items: Optional[Iterable[str]] = None,
         slide: Optional[int] = None,
         k: int = 10,
+        expr: Optional[Mapping[str, object]] = None,
     ) -> Dict[str, object]:
-        """Dispatch one named query (the ``repro query`` entry point)."""
+        """Dispatch one named query or algebra expression (``repro query``)."""
+        if expr is not None:
+            return self.query(expr)
         if query == "stats":
             return self.stats()
         if query == "topk":
             return self.topk(k=k, slide=slide)
         if items is None:
             raise ServiceError(f"query {query!r} needs --items")
-        if query in ("super", "sub", "exact"):
+        if query in PATTERN_MODES:
             return self.patterns(items, slide=slide, mode=query)
         if query == "support-history":
             return self.history(items)
@@ -170,4 +264,10 @@ QUERY_KINDS = (
     "last-frequent",
 )
 
-__all__ = ["HistoryService", "PATTERN_MODES", "QUERY_KINDS", "HistoryError"]
+__all__ = [
+    "HistoryService",
+    "PATTERN_MODES",
+    "QUERY_KINDS",
+    "AlgebraError",
+    "HistoryError",
+]

@@ -1,34 +1,57 @@
 """HTTP front end: the pattern journal behind a ``ThreadingHTTPServer``.
 
-Endpoints (all GET, all JSON):
+Endpoints (all JSON):
 
-* ``/patterns?items=a,b[&mode=super|sub|exact][&slide=N]`` — pattern match;
-* ``/history?items=a,b`` — support-over-time + first/last-frequent;
-* ``/topk[?k=10][&slide=N]`` — highest-support patterns of one slide;
-* ``/stats`` — journal shape summary.
+* ``POST /query`` — the composable query algebra (DESIGN.md §13): the
+  request body is one JSON-serialised expression (``select`` / ``top_k``
+  / ``history`` over containment, support, slide-range and provenance
+  predicates), the response carries the result plus the planner's
+  ``explain`` payload;
+* ``GET /patterns?items=a,b[&mode=super|sub|exact][&slide=N]`` —
+  *deprecated* pattern match (a canned ``select`` plan);
+* ``GET /history?items=a,b`` — *deprecated* support-over-time +
+  first/last-frequent (a canned ``history`` plan);
+* ``GET /topk[?k=10][&slide=N]`` — *deprecated* highest-support patterns
+  of one slide (a canned ``top_k`` plan);
+* ``GET /stats`` — journal shape summary.
+
+The deprecated GET endpoints answer exactly as before (their canned
+plans are byte-identical) but carry a ``Deprecation: true`` header plus
+a ``Sunset-Hint`` pointing at the ``POST /query`` replacement, and emit
+a :class:`DeprecationWarning` server-side.
 
 Threading model: ``ThreadingHTTPServer`` spawns one daemon thread per
 connection; every handler only *reads* the shared
-:class:`~repro.service.api.HistoryService`, whose index is immutable once
-built, so concurrent readers need no locking.  Query errors map to 400,
-unknown paths to 404, and the handler never leaks a traceback to a client
-— errors come back as ``{"error": ...}`` JSON.
+:class:`~repro.service.api.HistoryService`, whose index is immutable
+between refreshes, so concurrent readers need no locking.  Errors never
+leak a traceback to a client — they come back as structured JSON
+``{"error", "code"}`` objects (plus the offending node ``path`` for
+malformed algebra expressions), 400 for bad queries, 404 for unknown
+paths.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
-from repro.exceptions import HistoryError, ServiceError
+from repro.exceptions import AlgebraError, HistoryError, ServiceError
 from repro.history.journal import open_journal
 from repro.service.api import HistoryService
 
 #: Endpoint paths served by the front end.
-ENDPOINTS = ("/patterns", "/history", "/topk", "/stats")
+ENDPOINTS = ("/query", "/patterns", "/history", "/topk", "/stats")
+
+#: Deprecated GET endpoints -> the algebra shape that replaces each.
+DEPRECATED_ENDPOINTS = {
+    "/patterns": 'POST /query {"select": {"where": ...}}',
+    "/history": 'POST /query {"history": {"items": [...]}}',
+    "/topk": 'POST /query {"top_k": {"k": ...}}',
+}
 
 
 class HistoryHTTPServer(ThreadingHTTPServer):
@@ -43,9 +66,9 @@ class HistoryHTTPServer(ThreadingHTTPServer):
 
 
 class HistoryRequestHandler(BaseHTTPRequestHandler):
-    """Route GET requests onto the shared :class:`HistoryService`."""
+    """Route requests onto the shared :class:`HistoryService`."""
 
-    server_version = "repro-history/1.0"
+    server_version = "repro-history/2.0"
 
     # ------------------------------------------------------------------ #
     # request plumbing
@@ -55,14 +78,82 @@ class HistoryRequestHandler(BaseHTTPRequestHandler):
         params = parse_qs(parts.query)
         try:
             payload = self._dispatch(parts.path, params)
+        except AlgebraError as exc:
+            self._send_json(
+                {"error": str(exc), "code": exc.code, "path": exc.path}, status=400
+            )
+            return
         except (HistoryError, ServiceError, ValueError) as exc:
-            self._send_json({"error": str(exc)}, status=400)
+            self._send_json({"error": str(exc), "code": "bad-query"}, status=400)
             return
         if payload is None:
             self._send_json(
-                {"error": f"unknown endpoint {parts.path!r}", "endpoints": ENDPOINTS},
+                {
+                    "error": f"unknown endpoint {parts.path!r}",
+                    "code": "unknown-endpoint",
+                    "endpoints": ENDPOINTS,
+                },
                 status=404,
             )
+            return
+        replacement = DEPRECATED_ENDPOINTS.get(parts.path)
+        if replacement is not None:
+            warnings.warn(
+                f"GET {parts.path} is deprecated; use {replacement}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._send_json(
+                payload,
+                headers={"Deprecation": "true", "Sunset-Hint": replacement},
+            )
+            return
+        self._send_json(payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        parts = urlsplit(self.path)
+        if parts.path != "/query":
+            self._send_json(
+                {
+                    "error": f"unknown endpoint {parts.path!r} (POST serves /query)",
+                    "code": "unknown-endpoint",
+                    "endpoints": ENDPOINTS,
+                },
+                status=404,
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        try:
+            expression = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(
+                {"error": f"request body is not valid JSON: {exc}", "code": "invalid-json"},
+                status=400,
+            )
+            return
+        if expression is None:
+            self._send_json(
+                {
+                    "error": "empty request body; POST one JSON algebra expression",
+                    "code": "invalid-json",
+                },
+                status=400,
+            )
+            return
+        service: HistoryService = self.server.service  # type: ignore[attr-defined]
+        try:
+            payload = service.query(expression)
+        except AlgebraError as exc:
+            self._send_json(
+                {"error": str(exc), "code": exc.code, "path": exc.path}, status=400
+            )
+            return
+        except (HistoryError, ServiceError) as exc:
+            self._send_json({"error": str(exc), "code": "bad-query"}, status=400)
             return
         self._send_json(payload)
 
@@ -119,11 +210,18 @@ class HistoryRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # response plumbing
     # ------------------------------------------------------------------ #
-    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, object],
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, indent=2, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 

@@ -41,6 +41,7 @@ class TestScaleParameters:
             "e10",
             "e11",
             "e12",
+            "e13",
         }
 
 

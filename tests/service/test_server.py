@@ -9,8 +9,10 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.core.miner import StreamSubgraphMiner
-from repro.exceptions import ServiceError
+from repro.exceptions import AlgebraError, ServiceError
+from repro.history import algebra
 from repro.history.journal import MemoryJournal
+from repro.history.query import JournalIndex
 from repro.service.api import QUERY_KINDS, HistoryService
 from repro.service.server import build_server
 from repro.stream.stream import TransactionStream
@@ -98,6 +100,105 @@ class TestHistoryService:
             json.dumps(service.run_query(kind, items=["a", "b"], k=2))
 
 
+class TestAlgebraQuery:
+    """POST-/query semantics exercised through the in-process API."""
+
+    def test_select_payload_carries_explain(self, service):
+        payload = service.query({"select": {"where": {"contains": ["a"]}}})
+        assert payload["count"] == len(payload["matches"])
+        assert payload["count"] > 0
+        explain = payload["explain"]
+        assert explain["shape"] == "select"
+        assert explain["q_error"] >= 1.0
+        assert explain["plan"][0].startswith("contains(a)")
+        json.dumps(payload)
+
+    def test_ast_input_accepted(self, service):
+        from_ast = service.query(algebra.select(algebra.contains("a")))
+        from_json = service.query({"select": {"where": {"contains": ["a"]}}})
+        assert from_ast == from_json
+
+    def test_legacy_endpoints_are_canned_plans(self, service):
+        """Each legacy payload equals its algebra expression's matches."""
+        for kind, kwargs in (
+            ("super", {"items": ["a"], "slide": 11}),
+            ("sub", {"items": ["a", "b", "c"], "slide": 11}),
+            ("exact", {"items": ["a", "b"], "slide": 11}),
+        ):
+            legacy = service.patterns(kwargs["items"], slide=kwargs["slide"], mode=kind)
+            expression = service.canned_query(kind, **kwargs)
+            algebraic = service.query(expression)
+            assert legacy["matches"] == algebraic["matches"]
+        legacy = service.topk(k=3)
+        algebraic = service.query(service.canned_query("topk", k=3))
+        assert legacy["matches"] == algebraic["matches"]
+        legacy = service.history(["a", "b"])
+        algebraic = service.query(service.canned_query("history", items=["a", "b"]))
+        assert legacy["history"] == algebraic["history"]
+        assert legacy["first_frequent"] == algebraic["first_frequent"]
+        assert legacy["last_frequent"] == algebraic["last_frequent"]
+
+    def test_run_query_expr_short_circuits(self, service):
+        expr = {"top_k": {"k": 2}}
+        assert service.run_query("stats", expr=expr) == service.query(expr)
+
+    def test_malformed_expression_raises_with_path(self, service):
+        with pytest.raises(AlgebraError) as excinfo:
+            service.query({"select": {"where": {"bogus": []}}})
+        assert excinfo.value.path == "$.select.where.bogus"
+        assert excinfo.value.code == "malformed-expression"
+        with pytest.raises(AlgebraError):
+            service.query(["not", "an", "object"])
+
+
+class TestIncrementalRefresh:
+    def make_service(self, transactions):
+        journal = MemoryJournal()
+        miner = StreamSubgraphMiner(
+            window_size=3, batch_size=5, algorithm="vertical", on_slide=journal.append
+        )
+        miner.watch(
+            TransactionStream(transactions, batch_size=5),
+            minsup=2,
+            connected_only=False,
+        )
+        return HistoryService(journal)
+
+    def test_refresh_extends_in_place(self):
+        service = self.make_service(TRANSACTIONS[:30])
+        index = service.index
+        before = len(index)
+        for record in self.make_service(TRANSACTIONS).journal.records():
+            if record.slide_id > index.last_slide_id:
+                service.journal.append(record)
+        service.refresh()
+        # Same index object, extended with only the unseen suffix.
+        assert service.index is index
+        assert len(index) > before
+
+    def test_refresh_matches_full_rebuild(self):
+        service = self.make_service(TRANSACTIONS[:30])
+        for record in self.make_service(TRANSACTIONS).journal.records():
+            if record.slide_id > service.index.last_slide_id:
+                service.journal.append(record)
+        service.refresh()
+        rebuilt = JournalIndex.from_journal(service.journal)
+        assert service.index.stats() == rebuilt.stats()
+        assert service.index.slide_ids() == rebuilt.slide_ids()
+        for slide in rebuilt.slide_ids():
+            assert service.index.patterns_at(slide) == rebuilt.patterns_at(slide)
+        expr = {"select": {"where": {"contains": ["a"]}}}
+        assert service.query(expr)["matches"] == HistoryService(
+            service.journal
+        ).query(expr)["matches"]
+
+    def test_refresh_without_new_records_is_noop(self):
+        service = self.make_service(TRANSACTIONS)
+        stats = service.index.stats()
+        service.refresh()
+        assert service.index.stats() == stats
+
+
 class TestHTTPServer:
     @pytest.fixture()
     def server(self, service):
@@ -113,6 +214,19 @@ class TestHTTPServer:
     def get(server, path):
         port = server.server_address[1]
         with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+
+    @staticmethod
+    def post(server, path, body):
+        port = server.server_address[1]
+        data = body if isinstance(body, bytes) else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as resp:
             return resp.status, json.loads(resp.read().decode("utf-8"))
 
     def test_endpoints_respond(self, server, journal):
@@ -158,4 +272,78 @@ class TestHTTPServer:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 self.get(server, path)
             assert excinfo.value.code == 400
-            assert "error" in json.loads(excinfo.value.read().decode("utf-8"))
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert "error" in payload and "code" in payload
+
+    def test_post_query_select(self, server, service):
+        status, payload = self.post(
+            server, "/query", {"select": {"where": {"contains": ["a"]}}}
+        )
+        assert status == 200
+        assert payload["count"] == len(payload["matches"]) > 0
+        assert payload["explain"]["q_error"] >= 1.0
+        assert payload == service.query({"select": {"where": {"contains": ["a"]}}})
+
+    def test_post_query_matches_legacy_get(self, server, journal):
+        """The migration map holds over the wire: canned GET == algebra POST."""
+        last = journal.last_slide_id
+        _, legacy = self.get(server, "/topk?k=3")
+        _, algebraic = self.post(
+            server, "/query", {"top_k": {"k": 3, "where": {"slides": [last, last]}}}
+        )
+        assert legacy["matches"] == algebraic["matches"]
+        _, legacy = self.get(server, f"/patterns?items=a&mode=super&slide={last}")
+        _, algebraic = self.post(
+            server,
+            "/query",
+            {
+                "select": {
+                    "where": {"and": [{"contains": ["a"]}, {"slides": [last, last]}]}
+                }
+            },
+        )
+        assert legacy["matches"] == algebraic["matches"]
+        _, legacy = self.get(server, "/history?items=a,b")
+        _, algebraic = self.post(server, "/query", {"history": {"items": ["a", "b"]}})
+        assert legacy["history"] == algebraic["history"]
+        assert legacy["first_frequent"] == algebraic["first_frequent"]
+
+    def test_post_invalid_json_400(self, server):
+        for body in (b"{not json", b""):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.post(server, "/query", body)
+            assert excinfo.value.code == 400
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert payload["code"] == "invalid-json"
+
+    def test_post_malformed_expression_400_with_path(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(
+                server,
+                "/query",
+                {"select": {"where": {"and": [{"contains": ["a"]}, {"bogus": 1}]}}},
+            )
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert payload["code"] == "malformed-expression"
+        assert payload["path"] == "$.select.where.and[1].bogus"
+
+    def test_post_unknown_endpoint_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(server, "/stats", {"select": {"where": {"contains": ["a"]}}})
+        assert excinfo.value.code == 404
+
+    def test_deprecated_gets_carry_headers(self, server):
+        port = server.server_address[1]
+        for path, expect in (
+            ("/topk?k=1", True),
+            ("/history?items=a", True),
+            ("/patterns?items=a", True),
+            ("/stats", False),
+        ):
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=10
+            ) as resp:
+                assert (resp.headers.get("Deprecation") == "true") is expect
+                if expect:
+                    assert "POST /query" in resp.headers.get("Sunset-Hint", "")

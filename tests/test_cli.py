@@ -424,6 +424,44 @@ class TestWatchQueryServe:
         assert len(history["history"]) == 3
         assert history["first_frequent"] is not None
 
+    def test_query_expr_algebra(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        main(["query", str(tmp_path / "journal"), "--query", "topk", "-k", "1"])
+        legacy = json.loads(capsys.readouterr().out)
+        top_item = legacy["matches"][0]["items"][0]
+        expr = json.dumps({"select": {"where": {"contains": [top_item]}}})
+        assert main(["query", str(tmp_path / "journal"), "--expr", expr]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["matches"]) > 0
+        assert payload["explain"]["q_error"] >= 1.0
+        # top_k through the algebra reproduces the legacy canned answer.
+        last = legacy["matches"][0]["slide"]
+        expr = json.dumps({"top_k": {"k": 1, "where": {"slides": [last, last]}}})
+        assert main(["query", str(tmp_path / "journal"), "--expr", expr]) == 0
+        assert json.loads(capsys.readouterr().out)["matches"] == legacy["matches"]
+
+    def test_query_expr_invalid_json(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        code = main(["query", str(tmp_path / "journal"), "--expr", "{not json"])
+        assert code == EXIT_USAGE_ERROR
+        err = capsys.readouterr().err
+        payload = json.loads(err)
+        assert payload["code"] == "invalid-json"
+        assert payload["exit_code"] == EXIT_USAGE_ERROR
+        assert "\n" not in err.strip()
+
+    def test_query_expr_malformed_expression(self, tmp_path, capsys):
+        assert self._watch(tmp_path) == 0
+        capsys.readouterr()
+        expr = json.dumps({"select": {"where": {"bogus": []}}})
+        code = main(["query", str(tmp_path / "journal"), "--expr", expr])
+        assert code == EXIT_USAGE_ERROR
+        payload = json.loads(capsys.readouterr().err)
+        assert payload["code"] == "malformed-expression"
+        assert payload["path"] == "$.select.where.bogus"
+
     def test_query_missing_journal(self, tmp_path, capsys):
         code = main(["query", str(tmp_path / "missing"), "--query", "stats"])
         assert code == EXIT_INPUT_ERROR
