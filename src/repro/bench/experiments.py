@@ -1501,6 +1501,160 @@ def experiment_query_algebra(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E14 — chaos resilience: injected faults vs journal parity (DESIGN.md §14)
+# ---------------------------------------------------------------------- #
+def experiment_chaos_resilience(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    seed: int = 42,
+    workers: int = 2,
+    ingest_workers: int = 2,
+    output_path: Optional[Union[str, Path]] = "BENCH_e14.json",
+) -> Dict[str, object]:
+    """Chaos ablation of the unified failure policy (DESIGN.md §14).
+
+    Four kinds of run over the same stream:
+
+    * **clean** — the plain sequential journalled watch: the wall-clock
+      and ``journal.dat`` reference;
+    * **clean-resilient** — the identical watch with the failure policy
+      and event log attached but no faults armed; ``overhead_ratio``
+      (resilient over plain wall-clock) is the tax of the recovery
+      machinery on the fault-free path, and the run must record **zero**
+      resilience events (``clean_run_event_free``);
+    * **chaos** — one parallel watch per seeded fault plan (worker
+      crashes in both pools, a shared-memory attach failure, journal
+      write errors); every run must recover via the policy and seal a
+      ``journal.dat`` **byte-identical** to the reference
+      (``chaos_identical``, the §14 acceptance bar and the boolean
+      regression key), with its recovery decisions counted per row.
+
+    Like E7-E13, the outcome is written to ``output_path``
+    (``BENCH_e14.json`` by default, pass ``None`` to skip) for the CI
+    artifact and the nightly regression gate.
+    """
+    from repro import faults
+    from repro.history.journal import DiskJournal
+    from repro.resilience import FailurePolicy
+
+    workload = default_edge_workload(scale, seed=seed)
+    batch_size = max(5, workload.batch_size // 2)
+    window_size = workload.window_size
+    support = (
+        minsup
+        if minsup is not None
+        else max(2, int(batch_size * window_size * 0.05))
+    )
+    transactions = list(workload.transactions)
+    # Millisecond backoffs: the ablation measures recovery decisions and
+    # parity, not wall-clock spent sleeping between retries.
+    policy = FailurePolicy(
+        backoff_s=0.001, max_backoff_s=0.002, io_backoff_s=0.001, jitter=0.0
+    )
+    fault_plans = (
+        "mine.shard@1:crash;ingest.encode@2:crash",
+        "shm.attach@1",
+        "journal.write@2x2",
+    )
+
+    def journalled_watch(path, failure_policy=None, parallel=False):
+        journal = DiskJournal(path)
+        journal.failure_policy = failure_policy
+        miner = StreamSubgraphMiner(
+            window_size=window_size,
+            batch_size=batch_size,
+            algorithm="vertical",
+            on_slide=journal.append,
+            failure_policy=failure_policy,
+        )
+        journal.resilience_events = miner.resilience_event_log
+        try:
+            with Timer() as timer, miner:
+                miner.watch(
+                    TransactionStream(transactions, batch_size=batch_size),
+                    support,
+                    connected_only=False,
+                    workers=workers if parallel else 0,
+                    ingest_workers=ingest_workers if parallel else None,
+                )
+        finally:
+            journal.close()
+        return miner.resilience_event_log, timer.elapsed
+
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as tmp:
+        root = Path(tmp)
+
+        # --- reference: sequential, no policy, no faults --------------- #
+        ref_events, base_s = journalled_watch(root / "ref")
+        reference = (root / "ref" / "journal.dat").read_bytes()
+        rows.append({"mode": "clean", "watch_s": round(base_s, 4)})
+
+        # --- fault-free overhead of the recovery machinery ------------- #
+        clean_events, resilient_s = journalled_watch(
+            root / "clean-resilient", failure_policy=policy
+        )
+        clean_identical = (
+            root / "clean-resilient" / "journal.dat"
+        ).read_bytes() == reference
+        rows.append(
+            {
+                "mode": "clean-resilient",
+                "watch_s": round(resilient_s, 4),
+                "overhead_ratio": round(resilient_s / base_s, 3)
+                if base_s
+                else None,
+                "events": len(clean_events),
+                "identical": clean_identical,
+            }
+        )
+
+        # --- chaos: one parallel run per seeded fault plan ------------- #
+        for index, plan in enumerate(fault_plans):
+            path = root / f"chaos-{index}"
+            faults.install_plan(plan)
+            try:
+                events, chaos_s = journalled_watch(
+                    path, failure_policy=policy, parallel=True
+                )
+            finally:
+                faults.uninstall_plan()
+            rows.append(
+                {
+                    "mode": "chaos",
+                    "faults": plan,
+                    "watch_s": round(chaos_s, 4),
+                    "identical": (path / "journal.dat").read_bytes()
+                    == reference,
+                    "events": events.summary() or "clean",
+                }
+            )
+
+    chaos_identical = clean_identical and all(
+        row["identical"] for row in rows if row["mode"] == "chaos"
+    )
+    outcome: Dict[str, object] = {
+        "experiment": "E14-chaos-resilience",
+        "workload": workload.name,
+        "minsup": support,
+        "batch_size": batch_size,
+        "workers": workers,
+        "ingest_workers": ingest_workers,
+        "rows": rows,
+        "chaos_identical": chaos_identical,
+        "clean_run_event_free": len(ref_events) == 0 and len(clean_events) == 0,
+        "resilience_overhead_ok": resilient_s <= base_s * 1.5 + 0.05,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -1516,4 +1670,5 @@ EXPERIMENTS = {
     "e11": experiment_transport_scaling,
     "e12": experiment_checkpoint_recovery,
     "e13": experiment_query_algebra,
+    "e14": experiment_chaos_resilience,
 }

@@ -46,6 +46,9 @@ BOOLEAN_KEYS = (
     "restore_identical",
     "planner_matches_bruteforce",
     "planner_not_slower_than_naive",
+    "chaos_identical",
+    "clean_run_event_free",
+    "resilience_overhead_ok",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).

@@ -36,7 +36,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.exceptions import CheckpointError
+from repro.resilience import EventLog, FailurePolicy, retry_io
 from repro.graph.edge_registry import EdgeRegistry
 from repro.storage.segments import Segment
 
@@ -171,6 +173,7 @@ class CheckpointManager:
                 return self.load(final)
             except CheckpointError:
                 shutil.rmtree(final)  # a partial seal — replace it
+        faults.trip("checkpoint.write", OSError)
         journal_records = len(journal) if isinstance(journal, Sized) else 0
         journal_data_size = int(getattr(journal, "data_size", 0))
         known_items = list(miner.matrix.store.items())
@@ -367,6 +370,8 @@ class Checkpointer:
         miner: "StreamSubgraphMiner",
         journal: Optional[object] = None,
         every: int = 10,
+        policy: Optional[FailurePolicy] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if every < 1:
             raise CheckpointError(f"every must be at least 1, got {every}")
@@ -374,8 +379,11 @@ class Checkpointer:
         self._miner = miner
         self._journal = journal
         self._every = every
+        self._policy = policy
+        self._events = events
         self._slides = 0
         self._sealed = 0
+        self._skipped = 0
         self._last: Optional[Checkpoint] = None
 
     @property
@@ -393,11 +401,38 @@ class Checkpointer:
         """The most recently sealed checkpoint, if any."""
         return self._last
 
+    @property
+    def snapshots_skipped(self) -> int:
+        """Seal cadences abandoned after exhausting the I/O retry budget."""
+        return self._skipped
+
     def __call__(self, record: "SlideRecord") -> None:
         self._slides += 1
         if self._slides % self._every:
             return
-        self._last = self._manager.seal(self._miner, journal=self._journal)
+        # Snapshots are an optimisation (they bound resume replay), not
+        # correctness: a seal that keeps failing after the policy's I/O
+        # retries is skipped — the watch continues and the next cadence
+        # tries again — rather than killing a healthy run.  The seal
+        # itself cleans up its temp directory on failure, so a skipped
+        # attempt leaves no partial snapshot behind.
+        try:
+            self._last = retry_io(
+                lambda: self._manager.seal(self._miner, journal=self._journal),
+                site="checkpoint.write",
+                policy=self._policy,
+                events=self._events,
+            )
+        except OSError as exc:
+            self._skipped += 1
+            if self._events is not None:
+                self._events.record(
+                    "skip",
+                    "checkpoint.write",
+                    detail=f"seal abandoned at slide {record.slide_id}: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            return
         self._sealed += 1
 
     def __repr__(self) -> str:

@@ -40,7 +40,7 @@ Subcommands
     endpoints (``/patterns``, ``/history``, ``/topk``) still answer but
     are deprecated; ``/stats`` summarises the journal.
 ``bench``
-    Run one of the paper's experiments (e1-e13) and print its table;
+    Run one of the paper's experiments (e1-e14) and print its table;
     ``--baseline`` compares the outcome against a committed
     ``BENCH_*.json`` with the nightly regression gate.
 
@@ -55,7 +55,7 @@ import sys
 import time
 from typing import Dict, Optional, Sequence, Union
 
-from repro import __version__
+from repro import __version__, faults
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.regression import compare_outcomes
 from repro.bench.report import format_table
@@ -80,13 +80,16 @@ from repro.exceptions import (
     AlgebraError,
     CheckpointError,
     DatasetError,
+    FaultSpecError,
     HistoryError,
+    ResilienceError,
     ServiceError,
 )
 from repro.graph.edge_registry import EdgeRegistry
 from repro.parallel.api import TRANSPORTS
 from repro.history.journal import DiskJournal, open_journal, truncate_journal
 from repro.history.retention import RetentionPolicy, TieredJournal
+from repro.resilience import FailurePolicy, ResilienceEvent
 from repro.service.api import QUERY_KINDS, HistoryService
 from repro.service.server import serve_journal
 from repro.service.supervisor import RestartPolicy, Supervisor, SupervisorError
@@ -367,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("journal", help="journal directory written by `repro watch`")
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8765, help="TCP port (0 = ephemeral)")
+    _add_fault_options(serve)
 
     bench = subparsers.add_parser("bench", help="run one of the paper's experiments")
     bench.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -375,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("tiny", "small", "paper", "large"),
         default="small",
         help=(
-            "workload size (e1-e10 and e12 accept tiny/small/paper; e11 "
+            "workload size (e1-e10, e12 and e14 accept tiny/small/paper; e11 "
             "accepts tiny/small/large — large streams a million snapshots)"
         ),
     )
@@ -455,6 +459,43 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
             "when the host supports it, shm demands it, pickle forces "
             "payload shipping (the benchmark ablation mode); the mined "
             "answer is identical for every choice"
+        ),
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        help=(
+            "retries for task-level infrastructure failures (a broken "
+            "worker pool) before degrading to the next transport/execution "
+            "rung — shm, then pickle, then in-process (default: 2); the "
+            "answer is identical at every rung"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "straggler threshold in seconds: a shard/chunk not finished "
+            "after this long is speculatively re-executed in-process and "
+            "the slow copy's result discarded (default: disabled)"
+        ),
+    )
+    _add_fault_options(parser)
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """The deterministic fault-injection flag (chaos testing, DESIGN.md §14)."""
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "deterministic fault plan, e.g. "
+            "'mine.shard@2:crash;journal.write@3x2' — each clause is "
+            "SITE@HIT[xTIMES][:raise|crash|sleep][~SECONDS]; propagates to "
+            "worker processes via REPRO_FAULTS (chaos testing only; the "
+            "recovered run's output is identical to a fault-free run)"
         ),
     )
 
@@ -597,6 +638,45 @@ def _validate_parallel_flags(args: argparse.Namespace) -> Optional[int]:
     return None
 
 
+def _resolve_failure_policy(
+    args: argparse.Namespace,
+) -> tuple[Optional[FailurePolicy], Optional[int]]:
+    """--task-retries/--task-timeout → (policy or None, exit code on misuse).
+
+    ``None`` means "use each layer's default policy"; a policy is built
+    only when the user asked for non-default behaviour.
+    """
+    if args.task_retries is None and args.task_timeout is None:
+        return None, None
+    overrides = {}
+    if args.task_retries is not None:
+        overrides["max_retries"] = args.task_retries
+    if args.task_timeout is not None:
+        overrides["task_timeout_s"] = args.task_timeout
+    try:
+        return FailurePolicy(**overrides), None
+    except ResilienceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, EXIT_USAGE_ERROR
+
+
+def _install_faults(args: argparse.Namespace) -> tuple[bool, Optional[int]]:
+    """Arm --faults (if given) → (installed?, exit code on a bad spec)."""
+    if args.faults is None:
+        return False, None
+    try:
+        faults.install_plan(args.faults)
+    except FaultSpecError as exc:
+        print(f"error: invalid --faults plan: {exc}", file=sys.stderr)
+        return False, EXIT_USAGE_ERROR
+    return True, None
+
+
+def _emit_resilience_event(event: ResilienceEvent) -> None:
+    """One JSON line per recovery decision on stderr (supervisor stream)."""
+    print(json.dumps(event.as_dict(), sort_keys=True), file=sys.stderr, flush=True)
+
+
 def _connectivity_for(args: argparse.Namespace) -> bool:
     """Whether a FIMI-driven run can (and should) keep the connectivity filter.
 
@@ -610,7 +690,7 @@ def _connectivity_for(args: argparse.Namespace) -> bool:
 
 
 def _print_stats(miner: StreamSubgraphMiner) -> None:
-    """The --stats summary: support-cache counters + pipeline report."""
+    """The --stats summary: cache counters + pipeline + resilience reports."""
     cache = miner.matrix.cache_stats.as_dict()
     print("cache: " + " ".join(f"{key}={value}" for key, value in cache.items()))
     report = miner.last_ingest_report
@@ -621,6 +701,10 @@ def _print_stats(miner: StreamSubgraphMiner) -> None:
             f"peak_inflight={report.peak_inflight} "
             f"max_inflight={report.max_inflight}"
         )
+    # A fault-free run reports "clean" — the zero-overhead contract the
+    # chaos suite pins down (no retry/degradation events off the happy path).
+    summary = miner.resilience_event_log.summary()
+    print("resilience: " + (summary if summary else "clean"))
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -643,6 +727,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     error = _validate_parallel_flags(args)
     if error is not None:
         return error
+    policy, error = _resolve_failure_policy(args)
+    if error is not None:
+        return error
+    installed, error = _install_faults(args)
+    if error is not None:
+        return error
     miner = StreamSubgraphMiner(
         window_size=args.window,
         batch_size=args.batch_size,
@@ -650,23 +740,28 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         storage=args.storage,
         storage_path=args.storage_path,
         transport=args.transport,
+        failure_policy=policy,
     )
-    with miner:
-        if args.ingest_workers > 0:
-            miner.consume(
-                TransactionStream(transactions, batch_size=args.batch_size),
-                ingest_workers=args.ingest_workers,
+    try:
+        with miner:
+            if args.ingest_workers > 0:
+                miner.consume(
+                    TransactionStream(transactions, batch_size=args.batch_size),
+                    ingest_workers=args.ingest_workers,
+                    max_inflight=args.max_inflight,
+                )
+            else:
+                miner.add_transactions(transactions)
+            minsup = args.minsup if args.minsup < 1 else int(args.minsup)
+            result = miner.mine(
+                minsup,
+                connected_only=_connectivity_for(args),
+                workers=args.workers,
                 max_inflight=args.max_inflight,
             )
-        else:
-            miner.add_transactions(transactions)
-        minsup = args.minsup if args.minsup < 1 else int(args.minsup)
-        result = miner.mine(
-            minsup,
-            connected_only=_connectivity_for(args),
-            workers=args.workers,
-            max_inflight=args.max_inflight,
-        )
+    finally:
+        if installed:
+            faults.uninstall_plan()
     if args.format == "json":
         rendered = result_to_json(result, miner.registry)
     elif args.format == "csv":
@@ -750,7 +845,25 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     error = _validate_watch_flags(args)
     if error is not None:
         return error
+    policy, error = _resolve_failure_policy(args)
+    if error is not None:
+        return error
+    installed, error = _install_faults(args)
+    if error is not None:
+        return error
+    try:
+        return _run_watch(args, transactions, policy)
+    finally:
+        if installed:
+            faults.uninstall_plan()
 
+
+def _run_watch(
+    args: argparse.Namespace,
+    transactions: Sequence[Sequence[str]],
+    policy: Optional[FailurePolicy],
+) -> int:
+    """The watch body, after flag validation and fault arming."""
     manager: Optional[CheckpointManager] = None
     checkpoint: Optional[Checkpoint] = None
     if args.checkpoint_dir is not None:
@@ -790,38 +903,53 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     except (HistoryError, OSError) as exc:
         return _fail_json(f"cannot open journal: {exc}", EXIT_INPUT_ERROR)
 
-    try:
-        if checkpoint is not None:
-            miner = StreamSubgraphMiner.hydrate(
-                checkpoint,
-                algorithm=args.algorithm,
-                on_slide=journal.append,
-                transport=args.transport,
-            )
-        else:
-            miner = StreamSubgraphMiner(
-                window_size=args.window,
-                batch_size=args.batch_size,
-                algorithm=args.algorithm,
-                on_slide=journal.append,
-                transport=args.transport,
-            )
-    except CheckpointError as exc:
-        journal.close()
-        return _fail_json(f"cannot restore checkpoint: {exc}", EXIT_INPUT_ERROR)
     checkpointer: Optional[Checkpointer] = None
-    if manager is not None:
-        # After the journal sink, so every sealed snapshot's journal
-        # bookkeeping already includes the checkpointed slide.
-        checkpointer = Checkpointer(
-            manager, miner, journal=journal, every=args.checkpoint_every
-        )
-        miner.add_slide_sink(checkpointer)
-    if args.throttle_ms:
-        miner.add_slide_sink(lambda record: time.sleep(args.throttle_ms / 1000.0))
-
     minsup = args.minsup if args.minsup < 1 else int(args.minsup)
+    # Everything from here on runs under one finally that closes the
+    # journal — a failure anywhere (checkpoint restore, checkpointer
+    # setup, the watch itself) must never leak its append handles.
     try:
+        try:
+            if checkpoint is not None:
+                miner = StreamSubgraphMiner.hydrate(
+                    checkpoint,
+                    algorithm=args.algorithm,
+                    on_slide=journal.append,
+                    transport=args.transport,
+                    failure_policy=policy,
+                )
+            else:
+                miner = StreamSubgraphMiner(
+                    window_size=args.window,
+                    batch_size=args.batch_size,
+                    algorithm=args.algorithm,
+                    on_slide=journal.append,
+                    transport=args.transport,
+                    failure_policy=policy,
+                )
+        except CheckpointError as exc:
+            return _fail_json(f"cannot restore checkpoint: {exc}", EXIT_INPUT_ERROR)
+        # Recovery decisions stream as JSON lines on stderr (the
+        # supervisor's event channel) and journal writes retry under the
+        # shared policy, recorded on the same log --stats summarises.
+        miner.resilience_event_log.on_event = _emit_resilience_event
+        journal.failure_policy = policy
+        journal.resilience_events = miner.resilience_event_log
+        if manager is not None:
+            # After the journal sink, so every sealed snapshot's journal
+            # bookkeeping already includes the checkpointed slide.
+            checkpointer = Checkpointer(
+                manager,
+                miner,
+                journal=journal,
+                every=args.checkpoint_every,
+                policy=policy,
+                events=miner.resilience_event_log,
+            )
+            miner.add_slide_sink(checkpointer)
+        if args.throttle_ms:
+            miner.add_slide_sink(lambda record: time.sleep(args.throttle_ms / 1000.0))
+
         with miner:
             report = miner.watch(
                 TransactionStream(transactions, batch_size=args.batch_size),
@@ -861,6 +989,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             f"sealed {checkpointer.snapshots_sealed} snapshot(s) in "
             f"{args.checkpoint_dir} (latest: slide {sealed.slide_id})"
         )
+    if checkpointer is not None and checkpointer.snapshots_skipped:
+        print(
+            f"skipped {checkpointer.snapshots_skipped} snapshot seal(s) "
+            "after exhausted I/O retries (journal unaffected)"
+        )
+    summary = miner.resilience_event_log.summary()
+    if summary:
+        print(f"resilience: {summary}")
     return 0
 
 
@@ -915,35 +1051,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except HistoryError as exc:
         print(f"error: cannot open journal: {exc}", file=sys.stderr)
         return EXIT_INPUT_ERROR
-    if args.expr is not None:
+    # Close the journal on every exit path — including the error returns —
+    # so a failed query never leaks the journal's file handles.
+    try:
+        if args.expr is not None:
+            try:
+                expression = json.loads(args.expr)
+            except json.JSONDecodeError as exc:
+                return _fail_query_json(
+                    f"--expr is not valid JSON: {exc}", code="invalid-json"
+                )
+            try:
+                payload = HistoryService(journal).query(expression)
+            except AlgebraError as exc:
+                return _fail_query_json(str(exc), code=exc.code, path=exc.path)
+            except (HistoryError, ServiceError) as exc:
+                return _fail_query_json(str(exc), code="bad-query")
+            print(json.dumps(payload, indent=2, default=str))
+            return 0
+        items = (
+            [item for item in args.items.split(",") if item]
+            if args.items is not None
+            else None
+        )
         try:
-            expression = json.loads(args.expr)
-        except json.JSONDecodeError as exc:
-            return _fail_query_json(
-                f"--expr is not valid JSON: {exc}", code="invalid-json"
+            payload = HistoryService(journal).run_query(
+                args.query, items=items, slide=args.slide, k=args.k
             )
-        try:
-            payload = HistoryService(journal).query(expression)
-        except AlgebraError as exc:
-            return _fail_query_json(str(exc), code=exc.code, path=exc.path)
         except (HistoryError, ServiceError) as exc:
-            return _fail_query_json(str(exc), code="bad-query")
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE_ERROR
         print(json.dumps(payload, indent=2, default=str))
         return 0
-    items = (
-        [item for item in args.items.split(",") if item]
-        if args.items is not None
-        else None
-    )
-    try:
-        payload = HistoryService(journal).run_query(
-            args.query, items=items, slide=args.slide, k=args.k
-        )
-    except (HistoryError, ServiceError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_USAGE_ERROR
-    print(json.dumps(payload, indent=2, default=str))
-    return 0
+    finally:
+        journal.close()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -955,10 +1096,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    installed, error = _install_faults(args)
+    if error is not None:
+        return error
     try:
         serve_journal(args.journal, host=args.host, port=args.port, on_bound=announce)
     except (HistoryError, OSError) as exc:
         return _fail_json(f"cannot open journal: {exc}", EXIT_INPUT_ERROR)
+    finally:
+        if installed:
+            faults.uninstall_plan()
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.ingest.api import (
 )
 from repro.parallel.api import TRANSPORTS, mine_window_parallel
 from repro.parallel.pool import PersistentWorkerPool
+from repro.resilience import EventLog, FailurePolicy, ResilienceEvent
 from repro.graph.graph import GraphSnapshot
 from repro.storage.backend import MemoryWindowStore, WindowStore
 from repro.storage.dsmatrix import DSMatrix
@@ -102,6 +103,12 @@ class StreamSubgraphMiner:
         Segment transport for parallel runs (DESIGN.md §11): ``"auto"``
         (shared memory when the host supports it, the default), ``"shm"``
         (demand shared memory) or ``"pickle"`` (force payload shipping).
+    failure_policy:
+        The :class:`~repro.resilience.FailurePolicy` governing retries,
+        backoff, straggler timeouts and pool respawns in every parallel
+        path this miner drives (DESIGN.md §14).  ``None`` uses the
+        default policy.  Every recovery decision is recorded on
+        :attr:`resilience_events`.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class StreamSubgraphMiner:
         storage: Optional[Union[str, WindowStore]] = None,
         on_slide: Optional[SlideSink] = None,
         transport: str = "auto",
+        failure_policy: Optional[FailurePolicy] = None,
     ) -> None:
         if batch_size <= 0:
             raise StreamError(f"batch_size must be positive, got {batch_size}")
@@ -123,6 +131,8 @@ class StreamSubgraphMiner:
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
         self._transport = transport
+        self._failure_policy = failure_policy
+        self._events = EventLog()
         self._mining_pool: Optional[PersistentWorkerPool] = None
         self._registry = registry if registry is not None else EdgeRegistry()
         self._matrix = DSMatrix(
@@ -218,6 +228,25 @@ class StreamSubgraphMiner:
     def transport(self) -> str:
         """The configured segment transport for parallel runs."""
         return self._transport
+
+    @property
+    def failure_policy(self) -> Optional[FailurePolicy]:
+        """The failure policy applied to this miner's parallel paths."""
+        return self._failure_policy
+
+    @property
+    def resilience_events(self) -> tuple[ResilienceEvent, ...]:
+        """Every recovery decision made on this miner's behalf so far.
+
+        Empty on a fault-free run — which is exactly what the chaos
+        parity suite asserts for the clean control runs.
+        """
+        return self._events.events
+
+    @property
+    def resilience_event_log(self) -> EventLog:
+        """The live event log (attach ``on_event`` to stream decisions)."""
+        return self._events
 
     @property
     def mining_pool(self) -> Optional[PersistentWorkerPool]:
@@ -340,6 +369,8 @@ class StreamSubgraphMiner:
                 max_inflight=max_inflight,
                 on_batch_committed=on_batch_committed,
                 transport=self._transport,
+                policy=self._failure_policy,
+                events=self._events,
             )
         elif isinstance(stream, TransactionStream):
             report = ingest_transactions(
@@ -351,6 +382,8 @@ class StreamSubgraphMiner:
                 max_inflight=max_inflight,
                 on_batch_committed=on_batch_committed,
                 transport=self._transport,
+                policy=self._failure_policy,
+                events=self._events,
             )
         else:
             report = ingest_batches(
@@ -360,6 +393,8 @@ class StreamSubgraphMiner:
                 max_inflight=max_inflight,
                 on_batch_committed=on_batch_committed,
                 transport=self._transport,
+                policy=self._failure_policy,
+                events=self._events,
             )
         self._batches_consumed += report.batches
         self._last_ingest_report = report
@@ -375,6 +410,7 @@ class StreamSubgraphMiner:
         batch_size: Optional[int] = None,
         on_slide: Optional[SlideSink] = None,
         transport: str = "auto",
+        failure_policy: Optional[FailurePolicy] = None,
     ) -> "StreamSubgraphMiner":
         """Rebuild a miner from a validated checkpoint.
 
@@ -404,6 +440,7 @@ class StreamSubgraphMiner:
             storage=store,
             on_slide=on_slide,
             transport=transport,
+            failure_policy=failure_policy,
         )
         miner._batches_consumed = checkpoint.batches_consumed
         return miner
@@ -611,6 +648,8 @@ class StreamSubgraphMiner:
                 max_inflight=max_inflight,
                 transport=self._transport,
                 pool=self._ensure_pool(workers),
+                policy=self._failure_policy,
+                events=self._events,
             )
             miner.stats = stats  # aggregated shard instrumentation
         else:

@@ -84,6 +84,27 @@ class AlgebraError(HistoryError):
         self.path = path
 
 
+class ResilienceError(ReproError):
+    """Raised when a failure policy is configured incorrectly."""
+
+
+class FaultSpecError(ResilienceError):
+    """Raised when a fault-injection plan string cannot be parsed."""
+
+
+class InjectedWorkerCrash(ResilienceError):
+    """Raised by a ``crash`` fault firing in the coordinating process.
+
+    In a real worker process the crash action hard-kills the process
+    (``os._exit``), which surfaces to the coordinator as
+    ``BrokenProcessPool``.  The in-process execution mode cannot kill the
+    interpreter the caller lives in, so the same fault raises this
+    exception instead; the execution engine treats it exactly like broken
+    pool infrastructure — retry under the failure policy — so the two
+    modes exercise the same recovery ladder.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised when a miner checkpoint cannot be sealed, loaded or resumed."""
 

@@ -35,6 +35,9 @@ import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro import faults
+from repro.resilience import EventLog, FailurePolicy, retry_io
 from typing import (
     BinaryIO,
     Callable,
@@ -258,6 +261,12 @@ class PatternJournal(ABC):
 
     def __init__(self) -> None:
         self._records: List[SlideRecord] = []
+        #: Optional :class:`~repro.resilience.FailurePolicy` governing
+        #: persist retries (DESIGN.md §14); ``None`` uses the default.
+        self.failure_policy: Optional["FailurePolicy"] = None
+        #: Optional shared :class:`~repro.resilience.EventLog` persist
+        #: retries are recorded on.
+        self.resilience_events: Optional["EventLog"] = None
 
     # ------------------------------------------------------------------ #
     # appending
@@ -417,7 +426,23 @@ class DiskJournal(PatternJournal):
             del self._records[: len(self._records) - self._max_resident]
 
     def _persist(self, record: SlideRecord) -> None:
+        # The append is retried under the failure policy (DESIGN.md §14):
+        # a failed attempt is undone by truncating journal.dat back to the
+        # last committed size before the payload is written again, so a
+        # retry can never duplicate bytes.  _data_size only advances once
+        # the log line referencing the payload is safely down.
         payload = record.to_bytes()
+        retry_io(
+            lambda: self._append_once(record, payload),
+            site="journal.write",
+            policy=self.failure_policy,
+            events=self.resilience_events,
+            reset=self._reset_append,
+        )
+        self._trim_resident()
+
+    def _append_once(self, record: SlideRecord, payload: bytes) -> None:
+        faults.trip("journal.write", OSError)
         if self._data_handle is None:
             self._data_handle = open(self._path / DATA_NAME, "ab")
         if self._log_handle is None:
@@ -426,7 +451,6 @@ class DiskJournal(PatternJournal):
         self._data_handle.write(payload)
         # Data before log: the log must only ever reference bytes on disk.
         self._data_handle.flush()
-        self._data_size += len(payload)
         entry = {
             "slide_id": record.slide_id,
             "offset": offset,
@@ -440,7 +464,15 @@ class DiskJournal(PatternJournal):
         }
         self._log_handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._log_handle.flush()
-        self._trim_resident()
+        self._data_size += len(payload)
+
+    def _reset_append(self) -> None:
+        """Undo a failed append attempt: drop any partially written tail."""
+        self.close()
+        data_path = self._path / DATA_NAME
+        if data_path.exists():
+            with open(data_path, "r+b") as handle:
+                handle.truncate(self._data_size)
 
     def close(self) -> None:
         """Release the append handles (appends reopen them transparently)."""

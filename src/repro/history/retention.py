@@ -201,6 +201,24 @@ class TieredJournal:
         return self._journal.data_size
 
     @property
+    def failure_policy(self):  # noqa: ANN201 - mirrors PatternJournal
+        """The warm tier's write-retry policy (delegated, DESIGN.md §14)."""
+        return self._journal.failure_policy
+
+    @failure_policy.setter
+    def failure_policy(self, policy) -> None:  # noqa: ANN001
+        self._journal.failure_policy = policy
+
+    @property
+    def resilience_events(self):  # noqa: ANN201 - mirrors PatternJournal
+        """The warm tier's resilience event log (delegated)."""
+        return self._journal.resilience_events
+
+    @resilience_events.setter
+    def resilience_events(self, events) -> None:  # noqa: ANN001
+        self._journal.resilience_events = events
+
+    @property
     def warm_count(self) -> int:
         """Records currently in the warm (full-fidelity, on-disk) tier."""
         return self._warm_count

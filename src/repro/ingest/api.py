@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import uuid
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import IngestError
+from repro.exceptions import IngestError, SharedMemoryError
 from repro.graph.edge_registry import EdgeRegistry
 from repro.graph.graph import GraphSnapshot
 from repro.ingest.coordinator import WindowCoordinator
@@ -32,9 +32,10 @@ from repro.ingest.worker import (
 )
 from repro.parallel.pipeline import PipelineExecutor
 from repro.parallel.pool import effective_workers
+from repro.resilience import EventLog, FailurePolicy, ResilienceEvent
 from repro.storage.backend import WindowStore
 from repro.storage.dsmatrix import DSMatrix
-from repro.storage.shm import shared_memory_available
+from repro.storage.shm import shared_memory_available, unlink_block
 from repro.stream.batch import Batch
 
 MatrixLike = Union[DSMatrix, WindowStore]
@@ -60,10 +61,39 @@ class IngestReport:
     peak_inflight: int = 0
     #: How worker results travelled back: ``"shm"`` or ``"pickle"``.
     transport: str = "pickle"
+    #: Recovery decisions made during this run (DESIGN.md §14); empty on
+    #: a fault-free run.
+    resilience_events: Tuple[ResilienceEvent, ...] = ()
+
+    @property
+    def retries(self) -> int:
+        """I/O and task retries recorded during this run."""
+        return sum(1 for e in self.resilience_events if e.kind == "retry")
+
+    @property
+    def degradations(self) -> int:
+        """Ladder steps (pool/transport degradations) during this run."""
+        return sum(1 for e in self.resilience_events if e.kind == "degrade")
 
 
 def _store_of(matrix: MatrixLike) -> WindowStore:
     return matrix.store if isinstance(matrix, DSMatrix) else matrix
+
+
+def _discard_outcome(outcome: object) -> None:
+    """Unlink the shm block of an encoded chunk that will never commit.
+
+    Recovery (pool respawns, straggler speculation, aborts) drops
+    completed outcomes whose tasks are re-executed or abandoned; without
+    this their published blocks would strand in ``/dev/shm`` until
+    process exit.
+    """
+    name = getattr(outcome, "shm_name", None)
+    if name is not None:
+        try:
+            unlink_block(name)
+        except SharedMemoryError:  # already gone (e.g. the faulted attach)
+            pass
 
 
 def ingest_transactions(
@@ -76,6 +106,8 @@ def ingest_transactions(
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
     transport: str = "auto",
+    policy: Optional[FailurePolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> IngestReport:
     """Batch, count and commit raw transactions through ingest workers."""
     planner = IngestPlanner(batch_size, chunk_batches=chunk_batches)
@@ -88,6 +120,8 @@ def ingest_transactions(
         max_inflight=max_inflight,
         on_batch_committed=on_batch_committed,
         transport=transport,
+        policy=policy,
+        events=events,
     )
 
 
@@ -102,6 +136,8 @@ def ingest_snapshots(
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
     transport: str = "auto",
+    policy: Optional[FailurePolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> IngestReport:
     """Encode, count and commit graph snapshots through ingest workers.
 
@@ -121,6 +157,8 @@ def ingest_snapshots(
         max_inflight=max_inflight,
         on_batch_committed=on_batch_committed,
         transport=transport,
+        policy=policy,
+        events=events,
     )
 
 
@@ -132,6 +170,8 @@ def ingest_batches(
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
     transport: str = "auto",
+    policy: Optional[FailurePolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> IngestReport:
     """Count and commit ready-made batches through ingest workers.
 
@@ -148,6 +188,8 @@ def ingest_batches(
         max_inflight=max_inflight,
         on_batch_committed=on_batch_committed,
         transport=transport,
+        policy=policy,
+        events=events,
     )
 
 
@@ -161,6 +203,8 @@ def _run(
     max_inflight: Optional[int] = None,
     on_batch_committed: Optional[Callable[[], None]] = None,
     transport: str = "auto",
+    policy: Optional[FailurePolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> IngestReport:
     """Pipeline chunks through workers, committing outcomes in stream order.
 
@@ -213,13 +257,24 @@ def _run(
         )
         for chunk in chunks
     ]
+    if events is None:
+        events = EventLog()
+    events_start = len(events)
     coordinator = WindowCoordinator(
         window,
         registry=registry,
         register_new_edges=register_new_edges,
         on_batch_committed=on_batch_committed,
+        policy=policy,
+        events=events,
     )
-    executor = PipelineExecutor(effective, max_inflight=max_inflight)
+    executor = PipelineExecutor(
+        effective,
+        max_inflight=max_inflight,
+        policy=policy,
+        events=events,
+        on_discard=_discard_outcome,
+    )
     try:
         # The registry snapshot ships once per worker via the pool
         # initializer, not once per chunk task; workers never mutate it.
@@ -244,4 +299,5 @@ def _run(
         max_inflight=executor.max_inflight,
         peak_inflight=stats.peak_inflight,
         transport="shm" if use_shm else "pickle",
+        resilience_events=events.since(events_start),
     )

@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.exceptions import EdgeRegistryError, IngestError
+from repro import faults
+from repro.exceptions import (
+    EdgeRegistryError,
+    IngestError,
+    SharedMemoryError,
+)
 from repro.graph.edge import Edge
 from repro.graph.edge_registry import EdgeRegistry
 from repro.ingest.worker import (
@@ -31,6 +36,7 @@ from repro.ingest.worker import (
     is_provisional,
     provisional_symbol,
 )
+from repro.resilience import EventLog, FailurePolicy, retry_io
 from repro.storage.backend import WindowStore
 from repro.storage.segments import Segment
 from repro.storage.shm import read_shared_block, unlink_block
@@ -59,6 +65,11 @@ class WindowCoordinator:
         fires between appends, the callback observes exactly the window
         states sequential ``append_batch`` calls would have produced,
         regardless of worker count or in-flight bound.
+    policy / events:
+        The failure policy and shared resilience event log (DESIGN.md
+        §14): segment appends and shared-memory draft reads are retried
+        under ``policy.io_retries`` with each retry recorded on
+        ``events``.
     """
 
     def __init__(
@@ -67,11 +78,15 @@ class WindowCoordinator:
         registry: Optional[EdgeRegistry] = None,
         register_new_edges: bool = True,
         on_batch_committed: Optional[Callable[[], None]] = None,
+        policy: Optional[FailurePolicy] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self._store = store
         self._registry = registry
         self._register_new_edges = register_new_edges
         self._on_batch_committed = on_batch_committed
+        self._policy = policy
+        self._events = events
         self._next_chunk_id = 0
         #: Batches committed so far.
         self.batches_committed = 0
@@ -107,8 +122,21 @@ class WindowCoordinator:
         try:
             for draft in outcome.drafts:
                 segment, payload = self._materialise(outcome.chunk_id, draft, mapping)
-                self.columns_evicted += self._store.append_segment(
-                    segment, payload=payload
+
+                def _append(
+                    segment: Segment = segment, payload: Optional[bytes] = payload
+                ) -> int:
+                    # Disk appends rewrite the segment file keyed by its
+                    # id and only then update the manifest, so a retried
+                    # append after a failed write is idempotent.
+                    faults.trip("segment.write", OSError)
+                    return self._store.append_segment(segment, payload=payload)
+
+                self.columns_evicted += retry_io(
+                    _append,
+                    site="segment.write",
+                    policy=self._policy,
+                    events=self._events,
                 )
                 self.batches_committed += 1
                 self.columns_committed += draft.num_columns
@@ -133,7 +161,16 @@ class WindowCoordinator:
         payload = draft.payload
         if draft.shm is not None:
             name, offset, size = draft.shm
-            payload = read_shared_block(name, offset, size)
+            # A failed attach of a still-linked block (shm pressure, an
+            # injected fault) is worth retrying: the draft's payload
+            # exists nowhere else, so giving up means failing the run.
+            payload = retry_io(
+                lambda: read_shared_block(name, offset, size),
+                site="shm.attach",
+                policy=self._policy,
+                events=self._events,
+                exceptions=(SharedMemoryError, OSError),
+            )
         if rows is None:
             # Payload-only transport shapes: the serialisation is the
             # single source of truth; decoding it rebuilds the rows and

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, cast
 
+from repro import faults
 from repro.exceptions import EdgeRegistryError, IngestError, SharedMemoryError
 from repro.graph.edge import Edge
 from repro.graph.edge_registry import EdgeRegistry
@@ -150,6 +151,7 @@ def encode_chunk(task: IngestChunkTask) -> ChunkOutcome:
     edge arrives while ``register_new_edges`` is off, matching the
     sequential :meth:`EdgeRegistry.encode` behaviour.
     """
+    faults.trip("ingest.encode")
     if task.kind not in CHUNK_KINDS:
         raise IngestError(
             f"unknown chunk kind {task.kind!r}; expected one of {CHUNK_KINDS}"

@@ -23,6 +23,7 @@ from repro.parallel.merge import merge_pattern_counts_into, merge_stats
 from repro.parallel.pipeline import PipelineExecutor
 from repro.parallel.planner import ShardPlanner
 from repro.parallel.pool import PersistentWorkerPool, effective_workers
+from repro.resilience import EventLog, FailurePolicy
 from repro.parallel.worker import (
     MiningShardTask,
     ShardOutcome,
@@ -126,6 +127,8 @@ def mine_window_parallel(
     max_inflight: Optional[int] = None,
     transport: str = "auto",
     pool: Optional[PersistentWorkerPool] = None,
+    policy: Optional[FailurePolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> Tuple[PatternCounts, MiningStats]:
     """Mine the window by pipelining item shards over worker processes.
 
@@ -164,6 +167,12 @@ def mine_window_parallel(
     pool:
         Optional persistent worker pool to schedule onto (DESIGN.md §11).
         Without one, a run-scoped pool is spawned and torn down as before.
+    policy:
+        Failure policy for the run's execution engine (DESIGN.md §14);
+        defaults to :data:`~repro.resilience.DEFAULT_POLICY`.
+    events:
+        Shared resilience event log; transport degradations and pool
+        respawns during this call are recorded on it.
 
     Returns
     -------
@@ -230,6 +239,8 @@ def mine_window_parallel(
             effective,
             max_inflight=max_inflight,
             pool=pool if attach_to_tasks else None,
+            policy=policy,
+            events=events,
         )
         try:
             if attach_to_tasks:
@@ -254,12 +265,19 @@ def mine_window_parallel(
     try:
         try:
             patterns, stats_parts = _execute(handles)
-        except SharedMemoryError:
+        except SharedMemoryError as exc:
             # The arena vanished mid-run (shm pressure, external cleanup).
             # Shards are deterministic, so one pickle-transport re-run
-            # from scratch returns the identical answer.
+            # from scratch returns the identical answer: one explicit step
+            # down the degradation ladder (DESIGN.md §14).
             if arena is None:
                 raise
+            if events is not None:
+                events.record(
+                    "degrade",
+                    "transport",
+                    detail=f"shm -> pickle ({type(exc).__name__}: {exc})",
+                )
             patterns, stats_parts = _execute(base_handles)
     finally:
         if arena is not None:
@@ -275,6 +293,8 @@ def count_supports_parallel(
     num_shards: Optional[int] = None,
     max_inflight: Optional[int] = None,
     transport: str = "auto",
+    policy: Optional[FailurePolicy] = None,
+    events: Optional[EventLog] = None,
 ) -> Dict[str, int]:
     """Compute window-wide per-item supports from segment-aligned shards.
 
@@ -296,7 +316,9 @@ def count_supports_parallel(
 
     def _count(plan_handles: Tuple[SegmentHandle, ...]) -> Dict[str, int]:
         merged: Counter = Counter()
-        PipelineExecutor(effective, max_inflight=max_inflight).run(
+        PipelineExecutor(
+            effective, max_inflight=max_inflight, policy=policy, events=events
+        ).run(
             count_segment_shard,
             planner.plan_segments(plan_handles),
             lambda part: merged.update(part),
@@ -306,9 +328,15 @@ def count_supports_parallel(
     try:
         try:
             return _count(handles)
-        except SharedMemoryError:
+        except SharedMemoryError as exc:
             if arena is None:
                 raise
+            if events is not None:
+                events.record(
+                    "degrade",
+                    "transport",
+                    detail=f"shm -> pickle ({type(exc).__name__}: {exc})",
+                )
             return _count(base_handles)
     finally:
         if arena is not None:

@@ -1,4 +1,4 @@
-"""The pipelined as-completed execution engine (DESIGN.md §9).
+"""The pipelined as-completed execution engine (DESIGN.md §9, §14).
 
 :class:`WorkerPool.map` is a barrier: every task result is materialised
 before the first one is consumed, so the coordinator sits idle while
@@ -19,21 +19,37 @@ a credit-based producer/consumer pipeline:
 The consumer sees exactly the sequence ``fn(task_0), fn(task_1), ...`` in
 that order under every ``workers``/``max_inflight`` combination — only
 the interleaving with task execution changes.  Exceptions raised by tasks
-propagate unchanged (remaining submissions are cancelled first); like
-:class:`~repro.parallel.pool.WorkerPool`, only broken pool infrastructure
-triggers a deterministic in-process re-run of the uncommitted suffix.
+propagate unchanged (remaining submissions are cancelled first).
+
+Recovery is governed by the unified :class:`~repro.resilience.FailurePolicy`
+(DESIGN.md §14).  Broken pool infrastructure (an OOM-killed or crashed
+worker) is retried at **task granularity**: the executor is respawned and
+only the uncommitted suffix is resubmitted, up to ``max_retries`` rounds
+with backoff, before stepping down the degradation ladder to an
+in-process re-run of that suffix.  When ``task_timeout_s`` is set, a task
+whose result has not arrived within the limit is treated as a straggler
+and speculatively re-executed in the coordinating process; whichever copy
+finishes first wins, the other is discarded.  Every respawn, degrade and
+timeout is recorded on the executor's :class:`~repro.resilience.EventLog`.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Iterable, Iterator, Optional, Set, Tuple, TypeVar
 
 from repro.exceptions import ParallelMiningError
 from repro.parallel.pool import PersistentWorkerPool, process_pools_available
+from repro.resilience import (
+    DEFAULT_POLICY,
+    EventLog,
+    FailurePolicy,
+    call_with_crash_retry,
+)
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -81,11 +97,26 @@ class PipelineExecutor:
     pool:
         Optional :class:`~repro.parallel.pool.PersistentWorkerPool` to
         schedule onto instead of a run-scoped executor (DESIGN.md §11).
-        The pool is *borrowed*: this executor never shuts it down, and a
-        broken executor is reported back via ``pool.mark_broken()``.
-        Because a persistent pool's workers outlive the run, per-run
-        ``initializer``/``initargs`` cannot be used with one — runs must
-        ship their state on the tasks themselves.
+        The pool is *borrowed*: this executor never shuts it down.  A
+        broken executor is reported back via ``pool.mark_broken()`` and a
+        fresh one requested for the retry round.  Because a persistent
+        pool's workers outlive the run, per-run ``initializer``/
+        ``initargs`` cannot be used with one — runs must ship their state
+        on the tasks themselves.
+    policy:
+        The :class:`~repro.resilience.FailurePolicy` governing respawn
+        retries, backoff and straggler timeouts (defaults to
+        :data:`~repro.resilience.DEFAULT_POLICY`).
+    events:
+        Shared :class:`~repro.resilience.EventLog` to record recovery
+        decisions on (a private log is created when omitted; it is
+        exposed as :attr:`events`).
+    on_discard:
+        Optional disposer for completed results that will never reach the
+        consumer — a respawn retries their tasks, a straggler's slow copy
+        is superseded, an abort drops the uncommitted tail.  Results may
+        own external resources (a chunk's shared-memory block); this hook
+        releases them so recovery never strands ``/dev/shm`` blocks.
     """
 
     def __init__(
@@ -93,6 +124,9 @@ class PipelineExecutor:
         workers: int,
         max_inflight: Optional[int] = None,
         pool: Optional[PersistentWorkerPool] = None,
+        policy: Optional[FailurePolicy] = None,
+        events: Optional[EventLog] = None,
+        on_discard: Optional[Callable[[object], None]] = None,
     ) -> None:
         if workers < 0:
             raise ParallelMiningError(
@@ -107,6 +141,10 @@ class PipelineExecutor:
         self._workers = workers
         self._max_inflight = max_inflight
         self._pool = pool
+        self._policy = policy if policy is not None else DEFAULT_POLICY
+        self._on_discard = on_discard
+        #: Recovery decisions made by this executor's runs.
+        self.events = events if events is not None else EventLog()
         #: Stats of the last :meth:`run` call.
         self.last_stats = PipelineStats()
 
@@ -119,6 +157,11 @@ class PipelineExecutor:
     def max_inflight(self) -> int:
         """The configured bound on submitted-but-uncommitted tasks."""
         return self._max_inflight
+
+    @property
+    def policy(self) -> FailurePolicy:
+        """The failure policy governing this executor's recovery."""
+        return self._policy
 
     def run(
         self,
@@ -169,7 +212,7 @@ class PipelineExecutor:
         for task in iterator:
             stats.tasks += 1
             stats.peak_inflight = max(stats.peak_inflight, 1)
-            consumer(fn(task))
+            consumer(call_with_crash_retry(fn, task, self._policy, self.events))
             stats.committed += 1
 
     def _run_pool(
@@ -183,51 +226,81 @@ class PipelineExecutor:
     ) -> None:
         stats.execution_mode = "pipelined-pool"
         pending_tasks: Dict[int, Task] = {}  # uncommitted task payloads
-        try:
-            if self._pool is not None:
-                # Borrowed persistent executor: never shut down here, and
-                # the workers were initialised (if at all) long ago — run
-                # state travels on the tasks.
-                self._drive(
-                    self._pool.executor(), fn, iterator, consumer, stats, pending_tasks
+        respawns = 0
+        while True:
+            try:
+                if self._pool is not None:
+                    # Borrowed persistent executor: never shut down here,
+                    # and the workers were initialised (if at all) long
+                    # ago — run state travels on the tasks.
+                    self._drive(
+                        self._pool.executor(), fn, iterator, consumer, stats,
+                        pending_tasks,
+                    )
+                else:
+                    with ProcessPoolExecutor(
+                        max_workers=self._workers,
+                        initializer=initializer,
+                        initargs=initargs,
+                    ) as executor:
+                        self._drive(
+                            executor, fn, iterator, consumer, stats, pending_tasks
+                        )
+                return
+            except BrokenProcessPool:
+                # Pool infrastructure died mid-run (e.g. an OOM-killed
+                # worker).  Committed results are final; the uncommitted
+                # suffix (retained task payloads, then the untouched
+                # remainder of the plan) is retried at task granularity on
+                # a fresh executor, up to the policy's retry budget, before
+                # degrading to a deterministic in-process re-run.  Task
+                # exceptions are NOT caught here: they propagate from
+                # future.result() inside _drive.
+                if self._pool is not None:
+                    self._pool.mark_broken()
+                suffix = [pending_tasks[index] for index in sorted(pending_tasks)]
+                pending_tasks.clear()
+                stats.tasks -= len(suffix)
+                iterator = itertools.chain(suffix, iterator)
+                if respawns >= self._policy.max_retries:
+                    self.events.record(
+                        "degrade",
+                        "pool",
+                        attempt=respawns,
+                        detail="pool -> in-process (respawn budget exhausted)",
+                    )
+                    self._run_in_process(
+                        fn, iterator, consumer, initializer, initargs, stats
+                    )
+                    return
+                respawns += 1
+                self.events.record(
+                    "respawn",
+                    "pool",
+                    attempt=respawns,
+                    detail=f"retrying {len(suffix)} uncommitted task(s) "
+                    "on a fresh pool",
                 )
-            else:
-                with ProcessPoolExecutor(
-                    max_workers=self._workers,
-                    initializer=initializer,
-                    initargs=initargs,
-                ) as executor:
-                    self._drive(executor, fn, iterator, consumer, stats, pending_tasks)
-        except BrokenProcessPool:
-            # Pool infrastructure died mid-run (e.g. an OOM-killed worker).
-            # Committed results are final — re-run the uncommitted suffix
-            # (retained task payloads, then the untouched remainder of the
-            # plan) deterministically in this process.  Task exceptions are
-            # NOT caught here: they propagate from future.result() below.
-            if self._pool is not None:
-                self._pool.mark_broken()
-            suffix = [pending_tasks[index] for index in sorted(pending_tasks)]
-            stats.tasks -= len(suffix)
-            self._run_in_process(
-                fn,
-                itertools.chain(suffix, iterator),
-                consumer,
-                initializer,
-                initargs,
-                stats,
-            )
+                delay = self._policy.delay_s(respawns - 1)
+                if delay:
+                    time.sleep(delay)
 
     def _drive(
         self,
-        executor: ProcessPoolExecutor,
+        executor: Executor,
         fn: Callable[[Task], Result],
         iterator: Iterator[Task],
         consumer: Callable[[Result], None],
         stats: PipelineStats,
         pending_tasks: Dict[int, Task],
     ) -> None:
-        next_commit = 0  # next task index owed to the consumer
+        # After a respawn, committed results are final and every committed
+        # index was popped from pending_tasks, so both counters line up:
+        # the next index to submit is stats.tasks and the next owed to the
+        # consumer is stats.committed.
+        next_commit = stats.committed
         inflight: Dict[Future[Result], int] = {}
+        superseded: Set[int] = set()  # stragglers re-executed speculatively
         ready: Dict[int, Result] = {}  # completed out-of-order results
         exhausted = False
         try:
@@ -254,12 +327,34 @@ class PipelineExecutor:
                 stats.peak_inflight = max(
                     stats.peak_inflight, stats.tasks - stats.committed
                 )
-                if not inflight and not ready:
+                if exhausted and not pending_tasks and not ready:
+                    # Everything committed.  Superseded stragglers may
+                    # still be running; their results are no longer
+                    # wanted (their eventual resources are released by a
+                    # done-callback when cancellation comes too late).
+                    for future in inflight:
+                        if not future.cancel():
+                            future.add_done_callback(self._discard_future)
                     break
                 if inflight:
-                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    done, _ = wait(
+                        inflight,
+                        timeout=self._policy.task_timeout_s,
+                        return_when=FIRST_COMPLETED,
+                    )
                     for future in done:
-                        ready[inflight.pop(future)] = future.result()
+                        index = inflight.pop(future)
+                        if index in superseded:
+                            # The speculative copy already produced this
+                            # index's result; whatever the slow copy did
+                            # (including raising) is discarded.
+                            self._discard_future(future)
+                            continue
+                        ready[index] = future.result()
+                    if not done and self._policy.task_timeout_s is not None:
+                        self._speculate(
+                            fn, inflight, superseded, ready, pending_tasks
+                        )
                 # Commit the contiguous prefix: each commit releases
                 # a credit, so the submit loop refills immediately.
                 while next_commit in ready:
@@ -269,9 +364,59 @@ class PipelineExecutor:
                     next_commit += 1
                     stats.committed += 1
         except BaseException:
-            # A task (or the consumer) failed: nothing submitted
-            # after the failure may commit.  Cancel what has not
-            # started so shutdown does not drain a doomed queue.
+            # A task (or the consumer) failed, or the pool broke: nothing
+            # submitted after the failure may commit.  Cancel what has not
+            # started so shutdown does not drain a doomed queue, and
+            # release resources owned by results that will now never be
+            # consumed (a respawn re-executes their tasks from scratch).
             for future in inflight:
-                future.cancel()
+                if not future.cancel():
+                    future.add_done_callback(self._discard_future)
+            if self._on_discard is not None:
+                for result in ready.values():
+                    self._on_discard(result)
+                ready.clear()
             raise
+
+    def _discard_future(self, future: "Future[Result]") -> None:
+        """Release the resources of a completed result nobody will consume."""
+        if self._on_discard is None or future.cancelled():
+            return
+        try:
+            result = future.result()
+        except BaseException:
+            return  # it raised or the pool died: nothing to release
+        self._on_discard(result)
+
+    def _speculate(
+        self,
+        fn: Callable[[Task], Result],
+        inflight: Dict[Future[Result], int],
+        superseded: Set[int],
+        ready: Dict[int, Result],
+        pending_tasks: Dict[int, Task],
+    ) -> None:
+        """Straggler mitigation: re-run the oldest overdue task inline.
+
+        The whole in-flight window exceeded ``task_timeout_s`` without a
+        single completion.  The task the consumer is waiting on hardest —
+        the lowest uncommitted index still on a worker — is re-executed in
+        this process; its eventual worker result is marked superseded and
+        discarded.  One speculation per timeout round bounds duplicated
+        work.
+        """
+        candidates = [i for i in inflight.values() if i not in superseded]
+        if not candidates:
+            return
+        index = min(candidates)
+        self.events.record(
+            "timeout",
+            "task",
+            attempt=0,
+            detail=f"task {index} exceeded {self._policy.task_timeout_s}s; "
+            "re-executing in-process",
+        )
+        superseded.add(index)
+        ready[index] = call_with_crash_retry(
+            fn, pending_tasks[index], self._policy, self.events
+        )

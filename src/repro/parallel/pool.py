@@ -13,15 +13,28 @@ pools cannot work at all (restricted sandboxes, missing ``/dev/shm``) are
 detected once with a cheap probe and degrade to in-process execution;
 exceptions raised by the *tasks* themselves always propagate unchanged —
 they never trigger a fallback re-run.
+
+Broken pool infrastructure mid-map (an OOM-killed worker) is handled by
+the unified failure policy (DESIGN.md §14): the map is retried on a fresh
+pool up to ``policy.max_retries`` times with backoff before degrading to
+the deterministic in-process mode, and each decision is recorded on the
+pool's :class:`~repro.resilience.EventLog`.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.exceptions import ParallelMiningError
+from repro.resilience import (
+    DEFAULT_POLICY,
+    EventLog,
+    FailurePolicy,
+    call_with_crash_retry,
+)
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -75,14 +88,28 @@ class WorkerPool:
         ``0`` — run tasks sequentially in this process (deterministic
         reference mode); ``n >= 1`` — use a process pool with ``n``
         workers.
+    policy:
+        The :class:`~repro.resilience.FailurePolicy` governing broken-pool
+        retries (defaults to :data:`~repro.resilience.DEFAULT_POLICY`).
+    events:
+        Shared :class:`~repro.resilience.EventLog` for recovery decisions
+        (a private log is created when omitted; exposed as :attr:`events`).
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        policy: Optional[FailurePolicy] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
         if workers < 0:
             raise ParallelMiningError(
                 f"workers must be non-negative, got {workers}"
             )
         self._workers = workers
+        self._policy = policy if policy is not None else DEFAULT_POLICY
+        #: Recovery decisions made by this pool's maps.
+        self.events = events if events is not None else EventLog()
         #: How the last :meth:`map` call actually executed (``"in-process"``
         #: or ``"pool"``); useful for tests and diagnostics.
         self.last_execution_mode: str = "in-process"
@@ -119,20 +146,43 @@ class WorkerPool:
             or not process_pools_available()
         ):
             return self._run_in_process(fn, materialised, initializer, initargs)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self._workers, len(materialised)),
-                initializer=initializer,
-                initargs=initargs,
-            ) as executor:
-                results = list(executor.map(fn, materialised))
-            self.last_execution_mode = "pool"
-            return results
-        except BrokenProcessPool:
-            # Pool infrastructure died mid-run (e.g. an OOM-killed worker).
-            # Task exceptions are NOT caught here — they propagate from
-            # executor.map as themselves.
-            return self._run_in_process(fn, materialised, initializer, initargs)
+        respawns = 0
+        while True:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self._workers, len(materialised)),
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as executor:
+                    results = list(executor.map(fn, materialised))
+                self.last_execution_mode = "pool"
+                return results
+            except BrokenProcessPool:
+                # Pool infrastructure died mid-run (e.g. an OOM-killed
+                # worker).  Retry the map on a fresh pool under the policy
+                # before degrading to in-process execution.  Task
+                # exceptions are NOT caught here — they propagate from
+                # executor.map as themselves.
+                if respawns >= self._policy.max_retries:
+                    self.events.record(
+                        "degrade",
+                        "pool",
+                        attempt=respawns,
+                        detail="pool -> in-process (respawn budget exhausted)",
+                    )
+                    return self._run_in_process(
+                        fn, materialised, initializer, initargs
+                    )
+                respawns += 1
+                self.events.record(
+                    "respawn",
+                    "pool",
+                    attempt=respawns,
+                    detail=f"retrying {len(materialised)} task(s) on a fresh pool",
+                )
+                delay = self._policy.delay_s(respawns - 1)
+                if delay:
+                    time.sleep(delay)
 
     def _run_in_process(
         self,
@@ -144,7 +194,10 @@ class WorkerPool:
         self.last_execution_mode = "in-process"
         if initializer is not None:
             initializer(*initargs)
-        return [fn(task) for task in tasks]
+        return [
+            call_with_crash_retry(fn, task, self._policy, self.events)
+            for task in tasks
+        ]
 
 
 class PersistentWorkerPool:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from repro import faults
 from repro.core.algorithms import get_algorithm
 from repro.exceptions import DSMatrixError, ParallelMiningError
 from repro.graph.edge_registry import EdgeRegistry
@@ -152,6 +153,7 @@ def run_mining_shard(task: MiningShardTask) -> ShardOutcome:
     cached for the run's remaining shards.  That self-install path is how
     persistent pools ship per-run state without initializers.
     """
+    faults.trip("mine.shard")
     store: Optional[WindowStore] = None
     registry: Optional[EdgeRegistry] = None
     if task.context:

@@ -28,6 +28,13 @@ leak a traceback to a client — they come back as structured JSON
 ``{"error", "code"}`` objects (plus the offending node ``path`` for
 malformed algebra expressions), 400 for bad queries, 404 for unknown
 paths.
+
+Failure behaviour (DESIGN.md §14): a client that hangs up mid-response
+(``ConnectionResetError``/``BrokenPipeError``) must never take a handler
+thread down with a traceback or affect any other connection — the drop is
+counted on :attr:`HistoryHTTPServer.dropped_connections` (surfaced under
+``resilience`` in ``GET /stats``) and the connection is closed.  The
+``http.response`` fault site injects exactly that drop for chaos runs.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
+from repro import faults
 from repro.exceptions import AlgebraError, HistoryError, ServiceError
 from repro.history.journal import open_journal
 from repro.service.api import HistoryService
@@ -63,6 +71,23 @@ class HistoryHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: Tuple[str, int], service: HistoryService) -> None:
         super().__init__(address, HistoryRequestHandler)
         self.service = service
+        #: Responses abandoned because the client hung up mid-write.
+        self.dropped_connections = 0
+
+    def handle_error(self, request: object, client_address: object) -> None:
+        """Connection drops are counted, not dumped as tracebacks.
+
+        Anything else keeps the default stderr report — a genuine handler
+        bug should stay loud — but never propagates past the handler
+        thread (``ThreadingHTTPServer`` already guarantees that).
+        """
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, BrokenPipeError, TimeoutError)):
+            self.dropped_connections += 1
+            return
+        super().handle_error(request, client_address)
 
 
 class HistoryRequestHandler(BaseHTTPRequestHandler):
@@ -176,7 +201,12 @@ class HistoryRequestHandler(BaseHTTPRequestHandler):
                 slide=self._int(params, "slide"),
             )
         if path == "/stats":
-            return service.stats()
+            payload = service.stats()
+            server: HistoryHTTPServer = self.server  # type: ignore[assignment]
+            payload["resilience"] = {
+                "dropped_connections": server.dropped_connections
+            }
+            return payload
         return None
 
     # ------------------------------------------------------------------ #
@@ -217,13 +247,22 @@ class HistoryRequestHandler(BaseHTTPRequestHandler):
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, indent=2, default=str).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            faults.trip("http.response", ConnectionResetError)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (ConnectionError, BrokenPipeError, TimeoutError):
+            # The client hung up mid-response.  There is nobody left to
+            # answer; count the drop and close this connection without
+            # touching any other handler thread.
+            server: HistoryHTTPServer = self.server  # type: ignore[assignment]
+            server.dropped_connections += 1
+            self.close_connection = True
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence the default per-request stderr logging."""
@@ -251,15 +290,21 @@ def serve_journal(
 
     ``on_bound`` is invoked once with the bound server before the loop
     starts — the hook the CLI uses to announce the actual address (which
-    matters with ``port=0``).  Ctrl-C stops the loop cleanly.
+    matters with ``port=0``).  Ctrl-C stops the loop cleanly.  The opened
+    journal is closed on every exit path (including a failed bind), so a
+    dying serve process never leaks the journal's append handles.
     """
-    service = HistoryService(open_journal(path))
-    server = build_server(service, host=host, port=port)
-    if on_bound is not None:
-        on_bound(server)
+    journal = open_journal(path)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        service = HistoryService(journal)
+        server = build_server(service, host=host, port=port)
+        try:
+            if on_bound is not None:
+                on_bound(server)
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
     finally:
-        server.server_close()
+        journal.close()

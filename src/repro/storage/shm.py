@@ -35,6 +35,7 @@ from collections import OrderedDict
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.exceptions import SharedMemoryError
 from repro.storage.segments import SegmentHandle
 
@@ -79,6 +80,7 @@ def shared_memory_available() -> bool:
 
 
 def _create_block(size: int) -> shared_memory.SharedMemory:
+    faults.trip("shm.publish", SharedMemoryError)
     try:
         return shared_memory.SharedMemory(create=True, size=size)
     except Exception as exc:  # noqa: BLE001 - surface as one exception type
@@ -95,8 +97,10 @@ def read_shared_block(name: str, offset: int, size: int) -> bytes:
     :data:`MAX_ATTACHED_BLOCKS`).  Raises
     :class:`~repro.exceptions.SharedMemoryError` when the block cannot be
     attached (already unlinked, or shm broke mid-run) — the mining API
-    falls back to payload shipping on that signal.
+    falls back to payload shipping on that signal, and the ingest
+    coordinator retries the read under the failure policy.
     """
+    faults.trip("shm.attach", SharedMemoryError)
     local = _LOCAL_BLOCKS.get(name)
     if local is not None:
         return bytes(local.buf[offset : offset + size])

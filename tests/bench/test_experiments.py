@@ -42,6 +42,7 @@ class TestScaleParameters:
             "e11",
             "e12",
             "e13",
+            "e14",
         }
 
 

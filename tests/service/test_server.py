@@ -251,8 +251,11 @@ class TestHTTPServer:
             by_path.setdefault(path, []).append(payload)
         for payloads in by_path.values():
             assert all(payload == payloads[0] for payload in payloads)
-        # And the served answers equal the in-process API's.
-        assert by_path["/stats"][0] == json.loads(json.dumps(service.stats()))
+        # And the served answers equal the in-process API's, plus the
+        # server-level resilience summary (DESIGN.md §14).
+        served_stats = dict(by_path["/stats"][0])
+        assert served_stats.pop("resilience") == {"dropped_connections": 0}
+        assert served_stats == json.loads(json.dumps(service.stats()))
 
     def test_unknown_endpoint_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:

@@ -96,6 +96,51 @@ class TestSupervisor:
         # Backoff restarted from its base after the stable run.
         assert harness.sleeps == [0.5, 0.5]
 
+    def test_backoff_cap_hit_exactly_stays_at_the_cap(self):
+        # The ladder lands exactly on max_backoff_s (0.5 -> 1.0 -> 2.0 with
+        # a 2.0 cap); the capped value repeats instead of overshooting.
+        harness = Harness([1] * 5)
+        harness.supervisor(
+            max_restarts=4, backoff_s=0.5, backoff_factor=2.0,
+            max_backoff_s=2.0, stable_after_s=1e9,
+        ).run()
+        assert harness.sleeps == [0.5, 1.0, 2.0, 2.0]
+
+    def test_uptime_exactly_at_stability_boundary_resets_budget(self):
+        # stable_after_s is inclusive: a child that crashes at exactly the
+        # boundary still counts as recovered.  (The harness clock advances
+        # half the scripted value per call, so 60.0 measures as 30.0.)
+        harness = Harness([1, 1, 0], uptimes=[0.0, 60.0, 0.0])
+        code = harness.supervisor(max_restarts=1, stable_after_s=30.0).run()
+        assert code == 0
+        assert len(harness.spawned) == 3
+        assert "budget-reset" in [event["event"] for event in harness.events]
+
+    def test_uptime_just_below_the_boundary_does_not_reset(self):
+        harness = Harness([1, 1, 0], uptimes=[0.0, 59.8, 0.0])
+        code = harness.supervisor(max_restarts=1, stable_after_s=30.0).run()
+        assert code == 1
+        assert len(harness.spawned) == 2
+        assert harness.events[-1]["event"] == "budget-exhausted"
+        assert "budget-reset" not in [event["event"] for event in harness.events]
+
+    def test_no_reset_event_when_no_restarts_were_spent(self):
+        # A first launch that runs stably then crashes has nothing to
+        # forgive: restarting is fine, but no budget-reset is narrated.
+        harness = Harness([1, 0], uptimes=[100.0, 0.0])
+        code = harness.supervisor(max_restarts=1, stable_after_s=30.0).run()
+        assert code == 0
+        assert "budget-reset" not in [event["event"] for event in harness.events]
+
+    @pytest.mark.parametrize(
+        "returncode,expected",
+        [(-9, 137), (-11, 139), (-15, 143)],  # SIGKILL, SIGSEGV, SIGTERM
+    )
+    def test_signal_deaths_map_to_shell_convention(self, returncode, expected):
+        harness = Harness([returncode])
+        assert harness.supervisor(max_restarts=0).run() == expected
+        assert harness.events[-1]["exit_code"] == expected
+
     def test_events_carry_the_command_and_attempt(self):
         harness = Harness([0])
         harness.supervisor().run()

@@ -755,3 +755,73 @@ class TestMineOutputFormats:
         lines = target.read_text(encoding="utf-8").strip().splitlines()
         assert lines[0].startswith("items,")
         assert len(lines) > 1
+
+
+class TestFaultsFlag:
+    def _generate(self, tmp_path):
+        source = tmp_path / "graph.fimi"
+        main(["generate", str(source), "--kind", "graph", "--count", "60", "--seed", "5"])
+        return source
+
+    @pytest.mark.parametrize("command", ["mine", "watch"])
+    def test_invalid_plan_is_a_usage_error(self, command, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        capsys.readouterr()
+        args = [command, str(source), "--faults", "no.such.site@1"]
+        if command == "watch":
+            args += ["--journal", str(tmp_path / "journal")]
+        assert main(args) == EXIT_USAGE_ERROR
+        assert "invalid --faults plan" in capsys.readouterr().err
+
+    def test_mine_stats_reports_clean_resilience(self, tmp_path, capsys):
+        source = self._generate(tmp_path)
+        capsys.readouterr()
+        assert main(["mine", str(source), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4", "--stats"]) == 0
+        assert "resilience: clean" in capsys.readouterr().out
+
+    def test_mine_recovers_from_injected_crash_and_reports_it(
+        self, tmp_path, capsys
+    ):
+        source = self._generate(tmp_path)
+        capsys.readouterr()
+        # Every fresh worker re-crashes at its first encode (per-process
+        # hit counters), so the pool respawns through its budget and then
+        # degrades to in-process, where the crash is retried inline.
+        assert main(["mine", str(source), "--batch-size", "20", "--window", "2",
+                     "--minsup", "4", "--stats", "--ingest-workers", "2",
+                     "--faults", "ingest.encode@1:crash"]) == 0
+        captured = capsys.readouterr()
+        assert "respawn=" in captured.out
+        assert "retry=1" in captured.out
+        assert "resilience: clean" not in captured.out
+        assert '"event": "resilience"' not in captured.err  # mine has no stream
+
+    def test_watch_under_faults_is_byte_identical_and_narrated(
+        self, tmp_path, capsys
+    ):
+        import os
+
+        from repro import faults
+
+        source = self._generate(tmp_path)
+        base = ["watch", str(source), "--batch-size", "20", "--window", "2",
+                "--minsup", "4", "--journal"]
+        assert main(base + [str(tmp_path / "clean")]) == 0
+        capsys.readouterr()
+        assert main(base + [str(tmp_path / "faulted"),
+                            "--faults", "journal.write@2"]) == 0
+        captured = capsys.readouterr()
+        assert "resilience: retry=1" in captured.out
+        events = [json.loads(line) for line in captured.err.splitlines() if line]
+        assert any(
+            event["event"] == "resilience" and event["kind"] == "retry"
+            and event["site"] == "journal.write"
+            for event in events
+        )
+        assert (tmp_path / "faulted" / "journal.dat").read_bytes() == (
+            tmp_path / "clean" / "journal.dat"
+        ).read_bytes()
+        # The plan was uninstalled on the way out: nothing leaks into the
+        # environment of later runs.
+        assert faults.ENV_VAR not in os.environ
