@@ -1655,6 +1655,406 @@ def experiment_chaos_resilience(
     return outcome
 
 
+# ---------------------------------------------------------------------- #
+# E15 — serving at scale: async front end vs threaded parity + load
+# ---------------------------------------------------------------------- #
+def experiment_serving_scale(
+    scale: str = "tiny",
+    minsup: Optional[int] = None,
+    seed: int = 42,
+    clients: int = 1000,
+    requests_per_client: int = 3,
+    shards: int = 4,
+    queries_per_family: int = 4,
+    swap_readers: int = 8,
+    queries_per_reader: int = 40,
+    output_path: Optional[Union[str, Path]] = "BENCH_e15.json",
+) -> Dict[str, object]:
+    """Serving-at-scale ablation of the async front end (DESIGN.md §15).
+
+    Four legs over one mined journal, split into a pre-loaded prefix and
+    a live suffix committed mid-bench:
+
+    * **parity** — every algebra query is POSTed to the async sharded
+      server *and* the threaded server at every commit checkpoint
+      (before, between and after live slides); the response bytes must
+      be identical, and the parsed matches/curve must equal
+      :func:`~repro.history.algebra.brute_force_query` over exactly the
+      committed records (``answers_identical``);
+    * **load** — ``clients`` concurrent keep-alive clients drive the
+      async server; the row records latency percentiles and throughput
+      (volatile, excluded from the regression row identity);
+    * **swap-readers** — reader clients query continuously while the
+      live suffix commits; every response must byte-equal the canonical
+      answer of *some* committed prefix — no torn index state, no
+      blocking on the writer (``snapshot_swap_not_blocking``);
+    * **standing** — one SSE subscriber's pushed notification stream
+      must equal the poll-after-every-slide oracle
+      (:func:`~repro.serve.standing.poll_oracle`) exactly
+      (``standing_query_matches_poll``).
+
+    Like E7-E14, the outcome is written to ``output_path``
+    (``BENCH_e15.json`` by default) for the CI artifact and the nightly
+    regression gate.
+    """
+    import asyncio
+    import threading
+    import time
+    from http.client import HTTPConnection
+
+    from repro.history import algebra
+    from repro.history.journal import MemoryJournal, SlideRecord
+    from repro.serve.app import ServeApp
+    from repro.serve.http import BackgroundServer
+    from repro.serve.loadgen import run_load, sse_collect
+    from repro.serve.shards import ShardedJournalIndex
+    from repro.serve.standing import poll_oracle
+    from repro.service.api import HistoryService, evaluate_expression
+    from repro.service.server import build_server
+
+    workload = default_edge_workload(scale, seed=seed)
+    # Smaller batches than the workload default so the journal holds
+    # enough slides for a meaningful live suffix (same trick as E14).
+    batch_size = max(5, workload.batch_size // 3)
+    window_size = workload.window_size
+    support = (
+        minsup
+        if minsup is not None
+        else max(2, int(batch_size * window_size * 0.05))
+    )
+
+    mined = MemoryJournal()
+    miner = StreamSubgraphMiner(
+        window_size=window_size,
+        batch_size=batch_size,
+        algorithm="vertical",
+        on_slide=mined.append,
+    )
+    miner.watch(
+        TransactionStream(list(workload.transactions), batch_size=batch_size),
+        support,
+        connected_only=False,
+    )
+    records: Tuple[SlideRecord, ...] = mined.records()
+    if len(records) < 4:
+        raise DatasetError(
+            f"workload {workload.name!r} journalled only {len(records)} "
+            f"slides at minsup={support}; E15 needs at least 4"
+        )
+    split = max(1, (2 * len(records)) // 3)
+    prefix, live = records[:split], records[split:]
+
+    # Deterministic query workload straight from the indexed items.
+    probe_index = ShardedJournalIndex(records, shard_count=shards)
+    universe = sorted(
+        probe_index.current.items(),
+        key=lambda item: (probe_index.current.posting_total(item), item),
+    )
+    if not universe:
+        raise DatasetError(
+            f"workload {workload.name!r} journalled no patterns at minsup={support}"
+        )
+    rare, common = universe, list(reversed(universe))
+
+    def pick(pool: Sequence[str], position: int) -> str:
+        return pool[position % len(pool)]
+
+    queries: List[Dict[str, object]] = []
+    for i in range(queries_per_family):
+        queries.append(
+            algebra.to_json(
+                algebra.select(
+                    algebra.and_(
+                        algebra.contains(pick(common, i)),
+                        algebra.contains(pick(rare, i)),
+                    )
+                )
+            )
+        )
+        queries.append(
+            algebra.to_json(
+                algebra.select(
+                    algebra.or_(
+                        algebra.contains(pick(rare, i)),
+                        algebra.contains(pick(rare, i + 1)),
+                    )
+                )
+            )
+        )
+        queries.append(
+            algebra.to_json(algebra.top_k(5, where=algebra.contains(pick(common, i))))
+        )
+        queries.append(algebra.to_json(algebra.history(pick(common, i))))
+
+    def fresh_journal(source: Sequence[SlideRecord]) -> MemoryJournal:
+        journal = MemoryJournal()
+        for record in source:
+            journal.append(record)
+        return journal
+
+    def post(connection: HTTPConnection, expression: Dict[str, object]) -> bytes:
+        connection.request(
+            "POST",
+            "/query",
+            json.dumps(expression, sort_keys=True),
+            {"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise DatasetError(
+                f"parity query failed with {response.status}: {body.decode('utf-8')}"
+            )
+        return body
+
+    def oracle_payload(
+        expression: Dict[str, object], committed: Sequence[SlideRecord]
+    ) -> object:
+        result = algebra.brute_force_query(algebra.parse_query(expression), committed)
+        if result and isinstance(result[0], tuple) and len(result[0]) == 2:
+            return [{"slide": s, "support": p} for s, p in result]  # type: ignore[misc]
+        return [
+            {"slide": s, "items": list(items), "support": p}
+            for s, items, p in result  # type: ignore[misc]
+        ]
+
+    rows: List[Dict[str, object]] = []
+    answers_identical = True
+    parity_checks = 0
+
+    # --- leg 1: byte parity vs threaded server + brute force ----------- #
+    threaded_journal = fresh_journal(prefix)
+    service = HistoryService(threaded_journal)
+    threaded = build_server(service, "127.0.0.1", 0)
+    threaded_thread = threading.Thread(target=threaded.serve_forever, daemon=True)
+    threaded_thread.start()
+    async_app = ServeApp.from_journal(fresh_journal(prefix), shard_count=shards)
+    try:
+        with BackgroundServer(async_app) as background:
+            threaded_conn = HTTPConnection(
+                "127.0.0.1", threaded.server_address[1], timeout=30
+            )
+            async_conn = HTTPConnection("127.0.0.1", background.port, timeout=30)
+            committed: List[SlideRecord] = list(prefix)
+            checkpoints = 0
+            while True:
+                checkpoints += 1
+                for expression in queries:
+                    threaded_body = post(threaded_conn, expression)
+                    async_body = post(async_conn, expression)
+                    parsed = json.loads(async_body)
+                    key = "history" if "history" in parsed else "matches"
+                    expected = json.loads(
+                        json.dumps(oracle_payload(expression, committed), default=str)
+                    )
+                    parity_checks += 1
+                    if threaded_body != async_body or parsed[key] != expected:
+                        answers_identical = False
+                if len(committed) == len(records):
+                    break
+                record = live[len(committed) - len(prefix)]
+                threaded_journal.append(record)
+                service.refresh()
+                async_app.journal.append(record)
+                background.refresh()
+                committed.append(record)
+            threaded_conn.close()
+            async_conn.close()
+    finally:
+        threaded.shutdown()
+        threaded.server_close()
+    rows.append(
+        {
+            "mode": "parity",
+            "queries": len(queries),
+            "checkpoints": checkpoints,
+            "checks": parity_checks,
+        }
+    )
+
+    # --- leg 2: concurrent-client load ---------------------------------- #
+    load_app = ServeApp.from_journal(fresh_journal(records), shard_count=shards)
+    with BackgroundServer(load_app) as background:
+        report = run_load(
+            "127.0.0.1",
+            background.port,
+            queries,
+            clients=clients,
+            requests_per_client=requests_per_client,
+        )
+    load_row = report.as_dict()
+    load_ok = (
+        report.errors == 0
+        and report.requests_total == clients * requests_per_client
+        and set(report.status_counts) == {200}
+    )
+    rows.append({"mode": "load", "ok": load_ok, **load_row})
+
+    # --- leg 3: snapshot swaps never block or tear readers -------------- #
+    probe = queries[0]
+    canonical: Dict[bytes, int] = {}
+    for end in range(len(prefix), len(records) + 1):
+        snapshot = ShardedJournalIndex(records[:end], shard_count=shards).current
+        payload = evaluate_expression(probe, snapshot)
+        canonical[json.dumps(payload, indent=2, default=str).encode("utf-8")] = end
+    swap_app = ServeApp.from_journal(fresh_journal(prefix), shard_count=shards)
+    swap_latencies: List[float] = []
+    torn_responses = 0
+
+    with BackgroundServer(swap_app) as background:
+        port = background.port
+        commits_done = threading.Event()
+
+        def committer() -> None:
+            try:
+                for record in live:
+                    swap_app.journal.append(record)
+                    background.refresh()
+                    time.sleep(0.002)
+            finally:
+                commits_done.set()
+
+        async def reader() -> None:
+            nonlocal torn_responses
+            from repro.serve.loadgen import _open_with_retry, request_json
+
+            reader_stream, writer_stream = await _open_with_retry("127.0.0.1", port)
+            body = json.dumps(probe, sort_keys=True).encode("utf-8")
+            try:
+                for _ in range(queries_per_reader):
+                    started = time.perf_counter()
+                    _status, answer = await request_json(
+                        reader_stream, writer_stream, "POST", "/query", "127.0.0.1", body
+                    )
+                    swap_latencies.append((time.perf_counter() - started) * 1000.0)
+                    if answer not in canonical:
+                        torn_responses += 1
+            finally:
+                writer_stream.close()
+
+        async def drive() -> None:
+            thread = threading.Thread(target=committer, daemon=True)
+            thread.start()
+            await asyncio.gather(*(reader() for _ in range(swap_readers)))
+            await asyncio.get_running_loop().run_in_executor(None, commits_done.wait)
+            thread.join(timeout=30)
+
+        asyncio.run(drive())
+    snapshot_swap_not_blocking = torn_responses == 0 and len(swap_latencies) == (
+        swap_readers * queries_per_reader
+    )
+    rows.append(
+        {
+            "mode": "swap-readers",
+            "readers": swap_readers,
+            "queries_per_reader": queries_per_reader,
+            "commits": len(live),
+            "torn": torn_responses,
+            "latency_p50_ms": round(_percentile(swap_latencies, 0.50), 3),
+            "latency_p99_ms": round(_percentile(swap_latencies, 0.99), 3),
+        }
+    )
+
+    # --- leg 4: standing-query push vs the poll oracle ------------------ #
+    standing_events = ("enter", "exit", "update")
+    candidates: List[Dict[str, object]] = [
+        algebra.to_json(algebra.select(algebra.contains(item)))
+        for item in common[: min(6, len(common))]
+    ]
+    best_expression: Optional[Dict[str, object]] = None
+    best_oracle: List[Dict[str, object]] = []
+    for candidate in candidates:
+        oracle = [
+            notification.as_dict()
+            for notification in poll_oracle(
+                records,
+                candidate,
+                events=standing_events,
+                subscription="sub-0",
+                after_slide=prefix[-1].slide_id,
+            )
+        ]
+        if len(oracle) > len(best_oracle):
+            best_expression, best_oracle = candidate, oracle
+    if best_expression is None or not best_oracle:
+        raise DatasetError(
+            f"no standing-query candidate produced transitions over the live "
+            f"suffix of workload {workload.name!r} at minsup={support}"
+        )
+
+    standing_app = ServeApp.from_journal(fresh_journal(prefix), shard_count=shards)
+    with BackgroundServer(standing_app) as background:
+        port = background.port
+
+        async def standing_leg() -> List[Tuple[str, Dict[str, object]]]:
+            collector = asyncio.create_task(
+                sse_collect(
+                    "127.0.0.1",
+                    port,
+                    best_expression,
+                    events=",".join(standing_events),
+                    expect=len(best_oracle),
+                    timeout=30.0,
+                )
+            )
+            loop = asyncio.get_running_loop()
+
+            def wait_subscribed() -> None:
+                import time as _time
+
+                for _ in range(1000):
+                    if standing_app.subscriptions():
+                        return
+                    _time.sleep(0.005)
+                raise DatasetError("SSE subscription never registered")
+
+            await loop.run_in_executor(None, wait_subscribed)
+
+            def commit_live() -> None:
+                for record in live:
+                    standing_app.journal.append(record)
+                    background.refresh()
+
+            await loop.run_in_executor(None, commit_live)
+            return await collector
+
+        frames = asyncio.run(standing_leg())
+    pushed = [data for event, data in frames if event == "notification"]
+    standing_query_matches_poll = pushed == best_oracle
+    rows.append(
+        {
+            "mode": "standing",
+            "events": ",".join(standing_events),
+            "notifications": len(best_oracle),
+        }
+    )
+
+    outcome: Dict[str, object] = {
+        "experiment": "E15-serving-scale",
+        "workload": workload.name,
+        "minsup": support,
+        "batch_size": batch_size,
+        "shards": shards,
+        "slides": len(records),
+        "live_slides": len(live),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "parity_queries": len(queries),
+        "parity_checks": parity_checks,
+        "rows": rows,
+        "answers_identical": answers_identical,
+        "snapshot_swap_not_blocking": snapshot_swap_not_blocking,
+        "standing_query_matches_poll": standing_query_matches_poll,
+    }
+    if output_path is not None:
+        target = Path(output_path)
+        target.write_text(
+            json.dumps(outcome, indent=2, default=str), encoding="utf-8"
+        )
+        outcome["output"] = str(target)
+    return outcome
+
+
 #: Mapping of experiment ids to their drivers (used by the CLI).
 EXPERIMENTS = {
     "e1": experiment_accuracy,
@@ -1671,4 +2071,5 @@ EXPERIMENTS = {
     "e12": experiment_checkpoint_recovery,
     "e13": experiment_query_algebra,
     "e14": experiment_chaos_resilience,
+    "e15": experiment_serving_scale,
 }

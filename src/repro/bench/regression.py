@@ -49,6 +49,9 @@ BOOLEAN_KEYS = (
     "chaos_identical",
     "clean_run_event_free",
     "resilience_overhead_ok",
+    "answers_identical",
+    "snapshot_swap_not_blocking",
+    "standing_query_matches_poll",
 )
 
 #: Row metrics compared against the regression threshold (lower is better).
@@ -76,6 +79,16 @@ VOLATILE_KEYS = RUNTIME_KEYS + (
     "journal_kb",
     "snapshot_kb",
     "queries_per_s",
+    # E15 load/latency measurements (host-dependent, never identity).
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "latency_max_ms",
+    "throughput_rps",
+    "elapsed_seconds",
+    "errors",
+    "requests_total",
+    "status_counts",
 )
 
 #: Top-level outcome keys excluded from comparison entirely.

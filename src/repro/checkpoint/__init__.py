@@ -6,10 +6,18 @@ from repro.checkpoint.snapshot import (
     CheckpointManager,
     Checkpointer,
 )
+from repro.checkpoint.serve_index import (
+    SERVE_INDEX_CHECKPOINT_FORMAT,
+    load_serve_index,
+    seal_serve_index,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "Checkpoint",
     "CheckpointManager",
     "Checkpointer",
+    "SERVE_INDEX_CHECKPOINT_FORMAT",
+    "load_serve_index",
+    "seal_serve_index",
 ]

@@ -35,12 +35,14 @@ Subcommands
     modes (support history, sub/super-pattern match, top-k,
     first/last-frequent provenance, stats) remain as canned plans.
 ``serve``
-    Expose a journal over HTTP from a threaded stdlib server:
-    ``POST /query`` takes a JSON algebra expression; the legacy GET
-    endpoints (``/patterns``, ``/history``, ``/topk``) still answer but
-    are deprecated; ``/stats`` summarises the journal.
+    Expose a journal over HTTP.  The default is the asyncio serving
+    subsystem (DESIGN.md §15): sharded snapshot-swapped reads
+    (``--shards``), standing-query push over ``GET /subscribe`` (SSE),
+    journal following (``--follow``) and warm start (``--warm-dir``).
+    ``--legacy`` falls back to the threaded stdlib server (deprecated;
+    every response then carries a ``Deprecation`` header).
 ``bench``
-    Run one of the paper's experiments (e1-e14) and print its table;
+    Run one of the paper's experiments (e1-e15) and print its table;
     ``--baseline`` compares the outcome against a committed
     ``BENCH_*.json`` with the nightly regression gate.
 
@@ -53,7 +55,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro import __version__, faults
 from repro.bench.experiments import EXPERIMENTS
@@ -91,6 +93,8 @@ from repro.history.journal import DiskJournal, open_journal, truncate_journal
 from repro.history.retention import RetentionPolicy, TieredJournal
 from repro.resilience import FailurePolicy, ResilienceEvent
 from repro.service.api import QUERY_KINDS, HistoryService
+from repro.serve.http import serve_async
+from repro.serve.shards import DEFAULT_SHARDS
 from repro.service.server import serve_journal
 from repro.service.supervisor import RestartPolicy, Supervisor, SupervisorError
 from repro.storage.backend import STORE_BACKENDS
@@ -370,6 +374,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("journal", help="journal directory written by `repro watch`")
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8765, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        help="index shard count for the async front end (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--follow",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll the journal for new slides every SECONDS (0 disables; "
+        "async front end only)",
+    )
+    serve.add_argument(
+        "--warm-dir",
+        default=None,
+        metavar="DIR",
+        help="hydrate the index from a sealed snapshot under DIR and seal a "
+        "fresh one on graceful shutdown (async front end only)",
+    )
+    serve.add_argument(
+        "--legacy",
+        action="store_true",
+        help="use the deprecated threaded front end instead of the async "
+        "serving subsystem",
+    )
     _add_fault_options(serve)
 
     bench = subparsers.add_parser("bench", help="run one of the paper's experiments")
@@ -384,6 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.add_argument("--json", action="store_true", help="print raw JSON instead of a table")
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="concurrent load-test clients (e15 only; default 1000)",
+    )
     bench.add_argument(
         "--baseline",
         default=None,
@@ -1088,11 +1125,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    def announce(server) -> None:
+    if getattr(args, "shards", DEFAULT_SHARDS) < 1:
+        print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
+        return EXIT_USAGE_ERROR
+
+    def announce_legacy(server) -> None:
         host, port = server.server_address[0], server.server_address[1]
         print(
             f"serving pattern history of {args.journal} on http://{host}:{port} "
-            f"(endpoints: /patterns /history /topk /stats; Ctrl-C to stop)",
+            f"(endpoints: /patterns /history /topk /stats; Ctrl-C to stop) "
+            f"[legacy threaded front end — deprecated]",
+            flush=True,
+        )
+
+    def announce_async(server) -> None:
+        print(
+            f"serving pattern history of {args.journal} on "
+            f"http://{server.host}:{server.port} "
+            f"(endpoints: POST /query, GET /stats, GET /subscribe [SSE]; "
+            f"{args.shards} shards; SIGTERM/Ctrl-C drains)",
             flush=True,
         )
 
@@ -1100,9 +1151,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if error is not None:
         return error
     try:
-        serve_journal(args.journal, host=args.host, port=args.port, on_bound=announce)
+        if args.legacy:
+            serve_journal(
+                args.journal,
+                host=args.host,
+                port=args.port,
+                on_bound=announce_legacy,
+                legacy=True,
+            )
+        else:
+            serve_async(
+                args.journal,
+                host=args.host,
+                port=args.port,
+                shard_count=args.shards,
+                follow_interval=args.follow if args.follow > 0 else None,
+                warm_dir=args.warm_dir,
+                on_bound=announce_async,
+            )
     except (HistoryError, OSError) as exc:
         return _fail_json(f"cannot open journal: {exc}", EXIT_INPUT_ERROR)
+    except KeyboardInterrupt:  # asyncio.run re-raises on SIGINT
+        pass
     finally:
         if installed:
             faults.uninstall_plan()
@@ -1111,8 +1181,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     driver = EXPERIMENTS[args.experiment]
+    kwargs: Dict[str, Any] = {"scale": args.scale}
+    if args.clients is not None:
+        if args.experiment != "e15":
+            print("error: --clients only applies to e15", file=sys.stderr)
+            return EXIT_USAGE_ERROR
+        if args.clients < 1:
+            print("error: --clients must be at least 1", file=sys.stderr)
+            return EXIT_USAGE_ERROR
+        kwargs["clients"] = args.clients
     try:
-        outcome = driver(scale=args.scale)
+        outcome = driver(**kwargs)
     except DatasetError as exc:
         # e1-e10 reject "large", e11 rejects "paper" — a usage error.
         print(f"error: {exc}", file=sys.stderr)

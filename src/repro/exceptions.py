@@ -113,6 +113,10 @@ class ServiceError(ReproError):
     """Raised when the history serving front end is configured incorrectly."""
 
 
+class ServeError(ServiceError):
+    """Raised when the async serving subsystem (repro.serve) is misused."""
+
+
 class DatasetError(ReproError):
     """Raised by dataset generators and file readers."""
 

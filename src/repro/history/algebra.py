@@ -24,8 +24,10 @@ Shapes: :func:`select` (all matching rows, ``(slide, size, items)``
 order), :func:`top_k` (highest-support rows first), :func:`history` (the
 per-slide support curve of one exact itemset, zeroes explicit).
 
-Execution — :func:`evaluate` — compiles a shape against a
-:class:`~repro.history.query.JournalIndex`:
+Execution — :func:`evaluate` — compiles a shape against any
+:class:`IndexReader` (the posting-list read protocol satisfied by
+:class:`~repro.history.query.JournalIndex` and by the immutable
+:class:`~repro.serve.shards.IndexSnapshot` of the async serving path):
 
 * conjunctions are lowered to posting-list operations: ``slides`` bounds
   are pushed into the scan range, one indexable conjunct (``contains`` /
@@ -57,9 +59,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
-    TYPE_CHECKING,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -71,9 +73,6 @@ from typing import (
 
 from repro.exceptions import AlgebraError
 from repro.history.journal import SlideRecord
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (query imports us)
-    from repro.history.query import JournalIndex
 
 #: One query hit: (slide id, sorted item tuple, support).
 Match = Tuple[int, Tuple[str, ...], int]
@@ -518,6 +517,65 @@ class EvalContext(Protocol):
         ...  # pragma: no cover - protocol
 
 
+class IndexReader(Protocol):
+    """The posting-list read protocol the compiler executes against.
+
+    :class:`~repro.history.query.JournalIndex` satisfies it, and so does
+    the immutable :class:`~repro.serve.shards.IndexSnapshot` published by
+    the sharded serving path — compiling against the protocol (rather
+    than one concrete index) is what makes every front end answer
+    byte-identically: there is exactly one compiler, and it only ever
+    sees these eleven methods.
+    """
+
+    def slide_ids(self) -> List[int]:
+        """All indexed slide ids, ascending."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def last_slide_id(self) -> Optional[int]:
+        """The newest indexed slide id, or ``None`` for an empty index."""
+        ...  # pragma: no cover - protocol
+
+    def has_slide(self, slide_id: int) -> bool:
+        """Is ``slide_id`` an indexed slide?"""
+        ...  # pragma: no cover - protocol
+
+    def posting_total(self, item: str) -> int:
+        """Total posting length of ``item`` (the planner's estimate)."""
+        ...  # pragma: no cover - protocol
+
+    def posting(self, item: str, slide_id: int) -> Sequence[Tuple[str, ...]]:
+        """The patterns containing ``item`` at one slide."""
+        ...  # pragma: no cover - protocol
+
+    def row_count(self, slide_id: int) -> int:
+        """Number of pattern rows at one slide (0 if unknown)."""
+        ...  # pragma: no cover - protocol
+
+    def iter_patterns_at(
+        self, slide_id: int
+    ) -> Iterator[Tuple[Tuple[str, ...], int]]:
+        """Iterate the (items, support) rows of one slide."""
+        ...  # pragma: no cover - protocol
+
+    def support_at(self, slide_id: int, items: Iterable[str]) -> Optional[int]:
+        """Support of an exact itemset at one slide, or None when absent."""
+        ...  # pragma: no cover - protocol
+
+    def first_frequent(self, items: Iterable[str]) -> Optional[int]:
+        """First slide at which ``items`` was frequent, or None."""
+        ...  # pragma: no cover - protocol
+
+    def last_frequent(self, items: Iterable[str]) -> Optional[int]:
+        """Last slide at which ``items`` was frequent, or None."""
+        ...  # pragma: no cover - protocol
+
+    def items(self) -> List[str]:
+        """Every indexed item, sorted."""
+        ...  # pragma: no cover - protocol
+
+
 class _RecordsContext:
     """Provenance lookups by scanning raw records (the brute-force side)."""
 
@@ -644,7 +702,7 @@ class _ConjunctionResult:
     scanned: int
 
 
-def _scan_estimate(predicate: Predicate, index: "JournalIndex") -> Optional[int]:
+def _scan_estimate(predicate: Predicate, index: IndexReader) -> Optional[int]:
     """Postings an indexable conjunct would touch as a driver (None = not indexable)."""
     if isinstance(predicate, Contains):
         return min(index.posting_total(item) for item in predicate.items)
@@ -672,7 +730,7 @@ def _slide_bounds(
 
 
 def _run_conjunction(
-    conjuncts: Sequence[Predicate], index: "JournalIndex", optimize: bool
+    conjuncts: Sequence[Predicate], index: IndexReader, optimize: bool
 ) -> _ConjunctionResult:
     """Execute one conjunction: slide-range push-down, driver, filters."""
     lo, hi, residual = _slide_bounds(conjuncts)
@@ -769,7 +827,7 @@ def _run_conjunction(
 
 
 def _run_predicate(
-    predicate: Predicate, index: "JournalIndex", optimize: bool
+    predicate: Predicate, index: IndexReader, optimize: bool
 ) -> _ConjunctionResult:
     """Compile a predicate tree: top-level Or = union of compiled arms."""
     if isinstance(predicate, Or):
@@ -841,7 +899,7 @@ class Evaluation:
         }
 
 
-def evaluate(query: Query, index: "JournalIndex", optimize: bool = True) -> Evaluation:
+def evaluate(query: Query, index: IndexReader, optimize: bool = True) -> Evaluation:
     """Compile and run one query against a journal index.
 
     ``optimize=True`` runs the cost-based plan (smallest-posting-first
@@ -953,6 +1011,7 @@ def brute_force_query(
 
 __all__ = [
     "AlgebraError",
+    "IndexReader",
     "Match",
     "CurvePoint",
     "Contains",

@@ -82,6 +82,32 @@ class JournalIndex:
             self._slides[record.slide_id] = patterns
             self._order.append(record.slide_id)
 
+    def extended(self, records: Iterable[SlideRecord]) -> "JournalIndex":
+        """A *new* index equal to this one plus ``records``.
+
+        The snapshot-swap discipline for the service layer: untouched
+        structure is shared with this index (top-level maps are copied,
+        the per-item posting map of every item the suffix touches is
+        copied, everything else is carried by reference), so this index
+        keeps answering exactly as before while the caller atomically
+        swaps the returned index in.  :meth:`extend` never mutates an
+        already-indexed slide's inner structure, which is what makes the
+        sharing safe.
+        """
+        suffix = list(records)
+        clone = JournalIndex.__new__(JournalIndex)
+        clone._slides = dict(self._slides)
+        clone._postings = dict(self._postings)
+        clone._order = list(self._order)
+        for record in suffix:
+            for items, _support in record.patterns:
+                for item in items:
+                    original = self._postings.get(item)
+                    if original is not None and clone._postings[item] is original:
+                        clone._postings[item] = dict(original)
+        clone.extend(suffix)
+        return clone
+
     # ------------------------------------------------------------------ #
     # shape accessors
     # ------------------------------------------------------------------ #

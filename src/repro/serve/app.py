@@ -1,0 +1,291 @@
+"""The serve application: one journal behind the sharded snapshot index.
+
+:class:`ServeApp` is the transport-independent core of the async
+serving subsystem (DESIGN.md §15) — the HTTP layer
+(:mod:`repro.serve.http`), the tests and bench E15 all drive this one
+object:
+
+* **reads** (:meth:`query`, :meth:`stats`) pin the current
+  :class:`~repro.serve.shards.IndexSnapshot` once and evaluate through
+  exactly the same :func:`~repro.service.api.evaluate_expression` path
+  as the threaded front end — byte-identical payloads by construction;
+* **writes** (:meth:`refresh`) index the journal suffix one slide at a
+  time: snapshot swap first, then every registered standing query is
+  advanced against the *new* snapshot (restricted to the new slide —
+  only the changed shards are touched) and its transitions are
+  delivered to the subscriber's sink;
+* **warm start** (:meth:`from_directory` with ``warm_dir``) hydrates
+  the index from a sealed serve-index checkpoint and re-indexes only
+  the journal records appended after the seal.
+
+Write-path threading contract: ``refresh``/``subscribe``/
+``unsubscribe`` must be serialised by the caller (the asyncio server
+runs them all on its event loop; tests call them from one thread).
+Reads need no coordination at all — that is the point of the snapshot
+swap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.checkpoint.serve_index import load_serve_index, seal_serve_index
+from repro.exceptions import ServeError
+from repro.history.journal import PatternJournal, SlideRecord, open_journal
+from repro.serve.shards import DEFAULT_SHARDS, IndexSnapshot, ShardedJournalIndex
+from repro.serve.standing import Expression, Notification, StandingQuery
+from repro.serve.warm import JournalTail
+from repro.service.api import evaluate_expression
+
+#: A subscriber's delivery sink: called once per fired notification.
+Sink = Callable[[Notification], None]
+
+
+class ServeApp:
+    """Queries, stats, standing subscriptions and commits over one journal."""
+
+    def __init__(
+        self,
+        journal: PatternJournal,
+        *,
+        shard_count: int = DEFAULT_SHARDS,
+        index: Optional[ShardedJournalIndex] = None,
+        tail: Optional[JournalTail] = None,
+        owns_journal: bool = False,
+        cold_records_indexed: int = 0,
+        hydrated_slide: Optional[int] = None,
+    ) -> None:
+        self._journal = journal
+        self._index = index if index is not None else ShardedJournalIndex(
+            journal.records(), shard_count=shard_count
+        )
+        if index is None:
+            cold_records_indexed = len(journal.records())
+        self._tail = tail
+        self._owns_journal = owns_journal
+        self._subscribers: Dict[str, Tuple[StandingQuery, Sink]] = {}
+        self._next_subscription = 0
+        self.queries_served = 0
+        self.notifications_sent = 0
+        self.subscribers_total = 0
+        #: Records indexed from scratch at startup (warm start shrinks
+        #: this to the journal suffix — the number the warm-start tests
+        #: and ``/stats`` pin).
+        self.cold_records_indexed = cold_records_indexed
+        #: The slide the hydrated snapshot was sealed at (None = cold).
+        self.hydrated_slide = hydrated_slide
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_journal(
+        cls, journal: PatternJournal, shard_count: int = DEFAULT_SHARDS
+    ) -> "ServeApp":
+        """Serve an in-process journal object (tests, bench, embedding)."""
+        return cls(journal, shard_count=shard_count)
+
+    @classmethod
+    def from_directory(
+        cls,
+        path: Union[str, Path],
+        shard_count: int = DEFAULT_SHARDS,
+        warm_dir: Optional[Union[str, Path]] = None,
+    ) -> "ServeApp":
+        """Serve a journal directory (the CLI path).
+
+        Opens the journal (validating its manifest and recovering any
+        interrupted compaction), optionally hydrates the index from a
+        sealed serve-index snapshot under ``warm_dir``, and attaches a
+        :class:`~repro.serve.warm.JournalTail` so later refreshes see
+        appends made by a concurrently running writer process.
+        """
+        journal = open_journal(path)
+        try:
+            records = journal.records()
+            snapshot = cls._hydrate(warm_dir, shard_count, records)
+            if snapshot is None:
+                index = ShardedJournalIndex(records, shard_count=shard_count)
+                cold = len(records)
+                hydrated_slide = None
+            else:
+                index = ShardedJournalIndex.from_snapshot(snapshot)
+                hydrated_slide = snapshot.last_slide_id
+                suffix = [
+                    record
+                    for record in records
+                    if hydrated_slide is None or record.slide_id > hydrated_slide
+                ]
+                index.extend(suffix)
+                cold = len(suffix)
+            tail = JournalTail(path, after_slide=index.current.last_slide_id)
+            return cls(
+                journal,
+                index=index,
+                tail=tail,
+                owns_journal=True,
+                cold_records_indexed=cold,
+                hydrated_slide=hydrated_slide,
+            )
+        except BaseException:
+            journal.close()
+            raise
+
+    @staticmethod
+    def _hydrate(
+        warm_dir: Optional[Union[str, Path]],
+        shard_count: int,
+        records: Tuple[SlideRecord, ...],
+    ) -> Optional[IndexSnapshot]:
+        """Load a usable warm snapshot, or ``None`` for a cold build.
+
+        A snapshot is only adopted when it is an exact prefix of the
+        journal with the requested shard count — anything else (stale
+        partitioning, a truncated/rolled-back journal, corruption) falls
+        back to cold, because warm start must never change an answer.
+        """
+        if warm_dir is None:
+            return None
+        payload = load_serve_index(warm_dir)
+        if payload is None:
+            return None
+        try:
+            snapshot = IndexSnapshot.from_payload(payload)
+        except ServeError:
+            return None
+        if snapshot.shard_count != shard_count:
+            return None
+        journal_order = tuple(record.slide_id for record in records)
+        if snapshot.order != journal_order[: len(snapshot.order)]:
+            return None
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # the read path
+    # ------------------------------------------------------------------ #
+    @property
+    def journal(self) -> PatternJournal:
+        return self._journal
+
+    @property
+    def index(self) -> ShardedJournalIndex:
+        return self._index
+
+    def query(
+        self,
+        expression: Union[Mapping[str, object], Expression],
+        optimize: bool = True,
+    ) -> Dict[str, object]:
+        """Evaluate one algebra expression against the pinned snapshot."""
+        snapshot = self._index.current
+        self.queries_served += 1
+        return evaluate_expression(expression, snapshot, optimize=optimize)
+
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` payload: index shape + journal + serve counters."""
+        snapshot = self._index.current
+        payload = dict(snapshot.stats())
+        payload["journal"] = {
+            "backend": getattr(self._journal, "kind", "unknown"),
+            "path": str(self._journal.path) if self._journal.path else None,
+            "disk_size_bytes": self._journal.disk_size_bytes(),
+        }
+        payload["serve"] = {
+            "shards": self._index.shard_count,
+            "generation": snapshot.generation,
+            "snapshot_swaps": self._index.swaps,
+            "queries": self.queries_served,
+            "subscribers": len(self._subscribers),
+            "subscribers_total": self.subscribers_total,
+            "standing_notifications": self.notifications_sent,
+            "warm_start": {
+                "hydrated_slide": self.hydrated_slide,
+                "cold_records_indexed": self.cold_records_indexed,
+            },
+        }
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # the write path (single caller at a time)
+    # ------------------------------------------------------------------ #
+    def pending_records(self) -> List[SlideRecord]:
+        """Journal records not yet indexed (cross-process via the tail)."""
+        if self._tail is not None:
+            return self._tail.poll()
+        last = self._index.current.last_slide_id
+        return [
+            record
+            for record in self._journal.records()
+            if last is None or record.slide_id > last
+        ]
+
+    def refresh(self) -> int:
+        """Index the journal suffix; swap, advance standing queries, push.
+
+        One snapshot swap *per slide*: a standing query is always
+        advanced against a snapshot whose newest slide is exactly the
+        slide being processed, which is what makes the transition stream
+        equal to the poll-after-every-slide oracle.
+        """
+        suffix = self.pending_records()
+        for record in suffix:
+            snapshot = self._index.extend([record])
+            for standing, sink in list(self._subscribers.values()):
+                for notification in standing.advance(snapshot, record.slide_id):
+                    self.notifications_sent += 1
+                    sink(notification)
+        return len(suffix)
+
+    # ------------------------------------------------------------------ #
+    # standing subscriptions
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        expression: Expression,
+        events: Tuple[str, ...] = ("enter", "exit"),
+        sink: Optional[Sink] = None,
+    ) -> str:
+        """Register a standing query; returns the subscription id.
+
+        The baseline is primed at the current snapshot: the subscriber
+        is notified about transitions from *now* on.
+        """
+        subscription = f"sub-{self._next_subscription}"
+        standing = StandingQuery(subscription, expression, events)
+        standing.prime(self._index.current)
+        self._next_subscription += 1
+        self._subscribers[subscription] = (standing, sink or (lambda _: None))
+        self.subscribers_total += 1
+        return subscription
+
+    def unsubscribe(self, subscription: str) -> bool:
+        """Drop one subscription; False when it was already gone."""
+        return self._subscribers.pop(subscription, None) is not None
+
+    def subscriptions(self) -> Dict[str, Dict[str, object]]:
+        """The registered standing queries (the ``/stats`` drill-down)."""
+        return {
+            subscription: {
+                "query": standing.expression_json(),
+                "events": list(standing.events),
+                "last_slide": standing.last_slide,
+                "notified": standing.notified,
+            }
+            for subscription, (standing, _) in self._subscribers.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # warm-start sealing and lifecycle
+    # ------------------------------------------------------------------ #
+    def seal_warm(self, warm_dir: Union[str, Path]) -> Path:
+        """Seal the current snapshot for the next process's warm start."""
+        return seal_serve_index(warm_dir, self._index.current.to_payload())
+
+    def close(self) -> None:
+        """Release the journal when this app opened it."""
+        if self._owns_journal:
+            self._journal.close()  # type: ignore[attr-defined]
+
+
+__all__ = ["ServeApp", "Sink"]

@@ -1,0 +1,321 @@
+"""Load generation for the async serving path (bench E15).
+
+A deliberately minimal asyncio HTTP/1.1 client — the same stdlib-only
+discipline as the server.  Each simulated client holds one keep-alive
+connection and issues queries back-to-back, recording per-request
+latency; :func:`run_load` fans out thousands of such clients on one
+event loop and reports latency percentiles and aggregate throughput.
+:func:`sse_collect` is the subscriber-side counterpart: it opens
+``GET /subscribe`` and collects pushed SSE frames until the stream
+closes or an expected notification count is reached.
+
+File-descriptor budget: a thousand concurrent sockets outruns the
+default ``ulimit -n`` on many hosts, so :func:`raise_fd_limit` bumps
+the soft ``RLIMIT_NOFILE`` to the hard cap before a run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ServeError
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+
+def raise_fd_limit() -> int:
+    """Raise the soft RLIMIT_NOFILE to the hard cap; returns the soft cap."""
+    if resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+            soft = hard
+        except (ValueError, OSError):  # pragma: no cover - locked down host
+            pass
+    return soft
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (the convention the bench suite uses)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one :func:`run_load` run."""
+
+    clients: int
+    requests_per_client: int
+    requests_total: int
+    errors: int
+    elapsed_seconds: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    status_counts: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "requests_total": self.requests_total,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "latency_max_ms": round(self.latency_max_ms, 3),
+            "status_counts": {
+                str(status): count for status, count in sorted(self.status_counts.items())
+            },
+        }
+
+
+async def _open_with_retry(
+    host: str, port: int, attempts: int = 20, delay: float = 0.05
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Connect with retry — under heavy fan-out the accept queue can lag."""
+    last_error: Optional[OSError] = None
+    for _ in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionRefusedError, OSError) as exc:
+            last_error = exc
+            await asyncio.sleep(delay)
+    raise ServeError(
+        f"could not connect to {host}:{port} after {attempts} attempts: {last_error}"
+    )
+
+
+async def request_json(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    host: str,
+    body: Optional[bytes] = None,
+) -> Tuple[int, bytes]:
+    """One HTTP/1.1 exchange on an existing keep-alive connection."""
+    payload = body or b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionResetError("server closed the connection")
+    try:
+        status = int(status_line.split()[1])
+    except (IndexError, ValueError) as exc:
+        raise ServeError(f"malformed status line: {status_line!r}") from exc
+    length = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    data = await reader.readexactly(length) if length else b""
+    return status, data
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    expressions: Sequence[bytes],
+    requests: int,
+    latencies: List[float],
+    status_counts: Dict[int, int],
+    errors: List[int],
+) -> None:
+    try:
+        reader, writer = await _open_with_retry(host, port)
+    except ServeError:
+        errors.append(requests)
+        return
+    try:
+        for i in range(requests):
+            body = expressions[i % len(expressions)]
+            started = time.perf_counter()
+            try:
+                status, _ = await request_json(
+                    reader, writer, "POST", "/query", host, body
+                )
+            except (ConnectionError, asyncio.IncompleteReadError, ServeError):
+                errors.append(requests - i)
+                return
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            status_counts[status] = status_counts.get(status, 0) + 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+def run_load(
+    host: str,
+    port: int,
+    expressions: Sequence[Mapping[str, object]],
+    *,
+    clients: int = 1000,
+    requests_per_client: int = 5,
+) -> LoadReport:
+    """Drive ``clients`` concurrent keep-alive query clients; report latency."""
+    raise_fd_limit()
+    encoded = [
+        json.dumps(expression, sort_keys=True).encode("utf-8")
+        for expression in expressions
+    ]
+    if not encoded:
+        raise ServeError("run_load needs at least one expression")
+    latencies: List[float] = []
+    status_counts: Dict[int, int] = {}
+    errors: List[int] = []
+
+    async def _run() -> float:
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _client_loop(
+                    host,
+                    port,
+                    encoded,
+                    requests_per_client,
+                    latencies,
+                    status_counts,
+                    errors,
+                )
+                for _ in range(clients)
+            )
+        )
+        return time.perf_counter() - started
+
+    elapsed = asyncio.run(_run())
+    total = len(latencies)
+    return LoadReport(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        requests_total=total,
+        errors=sum(errors),
+        elapsed_seconds=elapsed,
+        throughput_rps=total / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=percentile(latencies, 0.50),
+        latency_p95_ms=percentile(latencies, 0.95),
+        latency_p99_ms=percentile(latencies, 0.99),
+        latency_max_ms=max(latencies) if latencies else 0.0,
+        status_counts=status_counts,
+    )
+
+
+async def sse_collect(
+    host: str,
+    port: int,
+    expression: Mapping[str, object],
+    *,
+    events: str = "enter,exit",
+    expect: Optional[int] = None,
+    timeout: float = 30.0,
+) -> List[Tuple[str, Dict[str, object]]]:
+    """Subscribe over SSE and collect ``(event, data)`` frames.
+
+    Returns when the server sends its ``shutdown`` frame, the stream
+    closes, or ``expect`` notification frames have arrived — whichever
+    comes first.  The ``hello`` frame is always first in the result.
+    """
+    from urllib.parse import quote
+
+    reader, writer = await _open_with_retry(host, port)
+    frames: List[Tuple[str, Dict[str, object]]] = []
+    try:
+        path = (
+            f"/subscribe?expr={quote(json.dumps(expression, sort_keys=True))}"
+            f"&events={quote(events)}"
+        )
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Accept: text/event-stream\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if status != 200:
+            body = await reader.readexactly(length) if length else b""
+            raise ServeError(
+                f"subscribe failed with status {status}: {body.decode('utf-8')}"
+            )
+        event: Optional[str] = None
+        notifications = 0
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            raw = await asyncio.wait_for(reader.readline(), timeout)
+            if not raw:
+                break
+            line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+            if line.startswith("event: "):
+                event = line[len("event: ") :]
+            elif line.startswith("data: ") and event is not None:
+                frames.append((event, json.loads(line[len("data: ") :])))
+                if event == "shutdown":
+                    return frames
+                if event == "notification":
+                    notifications += 1
+                    if expect is not None and notifications >= expect:
+                        return frames
+                event = None
+    except asyncio.TimeoutError as exc:
+        raise ServeError(
+            f"SSE stream timed out after {timeout}s with {len(frames)} frames"
+        ) from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return frames
+
+
+__all__ = [
+    "LoadReport",
+    "percentile",
+    "raise_fd_limit",
+    "request_json",
+    "run_load",
+    "sse_collect",
+]

@@ -1,0 +1,113 @@
+"""Journal tailing for the serving path: read only what is new.
+
+A serving process is a *reader* of the journal directory — the miner
+(``repro watch``) appends from another process.  A
+:class:`~repro.history.journal.DiskJournal` object only knows the
+records it read at open time, so the server cannot see cross-process
+appends through it.  :class:`JournalTail` follows the journal the way
+the journal is written: ``journal.log`` is an append-only JSONL file
+whose entries carry each record's ``(offset, length)`` inside
+``journal.dat``, so one poll costs a ``stat`` plus reading only the new
+log lines and the new record payloads — never a re-parse of the whole
+journal.  The same suffix discipline powers warm start: after hydrating
+an index snapshot sealed at slide ``K``, the server re-indexes only the
+records with ``slide_id > K``.
+
+Compaction (``TieredJournal``) rewrites the log with rebased offsets;
+the tail detects the shrink, re-reads from the top and drops every
+already-seen slide id — slide ids keep ascending across compactions,
+so the filter is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.exceptions import HistoryError
+from repro.history.journal import DATA_NAME, LOG_NAME, SlideRecord
+
+
+class JournalTail:
+    """Incremental reader of a journal directory's record suffix."""
+
+    def __init__(
+        self, path: Union[str, Path], after_slide: Optional[int] = None
+    ) -> None:
+        self._path = Path(path)
+        self._log_path = self._path / LOG_NAME
+        self._data_path = self._path / DATA_NAME
+        self._log_offset = 0
+        self._last_slide = after_slide
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def last_slide(self) -> Optional[int]:
+        """The newest slide id this tail has returned (or was seeded with)."""
+        return self._last_slide
+
+    def poll(self) -> List[SlideRecord]:
+        """Every record appended since the last poll, oldest first."""
+        if not self._log_path.exists():
+            return []
+        log_size = self._log_path.stat().st_size
+        if log_size < self._log_offset:
+            # Compaction rewrote the log: start over, the slide-id filter
+            # below drops everything already delivered.
+            self._log_offset = 0
+        if log_size == self._log_offset:
+            return []
+        with open(self._log_path, "r", encoding="utf-8") as handle:
+            handle.seek(self._log_offset)
+            chunk = handle.read(log_size - self._log_offset)
+        # Only complete lines are consumable — a concurrent append may have
+        # been caught mid-line; leave the partial tail for the next poll.
+        consumed = chunk.rfind("\n") + 1
+        if consumed == 0:
+            return []
+        self._log_offset += len(chunk[:consumed].encode("utf-8"))
+        entries = []
+        for line in chunk[:consumed].splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(
+                    f"corrupt journal log line in {self._log_path}: {exc}"
+                ) from exc
+            if self._last_slide is not None and entry["slide_id"] <= self._last_slide:
+                continue
+            entries.append(entry)
+        if not entries:
+            return []
+        records: List[SlideRecord] = []
+        with open(self._data_path, "rb") as data:
+            for entry in entries:
+                data.seek(entry["offset"])
+                payload = data.read(entry["length"])
+                if len(payload) < entry["length"]:
+                    raise HistoryError(
+                        f"journal log references bytes beyond {self._data_path} "
+                        f"(offset {entry['offset']}, length {entry['length']})"
+                    )
+                records.append(
+                    SlideRecord.from_bytes(payload, timings=entry.get("timings"))
+                )
+        if records:
+            self._last_slide = records[-1].slide_id
+        return records
+
+
+def read_journal_suffix(
+    path: Union[str, Path], after_slide: Optional[int] = None
+) -> List[SlideRecord]:
+    """One-shot read of every record with ``slide_id > after_slide``."""
+    return JournalTail(path, after_slide=after_slide).poll()
+
+
+__all__ = ["JournalTail", "read_journal_suffix"]

@@ -41,6 +41,36 @@ def _match_payload(matches: List[Match]) -> List[Dict[str, object]]:
     ]
 
 
+def parse_expression(
+    expression: Union[Mapping[str, object], algebra.Query],
+) -> algebra.Query:
+    """Normalise a query expression (JSON mapping or AST) into an AST."""
+    if isinstance(expression, algebra.QUERY_SHAPES):
+        return expression
+    if isinstance(expression, Mapping):
+        return algebra.parse_query(expression)
+    raise AlgebraError(
+        f"expected a JSON object expression, got {type(expression).__name__}"
+    )
+
+
+def evaluate_expression(
+    expression: Union[Mapping[str, object], algebra.Query],
+    index: algebra.IndexReader,
+    optimize: bool = True,
+) -> Dict[str, object]:
+    """Evaluate one expression against any index reader → service payload.
+
+    This is the single evaluation path shared by every front end —
+    :meth:`HistoryService.query` (threaded server, CLI) and the async
+    sharded server (:mod:`repro.serve`) both call it, which is what makes
+    their ``POST /query`` answers byte-identical by construction.
+    """
+    return algebra.evaluate(
+        parse_expression(expression), index, optimize=optimize
+    ).payload()
+
+
 class HistoryService:
     """Continuous queries over one pattern journal."""
 
@@ -61,10 +91,14 @@ class HistoryService:
     def refresh(self) -> None:
         """Index records appended to the journal since the last (re)build.
 
-        Only the unseen journal suffix is indexed (``JournalIndex.extend``)
-        — a refresh after one new slide costs one record, not a full
-        rebuild.  Call it from the writer side (e.g. an ``on_slide``
-        hook); readers keep using the same index object throughout.
+        Only the unseen journal suffix is indexed
+        (:meth:`JournalIndex.extended`), and the result is swapped in as
+        a *new* index object in one reference assignment.  A reader that
+        pinned ``self._index`` (or is mid-query on it) before the swap
+        keeps seeing the pre-refresh journal end-to-end — the same
+        snapshot-swap discipline the sharded serving index uses, without
+        any reader-side locking.  Call refresh from the writer side
+        (e.g. an ``on_slide`` hook).
         """
         last = self._index.last_slide_id
         records = self._journal.records()
@@ -72,7 +106,8 @@ class HistoryService:
             records = tuple(
                 record for record in records if record.slide_id > last
             )
-        self._index.extend(records)
+        if records:
+            self._index = self._index.extended(records)
 
     # ------------------------------------------------------------------ #
     # the algebra surface
@@ -91,15 +126,7 @@ class HistoryService:
         :class:`~repro.exceptions.AlgebraError` with the offending node
         path — the front ends turn that into a structured 400.
         """
-        if isinstance(expression, algebra.QUERY_SHAPES):
-            parsed = expression
-        elif isinstance(expression, Mapping):
-            parsed = algebra.parse_query(expression)
-        else:
-            raise AlgebraError(
-                f"expected a JSON object expression, got {type(expression).__name__}"
-            )
-        return algebra.evaluate(parsed, self._index, optimize=optimize).payload()
+        return evaluate_expression(expression, self._index, optimize=optimize)
 
     def canned_query(
         self,
@@ -270,4 +297,6 @@ __all__ = [
     "QUERY_KINDS",
     "AlgebraError",
     "HistoryError",
+    "parse_expression",
+    "evaluate_expression",
 ]

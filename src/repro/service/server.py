@@ -40,6 +40,8 @@ counted on :attr:`HistoryHTTPServer.dropped_connections` (surfaced under
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -61,6 +63,10 @@ DEPRECATED_ENDPOINTS = {
     "/topk": 'POST /query {"top_k": {"k": ...}}',
 }
 
+#: Sunset hint stamped on *every* response when the whole threaded front
+#: end runs as the compatibility fallback (``repro serve --legacy``).
+LEGACY_SUNSET_HINT = "repro serve (async sharded front end, repro.serve)"
+
 
 class HistoryHTTPServer(ThreadingHTTPServer):
     """One thread per request over a shared read-only :class:`HistoryService`."""
@@ -73,6 +79,9 @@ class HistoryHTTPServer(ThreadingHTTPServer):
         self.service = service
         #: Responses abandoned because the client hung up mid-write.
         self.dropped_connections = 0
+        #: When True (``repro serve --legacy``) every response carries a
+        #: ``Deprecation`` header pointing at the async replacement.
+        self.legacy_mode = False
 
     def handle_error(self, request: object, client_address: object) -> None:
         """Connection drops are counted, not dumped as tracebacks.
@@ -247,12 +256,21 @@ class HistoryRequestHandler(BaseHTTPRequestHandler):
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, indent=2, default=str).encode("utf-8")
+        server: HistoryHTTPServer = self.server  # type: ignore[assignment]
+        merged: Dict[str, str] = {}
+        if server.legacy_mode:
+            # The whole front end is the fallback: stamp every response,
+            # but let a per-endpoint Sunset-Hint (the deprecated GETs)
+            # keep its more specific replacement text.
+            merged["Deprecation"] = "true"
+            merged["Sunset-Hint"] = LEGACY_SUNSET_HINT
+        merged.update(headers or {})
         try:
             faults.trip("http.response", ConnectionResetError)
             self.send_response(status)
             self.send_header("Content-Type", "application/json; charset=utf-8")
             self.send_header("Content-Length", str(len(body)))
-            for name, value in (headers or {}).items():
+            for name, value in merged.items():
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
@@ -260,7 +278,6 @@ class HistoryRequestHandler(BaseHTTPRequestHandler):
             # The client hung up mid-response.  There is nobody left to
             # answer; count the drop and close this connection without
             # touching any other handler thread.
-            server: HistoryHTTPServer = self.server  # type: ignore[assignment]
             server.dropped_connections += 1
             self.close_connection = True
 
@@ -285,19 +302,50 @@ def serve_journal(
     host: str = "127.0.0.1",
     port: int = 8765,
     on_bound: Optional[Callable[[HistoryHTTPServer], None]] = None,
+    legacy: bool = False,
 ) -> None:
     """Open a journal directory and serve it until interrupted (the CLI path).
 
     ``on_bound`` is invoked once with the bound server before the loop
     starts — the hook the CLI uses to announce the actual address (which
-    matters with ``port=0``).  Ctrl-C stops the loop cleanly.  The opened
+    matters with ``port=0``).  Ctrl-C and SIGTERM both stop the loop
+    *gracefully*: the listener closes first, then in-flight handler
+    threads are joined so no client is dropped mid-response.  The opened
     journal is closed on every exit path (including a failed bind), so a
     dying serve process never leaks the journal's append handles.
+
+    ``legacy=True`` marks this threaded front end as the compatibility
+    fallback behind ``repro serve --legacy``: a server-side
+    ``DeprecationWarning`` at startup and ``Deprecation``/``Sunset-Hint``
+    headers on every response (matching the per-endpoint shim discipline
+    of the deprecated GET routes).
     """
+    if legacy:
+        warnings.warn(
+            "the threaded front end is a compatibility fallback; "
+            f"use {LEGACY_SUNSET_HINT}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     journal = open_journal(path)
     try:
         service = HistoryService(journal)
         server = build_server(service, host=host, port=port)
+        server.legacy_mode = legacy
+        # Graceful drain: handler threads are joined on server_close()
+        # instead of being abandoned as daemons.
+        server.daemon_threads = False
+        server.block_on_close = True
+
+        def _drain(signum: int, frame: object) -> None:
+            # shutdown() blocks until serve_forever() exits, so it must
+            # run off the signal-handling (main) thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        try:
+            previous = signal.signal(signal.SIGTERM, _drain)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            previous = None
         try:
             if on_bound is not None:
                 on_bound(server)
@@ -306,5 +354,7 @@ def serve_journal(
             pass
         finally:
             server.server_close()
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
     finally:
         journal.close()

@@ -43,6 +43,7 @@ class TestScaleParameters:
             "e12",
             "e13",
             "e14",
+            "e15",
         }
 
 

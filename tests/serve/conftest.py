@@ -1,0 +1,16 @@
+"""Shared fixtures for the async serving subsystem tests."""
+
+import pytest
+from serve_helpers import mined_journal
+
+
+@pytest.fixture(scope="module")
+def journal():
+    journal = mined_journal()
+    assert len(journal.records()) >= 6, "fixture journal too small to be useful"
+    return journal
+
+
+@pytest.fixture(scope="module")
+def records(journal):
+    return journal.records()

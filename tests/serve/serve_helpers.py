@@ -1,0 +1,33 @@
+"""Shared helpers for the async serving subsystem tests."""
+
+from repro.core.miner import StreamSubgraphMiner
+from repro.history.journal import MemoryJournal
+from repro.stream.stream import TransactionStream
+
+TRANSACTIONS = [
+    ("a",),
+    ("b",),
+    ("a", "b"),
+    ("c",),
+    ("a", "c"),
+    ("b", "c"),
+    ("a", "b", "c"),
+    ("d",),
+] * 12
+
+
+def mined_journal(transactions=TRANSACTIONS, window_size=3, batch_size=8, minsup=2):
+    """Watch a transaction stream into a fresh in-memory journal."""
+    journal = MemoryJournal()
+    miner = StreamSubgraphMiner(
+        window_size=window_size,
+        batch_size=batch_size,
+        algorithm="vertical",
+        on_slide=journal.append,
+    )
+    miner.watch(
+        TransactionStream(list(transactions), batch_size=batch_size),
+        minsup,
+        connected_only=False,
+    )
+    return journal

@@ -1,0 +1,258 @@
+"""The asyncio front end: byte parity, SSE push, graceful shutdown."""
+
+import asyncio
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.history import algebra
+from repro.history.journal import MemoryJournal
+from repro.serve.app import ServeApp
+from repro.serve.http import BackgroundServer
+from repro.serve.loadgen import sse_collect
+from repro.service.api import HistoryService
+from repro.service.server import build_server
+
+from serve_helpers import mined_journal
+
+
+def post(port, body, path="/query"):
+    connection = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("POST", path, body, {"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+def get(port, path):
+    connection = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def threaded_pair():
+    """A threaded server and an async server over identical journals."""
+    source = mined_journal()
+    threaded_journal = MemoryJournal()
+    async_journal = MemoryJournal()
+    prefix = list(source.records()[:3])
+    live = list(source.records()[3:])
+    for record in prefix:
+        threaded_journal.append(record)
+        async_journal.append(record)
+    service = HistoryService(threaded_journal)
+    threaded = build_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=threaded.serve_forever, daemon=True)
+    thread.start()
+    app = ServeApp.from_journal(async_journal, shard_count=4)
+    background = BackgroundServer(app).start()
+    yield {
+        "threaded_port": threaded.server_address[1],
+        "async_port": background.port,
+        "service": service,
+        "threaded_journal": threaded_journal,
+        "app": app,
+        "background": background,
+        "live": live,
+    }
+    background.stop()
+    threaded.shutdown()
+    threaded.server_close()
+
+
+QUERIES = [
+    {"select": {"where": {"contains": ["a"]}}},
+    {"select": {"where": {"or": [{"contains": ["a"]}, {"contains": ["c"]}]}}},
+    {"top_k": {"k": 5}},
+    {"history": {"items": ["a"]}},
+]
+
+
+class TestByteParity:
+    def test_answers_byte_identical_including_mid_stream(self, threaded_pair):
+        pair = threaded_pair
+        rounds = 0
+        while True:
+            for expression in QUERIES:
+                body = json.dumps(expression)
+                threaded_status, threaded_body, _ = post(pair["threaded_port"], body)
+                async_status, async_body, _ = post(pair["async_port"], body)
+                assert threaded_status == async_status == 200
+                assert threaded_body == async_body
+            if not pair["live"]:
+                break
+            # Commit one live slide on both servers and re-check parity —
+            # queries interleaved with slide commits must stay identical.
+            record = pair["live"].pop(0)
+            pair["threaded_journal"].append(record)
+            pair["service"].refresh()
+            pair["app"].journal.append(record)
+            pair["background"].refresh()
+            rounds += 1
+        assert rounds >= 2, "fixture had no live slides; mid-stream leg skipped"
+
+    def test_error_payloads_byte_identical(self, threaded_pair):
+        pair = threaded_pair
+        bad_bodies = [
+            b"",
+            b"not json",
+            json.dumps({"select": {}}).encode("utf-8"),
+            json.dumps({"nope": {}}).encode("utf-8"),
+        ]
+        for body in bad_bodies:
+            threaded_status, threaded_body, _ = post(pair["threaded_port"], body)
+            async_status, async_body, _ = post(pair["async_port"], body)
+            assert threaded_status == async_status == 400
+            assert threaded_body == async_body
+
+
+class TestEndpoints:
+    def test_stats_carries_serve_section(self, threaded_pair):
+        status, body = get(threaded_pair["async_port"], "/stats")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["resilience"] == {"dropped_connections": 0}
+        serve = payload["serve"]
+        assert serve["shards"] == 4
+        assert serve["snapshot_swaps"] >= 1
+        assert serve["draining"] is False
+        assert serve["warm_start"] == {
+            "hydrated_slide": None,
+            "cold_records_indexed": 3,
+        }
+
+    def test_unknown_endpoint_404(self, threaded_pair):
+        status, body = get(threaded_pair["async_port"], "/nope")
+        assert status == 404
+        payload = json.loads(body)
+        assert payload["code"] == "unknown-endpoint"
+        assert payload["endpoints"] == ["/query", "/stats", "/subscribe"]
+
+    def test_method_not_allowed_405(self, threaded_pair):
+        status, body, _ = post(threaded_pair["async_port"], b"{}", path="/stats")
+        assert status == 405
+        assert json.loads(body)["code"] == "method-not-allowed"
+
+    def test_subscribe_requires_expr(self, threaded_pair):
+        status, body = get(threaded_pair["async_port"], "/subscribe")
+        assert status == 400
+        assert json.loads(body)["code"] == "bad-query"
+
+    def test_subscribe_rejects_history_shape(self, threaded_pair):
+        from urllib.parse import quote
+
+        expr = quote(json.dumps({"history": {"items": ["a"]}}))
+        status, body = get(
+            threaded_pair["async_port"], f"/subscribe?expr={expr}"
+        )
+        assert status == 400
+        assert b"history is a curve" in body
+
+
+class TestSSE:
+    def test_hello_notification_shutdown_stream(self):
+        # An evolving stream: the item mix shifts mid-way so standing
+        # queries actually observe enter/exit/update transitions.
+        evolving = (
+            [("a",), ("b",), ("a", "b")] * 12
+            + [("a",), ("c",), ("a", "c")] * 12
+            + [("c",), ("d",), ("c", "d")] * 12
+        )
+        source = mined_journal(transactions=evolving)
+        records = list(source.records())
+        journal = MemoryJournal()
+        for record in records[:3]:
+            journal.append(record)
+        app = ServeApp.from_journal(journal, shard_count=4)
+        background = BackgroundServer(app).start()
+        try:
+            expression = {"top_k": {"k": 10}}
+
+            async def drive():
+                collector = asyncio.create_task(
+                    sse_collect(
+                        "127.0.0.1",
+                        background.port,
+                        expression,
+                        events="enter,exit,update",
+                        timeout=15.0,
+                    )
+                )
+                loop = asyncio.get_running_loop()
+
+                def wait_subscribed():
+                    import time
+
+                    for _ in range(1000):
+                        if app.subscriptions():
+                            return
+                        time.sleep(0.005)
+                    raise AssertionError("subscription never registered")
+
+                await loop.run_in_executor(None, wait_subscribed)
+
+                def commit_then_stop():
+                    for record in records[3:]:
+                        journal.append(record)
+                        background.refresh()
+                    background.stop(reason="test-shutdown")
+
+                await loop.run_in_executor(None, commit_then_stop)
+                return await collector
+
+            frames = asyncio.run(drive())
+        finally:
+            background.stop()
+        kinds = [event for event, _ in frames]
+        assert kinds[0] == "hello"
+        assert kinds[-1] == "shutdown"
+        assert frames[-1][1] == {"reason": "test-shutdown"}
+        hello = frames[0][1]
+        assert hello["subscription"].startswith("sub-")
+        assert hello["last_slide"] == records[2].slide_id
+        notifications = [data for event, data in frames if event == "notification"]
+        assert notifications, "no standing-query pushes observed"
+        # Pushed notifications carry the full transition shape.
+        for data in notifications:
+            assert set(data) == {
+                "subscription",
+                "slide",
+                "event",
+                "items",
+                "support",
+                "previous_support",
+            }
+        # The subscriber is dropped once its stream closes.
+        assert app.subscriptions() == {}
+
+    def test_stats_counts_notifications(self):
+        journal = mined_journal()
+        app = ServeApp.from_journal(journal, shard_count=2)
+        received = []
+        app.subscribe({"top_k": {"k": 5}}, events=("enter", "exit"), sink=received.append)
+        stats = app.stats()["serve"]
+        assert stats["subscribers"] == 1
+        assert stats["subscribers_total"] == 1
+
+
+class TestGracefulShutdown:
+    def test_shutdown_is_idempotent_and_drains(self):
+        journal = mined_journal()
+        app = ServeApp.from_journal(journal, shard_count=2)
+        background = BackgroundServer(app).start()
+        port = background.port
+        status, body, _ = post(port, json.dumps({"top_k": {"k": 3}}))
+        assert status == 200
+        background.stop()
+        background.stop()  # second stop is a no-op
+        with pytest.raises(OSError):
+            post(port, json.dumps({"top_k": {"k": 3}}))

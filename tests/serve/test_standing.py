@@ -1,0 +1,129 @@
+"""Standing queries: transition semantics, exactly-once, the poll oracle."""
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.history import algebra
+from repro.serve.shards import ShardedJournalIndex
+from repro.serve.standing import (
+    Notification,
+    StandingQuery,
+    parse_standing_expression,
+    poll_oracle,
+)
+
+
+def common_item(records):
+    counts = {}
+    for record in records:
+        for items, _ in record.patterns:
+            for item in items:
+                counts[item] = counts.get(item, 0) + 1
+    return max(sorted(counts), key=lambda item: counts[item])
+
+
+class TestStandingSemantics:
+    def test_incremental_stream_equals_poll_oracle(self, records):
+        item = common_item(records)
+        expression = algebra.to_json(algebra.select(algebra.contains(item)))
+        events = ("enter", "exit", "update")
+        split = 2
+        index = ShardedJournalIndex(records[:split], shard_count=4)
+        standing = StandingQuery("sub-0", expression, events)
+        standing.prime(index.current)
+        pushed = []
+        for record in records[split:]:
+            snapshot = index.extend([record])
+            pushed.extend(
+                notification.as_dict()
+                for notification in standing.advance(snapshot, record.slide_id)
+            )
+        oracle = [
+            notification.as_dict()
+            for notification in poll_oracle(
+                records,
+                expression,
+                events=events,
+                subscription="sub-0",
+                after_slide=records[split - 1].slide_id,
+            )
+        ]
+        assert pushed == oracle
+        assert len(pushed) > 0, "fixture produced no transitions; weak test"
+
+    def test_exactly_once_per_slide(self, records):
+        expression = algebra.to_json(algebra.top_k(3))
+        index = ShardedJournalIndex(records[:-1], shard_count=4)
+        standing = StandingQuery("s", expression, ("enter", "exit", "update"))
+        standing.prime(index.current)
+        snapshot = index.extend([records[-1]])
+        first = standing.advance(snapshot, records[-1].slide_id)
+        # Re-advancing the same slide (or an older one) is a no-op: a
+        # subscriber is notified about each transition exactly once.
+        assert standing.advance(snapshot, records[-1].slide_id) == []
+        assert standing.advance(snapshot, records[0].slide_id) == []
+        assert standing.notified == len(first)
+
+    def test_event_filtering(self, records):
+        item = common_item(records)
+        expression = algebra.to_json(algebra.select(algebra.contains(item)))
+        all_events = [
+            notification.event
+            for notification in poll_oracle(
+                records, expression, events=("enter", "exit", "update")
+            )
+        ]
+        enters_only = [
+            notification.event
+            for notification in poll_oracle(records, expression, events=("enter",))
+        ]
+        assert set(enters_only) <= {"enter"}
+        assert len(enters_only) == all_events.count("enter")
+
+    def test_fire_order_is_deterministic(self, records):
+        expression = algebra.to_json(algebra.top_k(10))
+        stream = poll_oracle(records, expression, events=("enter", "exit", "update"))
+        for earlier, later in zip(stream, stream[1:]):
+            assert earlier.slide <= later.slide
+            if earlier.slide == later.slide:
+                order = {"enter": 0, "exit": 1, "update": 2}
+                key = lambda n: (  # noqa: E731
+                    order[n.event],
+                    len(n.items),
+                    n.items,
+                )
+                assert key(earlier) <= key(later)
+
+
+class TestValidation:
+    def test_history_expression_rejected(self):
+        with pytest.raises(ServeError, match="history is a curve"):
+            parse_standing_expression(algebra.history("a"))
+
+    def test_unknown_event_rejected(self, records):
+        expression = algebra.to_json(algebra.top_k(3))
+        with pytest.raises(ServeError, match="unknown standing-query events"):
+            StandingQuery("s", expression, ("enter", "flicker"))
+
+    def test_empty_events_rejected(self):
+        expression = algebra.to_json(algebra.top_k(3))
+        with pytest.raises(ServeError):
+            StandingQuery("s", expression, ())
+
+    def test_notification_as_dict_shape(self):
+        notification = Notification(
+            subscription="sub-9",
+            slide=4,
+            event="enter",
+            items=("a", "b"),
+            support=3,
+            previous_support=None,
+        )
+        assert notification.as_dict() == {
+            "subscription": "sub-9",
+            "slide": 4,
+            "event": "enter",
+            "items": ["a", "b"],
+            "support": 3,
+            "previous_support": None,
+        }

@@ -164,17 +164,22 @@ class TestIncrementalRefresh:
         )
         return HistoryService(journal)
 
-    def test_refresh_extends_in_place(self):
+    def test_refresh_swaps_in_an_extended_snapshot(self):
         service = self.make_service(TRANSACTIONS[:30])
         index = service.index
         before = len(index)
+        before_slides = index.slide_ids()
         for record in self.make_service(TRANSACTIONS).journal.records():
             if record.slide_id > index.last_slide_id:
                 service.journal.append(record)
         service.refresh()
-        # Same index object, extended with only the unseen suffix.
-        assert service.index is index
-        assert len(index) > before
+        # A *new* index object, extended with only the unseen suffix; the
+        # old one is untouched so pinned readers keep a consistent view
+        # (DESIGN.md §15.1).
+        assert service.index is not index
+        assert len(service.index) > before
+        assert len(index) == before
+        assert index.slide_ids() == before_slides
 
     def test_refresh_matches_full_rebuild(self):
         service = self.make_service(TRANSACTIONS[:30])
